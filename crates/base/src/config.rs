@@ -1,0 +1,222 @@
+//! Configuration shared by the matching engines.
+//!
+//! The prototype in the paper (§VI) is configured with hash tables twice the
+//! maximum number of in-flight receives (1024 in-flight, so 2048 bins) and 32
+//! DPA threads, "limited by the bookkeeping bitmap size". We bound the block
+//! size by 64 because our booking bitmaps are `AtomicU64`s.
+
+use crate::error::MatchError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of messages matched concurrently in one block.
+///
+/// Bounded by the width of the booking bitmap (one bit per thread).
+pub const MAX_BLOCK_THREADS: usize = 64;
+
+/// Tunable parameters of the optimistic matching engine and of the bin-based
+/// baseline matcher.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Number of bins in each of the three hash-table indexes.
+    pub bins: usize,
+    /// Capacity of the receive descriptor table — the maximum number of
+    /// receives posted at the same time (§III-B). Exceeding it makes the
+    /// engine report [`MatchError::ReceiveTableFull`], upon which an MPI
+    /// implementation falls back to software tag matching.
+    pub max_receives: usize,
+    /// Capacity of the unexpected-message store. Like the receive table this
+    /// is a fixed NIC-memory resource.
+    pub max_unexpected: usize,
+    /// Number of messages processed in parallel per block (the paper's `N`;
+    /// 32 in the prototype). Must be in `1..=MAX_BLOCK_THREADS`.
+    pub block_threads: usize,
+    /// Enable the fast conflict-resolution path (§III-D3a). Disabling forces
+    /// every conflicted thread through the slow path — the WC-SP
+    /// configuration of Fig. 8.
+    pub fast_path: bool,
+    /// Enable the early-booking check (§IV-D): skip receives already booked
+    /// by lower-id threads during the optimistic phase.
+    pub early_booking_check: bool,
+    /// Enable lazy removal of consumed receives from bin chains (§IV-D).
+    /// When disabled, the consuming thread eagerly unlinks under the bin lock.
+    pub lazy_removal: bool,
+}
+
+impl Default for MatchConfig {
+    /// The paper's prototype configuration (§VI): 1024 in-flight receives,
+    /// hash tables at twice that, 32 threads, all optimizations on except the
+    /// early-booking check (presented as optional in §IV-D).
+    fn default() -> Self {
+        MatchConfig {
+            bins: 2048,
+            max_receives: 1024,
+            max_unexpected: 1024,
+            block_threads: 32,
+            fast_path: true,
+            early_booking_check: false,
+            lazy_removal: true,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// A small configuration convenient for unit tests: 16 bins, 64 receives,
+    /// 4 threads.
+    pub fn small() -> Self {
+        MatchConfig {
+            bins: 16,
+            max_receives: 64,
+            max_unexpected: 64,
+            block_threads: 4,
+            ..MatchConfig::default()
+        }
+    }
+
+    /// Sets the number of bins per hash table.
+    #[must_use]
+    pub fn with_bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Sets the receive-descriptor-table capacity.
+    #[must_use]
+    pub fn with_max_receives(mut self, max: usize) -> Self {
+        self.max_receives = max;
+        self
+    }
+
+    /// Sets the unexpected-message-store capacity.
+    #[must_use]
+    pub fn with_max_unexpected(mut self, max: usize) -> Self {
+        self.max_unexpected = max;
+        self
+    }
+
+    /// Sets the per-block thread count (the paper's `N`).
+    #[must_use]
+    pub fn with_block_threads(mut self, n: usize) -> Self {
+        self.block_threads = n;
+        self
+    }
+
+    /// Enables or disables the fast conflict-resolution path.
+    #[must_use]
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
+    /// Enables or disables the early-booking check.
+    #[must_use]
+    pub fn with_early_booking_check(mut self, on: bool) -> Self {
+        self.early_booking_check = on;
+        self
+    }
+
+    /// Enables or disables lazy removal.
+    #[must_use]
+    pub fn with_lazy_removal(mut self, on: bool) -> Self {
+        self.lazy_removal = on;
+        self
+    }
+
+    /// Validates the configuration, returning a descriptive error for any
+    /// parameter outside its legal range.
+    pub fn validate(&self) -> Result<(), MatchError> {
+        if self.bins == 0 {
+            return Err(MatchError::InvalidConfig("bins must be >= 1".into()));
+        }
+        if self.max_receives == 0 {
+            return Err(MatchError::InvalidConfig(
+                "max_receives must be >= 1".into(),
+            ));
+        }
+        if self.max_unexpected == 0 {
+            return Err(MatchError::InvalidConfig(
+                "max_unexpected must be >= 1".into(),
+            ));
+        }
+        if self.block_threads == 0 || self.block_threads > MAX_BLOCK_THREADS {
+            return Err(MatchError::InvalidConfig(format!(
+                "block_threads must be in 1..={MAX_BLOCK_THREADS}, got {}",
+                self.block_threads
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let c = MatchConfig::default();
+        assert_eq!(c.max_receives, 1024);
+        assert_eq!(
+            c.bins,
+            2 * c.max_receives,
+            "hash tables twice the in-flight receives (§VI)"
+        );
+        assert_eq!(c.block_threads, 32, "32 DPA threads (§VI)");
+        assert!(c.fast_path);
+        assert!(c.lazy_removal);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MatchConfig::default()
+            .with_bins(64)
+            .with_max_receives(128)
+            .with_max_unexpected(256)
+            .with_block_threads(8)
+            .with_fast_path(false)
+            .with_early_booking_check(true)
+            .with_lazy_removal(false);
+        assert_eq!(c.bins, 64);
+        assert_eq!(c.max_receives, 128);
+        assert_eq!(c.max_unexpected, 256);
+        assert_eq!(c.block_threads, 8);
+        assert!(!c.fast_path);
+        assert!(c.early_booking_check);
+        assert!(!c.lazy_removal);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_parameters_are_rejected() {
+        assert!(MatchConfig::default().with_bins(0).validate().is_err());
+        assert!(MatchConfig::default()
+            .with_max_receives(0)
+            .validate()
+            .is_err());
+        assert!(MatchConfig::default()
+            .with_max_unexpected(0)
+            .validate()
+            .is_err());
+        assert!(MatchConfig::default()
+            .with_block_threads(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn block_threads_bounded_by_bitmap_width() {
+        assert!(MatchConfig::default()
+            .with_block_threads(MAX_BLOCK_THREADS)
+            .validate()
+            .is_ok());
+        assert!(MatchConfig::default()
+            .with_block_threads(MAX_BLOCK_THREADS + 1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        MatchConfig::small().validate().unwrap();
+    }
+}

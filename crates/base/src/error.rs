@@ -1,0 +1,100 @@
+//! Error types shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors reported by the matching engines and their substrates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchError {
+    /// The fixed-size receive descriptor table is full (§III-B): "if the
+    /// number of posted receives exceeds this capacity, the application must
+    /// fall back to software tag matching".
+    ReceiveTableFull,
+    /// The unexpected-message store is full; the implementation must fall
+    /// back to software tag matching (§IV-E).
+    UnexpectedStoreFull,
+    /// DPA memory could not be allocated for a communicator's index tables
+    /// (§IV-E): the MPI implementation is expected to fall back to software
+    /// tag matching for that communicator.
+    OutOfDeviceMemory {
+        /// Bytes that were requested.
+        requested: u64,
+        /// Bytes that were available.
+        available: u64,
+    },
+    /// A configuration parameter was outside its legal range.
+    InvalidConfig(String),
+    /// An operation referenced a communicator with no allocated matching
+    /// resources.
+    UnknownCommunicator(u16),
+    /// A receive violated a communicator hint (§VII): e.g. an
+    /// `MPI_ANY_SOURCE` receive posted on a communicator asserted with
+    /// `mpi_assert_no_any_source`. Per MPI, violating an assertion is an
+    /// application error.
+    HintViolation(String),
+    /// An engine operation was attempted after the engine was shut down.
+    EngineStopped,
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::ReceiveTableFull => {
+                write!(
+                    f,
+                    "receive descriptor table full: fall back to software tag matching"
+                )
+            }
+            MatchError::UnexpectedStoreFull => {
+                write!(
+                    f,
+                    "unexpected message store full: fall back to software tag matching"
+                )
+            }
+            MatchError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of DPA memory: requested {requested} B, {available} B available"
+            ),
+            MatchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MatchError::UnknownCommunicator(id) => write!(f, "unknown communicator comm{id}"),
+            MatchError::HintViolation(msg) => write!(f, "communicator hint violated: {msg}"),
+            MatchError::EngineStopped => write!(f, "matching engine already stopped"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_software_fallback_for_resource_exhaustion() {
+        assert!(MatchError::ReceiveTableFull
+            .to_string()
+            .contains("software tag matching"));
+        assert!(MatchError::UnexpectedStoreFull
+            .to_string()
+            .contains("software tag matching"));
+    }
+
+    #[test]
+    fn display_reports_memory_numbers() {
+        let e = MatchError::OutOfDeviceMemory {
+            requested: 1024,
+            available: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024"));
+        assert!(s.contains("512"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MatchError::EngineStopped);
+    }
+}

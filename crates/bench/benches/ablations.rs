@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out: fast path,
+//! early-booking check, lazy removal, and block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_matching::{MsgHandle, RecvHandle};
+use otm::OtmEngine;
+use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+
+const K: usize = 128;
+
+fn config() -> MatchConfig {
+    MatchConfig::default()
+        .with_max_receives(1024)
+        .with_max_unexpected(1024)
+        .with_bins(2048)
+}
+
+/// The all-conflicts sequence: every receive and message identical.
+fn wc_sequence(engine: &mut OtmEngine) {
+    for i in 0..K {
+        engine
+            .post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(i as u64))
+            .unwrap();
+    }
+    let msgs: Vec<(Envelope, MsgHandle)> = (0..K)
+        .map(|i| (Envelope::world(Rank(0), Tag(0)), MsgHandle(i as u64)))
+        .collect();
+    engine.process_stream(&msgs).unwrap();
+}
+
+/// The no-conflict sequence: distinct tags.
+fn nc_sequence(engine: &mut OtmEngine) {
+    for i in 0..K {
+        engine
+            .post(
+                ReceivePattern::exact(Rank(0), Tag(i as u32)),
+                RecvHandle(i as u64),
+            )
+            .unwrap();
+    }
+    let msgs: Vec<(Envelope, MsgHandle)> = (0..K)
+        .map(|i| (Envelope::world(Rank(0), Tag(i as u32)), MsgHandle(i as u64)))
+        .collect();
+    engine.process_stream(&msgs).unwrap();
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fast_path_wc");
+    group.throughput(Throughput::Elements(K as u64));
+    for fast_path in [true, false] {
+        let mut engine = OtmEngine::new(config().with_fast_path(fast_path)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(fast_path), |b| {
+            b.iter(|| wc_sequence(&mut engine))
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_booking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_early_booking_wc");
+    group.throughput(Throughput::Elements(K as u64));
+    for ebc in [false, true] {
+        let mut engine = OtmEngine::new(config().with_early_booking_check(ebc)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(ebc), |b| {
+            b.iter(|| wc_sequence(&mut engine))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_removal(c: &mut Criterion) {
+    // Removal costs show up when consumers share chains: the WC scenario
+    // serializes eager unlinkers on the bin lock (§IV-D).
+    let mut group = c.benchmark_group("ablation_lazy_removal_wc");
+    group.throughput(Throughput::Elements(K as u64));
+    for lazy in [true, false] {
+        let mut engine = OtmEngine::new(config().with_lazy_removal(lazy)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(lazy), |b| {
+            b.iter(|| wc_sequence(&mut engine))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_block_threads_nc");
+    group.throughput(Throughput::Elements(K as u64));
+    group.sample_size(30);
+    for n in [1usize, 4, 8, 16, 32, 64] {
+        let mut engine = OtmEngine::new(config().with_block_threads(n)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| nc_sequence(&mut engine))
+        });
+    }
+    group.finish();
+}
+
+fn bench_comm_hints(c: &mut Criterion) {
+    // §VII: `mpi_assert_allow_overtaking` waives the ordering machinery —
+    // the relaxed lane just searches and CAS-consumes. Measured on the WC
+    // storm, where the strict engine pays full conflict resolution.
+    use otm_base::{CommHints, CommId};
+    let mut group = c.benchmark_group("ablation_comm_hints_wc");
+    group.throughput(Throughput::Elements(K as u64));
+    for (label, hints) in [
+        ("strict", CommHints::NONE),
+        (
+            "allow_overtaking",
+            CommHints {
+                allow_overtaking: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let comm = CommId(9);
+        let mut engine = OtmEngine::new(config()).unwrap();
+        engine.declare_comm(comm, hints).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                for i in 0..K {
+                    engine
+                        .post(
+                            ReceivePattern::new(Rank(0), Tag(0), comm),
+                            RecvHandle(i as u64),
+                        )
+                        .unwrap();
+                }
+                let msgs: Vec<(Envelope, MsgHandle)> = (0..K)
+                    .map(|i| (Envelope::new(Rank(0), Tag(0), comm), MsgHandle(i as u64)))
+                    .collect();
+                engine.process_stream(&msgs).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_path,
+    bench_early_booking,
+    bench_lazy_removal,
+    bench_block_size,
+    bench_comm_hints
+);
+criterion_main!(benches);

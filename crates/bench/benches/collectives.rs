@@ -1,0 +1,65 @@
+//! Criterion benches for the §VII extension: tree collectives running on
+//! matched point-to-point messages, offloaded vs host matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpa_sim::collectives::{allreduce_sum, broadcast};
+use dpa_sim::{Cluster, ClusterBackend};
+use otm_base::{MatchConfig, Tag};
+
+fn config() -> MatchConfig {
+    MatchConfig::default()
+        .with_max_receives(512)
+        .with_max_unexpected(512)
+        .with_bins(64)
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_broadcast");
+    group.sample_size(20);
+    for &nodes in &[4usize, 8, 16] {
+        group.throughput(Throughput::Elements(nodes as u64));
+        for backend in [ClusterBackend::Offloaded, ClusterBackend::MpiCpu] {
+            let label = match backend {
+                ClusterBackend::Offloaded => "offloaded",
+                ClusterBackend::MpiCpu => "mpi-cpu",
+            };
+            let mut cluster = Cluster::new(nodes, backend, config());
+            let payload = vec![7u8; 256];
+            let mut tag = 0u32;
+            group.bench_function(BenchmarkId::new(label, nodes), |b| {
+                b.iter(|| {
+                    // A fresh tag per iteration keeps receives unambiguous.
+                    tag = tag.wrapping_add(1);
+                    broadcast(&mut cluster, 0, payload.clone(), Tag(tag)).expect("broadcast")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_allreduce");
+    group.sample_size(20);
+    let nodes = 8usize;
+    group.throughput(Throughput::Elements(nodes as u64));
+    for backend in [ClusterBackend::Offloaded, ClusterBackend::MpiCpu] {
+        let label = match backend {
+            ClusterBackend::Offloaded => "offloaded",
+            ClusterBackend::MpiCpu => "mpi-cpu",
+        };
+        let mut cluster = Cluster::new(nodes, backend, config());
+        let values: Vec<Vec<u64>> = (0..nodes).map(|r| vec![r as u64; 16]).collect();
+        let mut tag = 0u32;
+        group.bench_function(BenchmarkId::new(label, nodes), |b| {
+            b.iter(|| {
+                tag = tag.wrapping_add(2);
+                allreduce_sum(&mut cluster, &values, Tag(tag)).expect("allreduce")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches over the sequential matching strategies: the cost
+//! story behind Table I and the Fig. 7 bin sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_matching::binned::BinnedMatcher;
+use mpi_matching::rank_based::RankBasedMatcher;
+use mpi_matching::traditional::TraditionalMatcher;
+use mpi_matching::{Matcher, MsgHandle, RecvHandle};
+use otm_base::{Envelope, Rank, ReceivePattern, Tag};
+use otm_trace::emul::FourIndexMatcher;
+
+const N: u32 = 256;
+
+/// Post N receives with distinct tags, then deliver the N matching
+/// messages in reverse order — the classic matching-misery pattern.
+fn misery<M: Matcher>(m: &mut M) {
+    for t in 0..N {
+        m.post(
+            ReceivePattern::exact(Rank(0), Tag(t)),
+            RecvHandle(u64::from(t)),
+        )
+        .unwrap();
+    }
+    for t in (0..N).rev() {
+        m.arrive(Envelope::world(Rank(0), Tag(t)), MsgHandle(u64::from(t)))
+            .unwrap();
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_misery_256");
+    group.throughput(Throughput::Elements(u64::from(2 * N)));
+    group.bench_function("traditional", |b| {
+        b.iter(|| misery(&mut TraditionalMatcher::new()))
+    });
+    group.bench_function("rank-based", |b| {
+        b.iter(|| misery(&mut RankBasedMatcher::new()))
+    });
+    for bins in [1usize, 32, 128] {
+        group.bench_function(BenchmarkId::new("bin-based", bins), |b| {
+            b.iter(|| misery(&mut BinnedMatcher::new(bins)))
+        });
+        group.bench_function(BenchmarkId::new("optimistic-indexes", bins), |b| {
+            b.iter(|| misery(&mut FourIndexMatcher::new(bins)))
+        });
+    }
+    group.finish();
+}
+
+/// The Fig. 7 replay path itself: how fast the analyzer chews through an
+/// application trace at different bin counts.
+fn bench_replay(c: &mut Criterion) {
+    let spec = otm_workloads::catalog()
+        .into_iter()
+        .find(|a| a.name == "BoxLib CNS")
+        .unwrap();
+    let trace = (spec.generate)(42);
+    let ops = trace.total_ops() as u64;
+    let mut group = c.benchmark_group("trace_replay_cns");
+    group.throughput(Throughput::Elements(ops));
+    group.sample_size(20);
+    for bins in [1usize, 32, 128] {
+        group.bench_function(BenchmarkId::from_parameter(bins), |b| {
+            b.iter(|| otm_trace::replay(&trace, &otm_trace::ReplayConfig { bins }))
+        });
+    }
+    group.finish();
+}
+
+/// The unexpected-message side of the coin (§II-A: "unexpected messages
+/// require temporary memory allocation while being received, increasing
+/// latency"): N messages arrive before any receive is posted, then the
+/// receives drain the UMQ in reverse arrival order.
+fn umq_misery<M: Matcher>(m: &mut M) {
+    for t in 0..N {
+        m.arrive(Envelope::world(Rank(0), Tag(t)), MsgHandle(u64::from(t)))
+            .unwrap();
+    }
+    for t in (0..N).rev() {
+        m.post(
+            ReceivePattern::exact(Rank(0), Tag(t)),
+            RecvHandle(u64::from(t)),
+        )
+        .unwrap();
+    }
+}
+
+fn bench_unexpected(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unexpected_misery_256");
+    group.throughput(Throughput::Elements(u64::from(2 * N)));
+    group.bench_function("traditional", |b| {
+        b.iter(|| umq_misery(&mut TraditionalMatcher::new()))
+    });
+    group.bench_function("rank-based", |b| {
+        b.iter(|| umq_misery(&mut RankBasedMatcher::new()))
+    });
+    for bins in [1usize, 128] {
+        group.bench_function(BenchmarkId::new("bin-based", bins), |b| {
+            b.iter(|| umq_misery(&mut BinnedMatcher::new(bins)))
+        });
+        group.bench_function(BenchmarkId::new("optimistic-indexes", bins), |b| {
+            b.iter(|| umq_misery(&mut FourIndexMatcher::new(bins)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_replay, bench_unexpected);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches behind Fig. 8: match throughput of the optimistic
+//! engine against the host baselines, per scenario.
+//!
+//! These measure the matching core directly (post + block processing),
+//! complementing the full transport-included harness in
+//! `src/bin/fig8_message_rate.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_matching::traditional::TraditionalMatcher;
+use mpi_matching::{Matcher, MsgHandle, RecvHandle};
+use otm::OtmEngine;
+use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+
+const K: usize = 100; // messages per sequence, as in §VI
+
+fn engine_config(fast_path: bool) -> MatchConfig {
+    MatchConfig::default()
+        .with_max_receives(1024)
+        .with_max_unexpected(1024)
+        .with_bins(2048)
+        .with_block_threads(32)
+        .with_fast_path(fast_path)
+}
+
+/// Posts the sequence's receives and matches the k-message burst once.
+fn otm_sequence(engine: &mut OtmEngine, wc: bool) {
+    for i in 0..K {
+        let tag = if wc { Tag(0) } else { Tag(i as u32) };
+        engine
+            .post(ReceivePattern::exact(Rank(0), tag), RecvHandle(i as u64))
+            .unwrap();
+    }
+    let msgs: Vec<(Envelope, MsgHandle)> = (0..K)
+        .map(|i| {
+            let tag = if wc { Tag(0) } else { Tag(i as u32) };
+            (Envelope::world(Rank(0), tag), MsgHandle(i as u64))
+        })
+        .collect();
+    let out = engine.process_stream(&msgs).unwrap();
+    assert_eq!(out.len(), K);
+}
+
+fn cpu_sequence(matcher: &mut TraditionalMatcher, wc: bool) {
+    for i in 0..K {
+        let tag = if wc { Tag(0) } else { Tag(i as u32) };
+        matcher
+            .post(ReceivePattern::exact(Rank(0), tag), RecvHandle(i as u64))
+            .unwrap();
+    }
+    for i in 0..K {
+        let tag = if wc { Tag(0) } else { Tag(i as u32) };
+        matcher
+            .arrive(Envelope::world(Rank(0), tag), MsgHandle(i as u64))
+            .unwrap();
+    }
+}
+
+fn bench_message_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_match_throughput");
+    group.throughput(Throughput::Elements(K as u64));
+
+    for (label, fast_path, wc) in [
+        ("Optimistic NC", true, false),
+        ("Optimistic WC-FP", true, true),
+        ("Optimistic WC-SP", false, true),
+    ] {
+        let mut engine = OtmEngine::new(engine_config(fast_path)).unwrap();
+        group.bench_function(BenchmarkId::new("sequence", label), |b| {
+            b.iter(|| otm_sequence(&mut engine, wc))
+        });
+    }
+
+    for (label, wc) in [("MPI-CPU NC", false), ("MPI-CPU WC", true)] {
+        let mut matcher = TraditionalMatcher::new();
+        group.bench_function(BenchmarkId::new("sequence", label), |b| {
+            b.iter(|| cpu_sequence(&mut matcher, wc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_rate);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Each binary regenerates one element of the paper's evaluation (see
+//! DESIGN.md §3 for the index) and, besides the human-readable rows, drops
+//! a JSON artifact under `target/experiments/` so EXPERIMENTS.md numbers
+//! have machine-readable provenance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory where harness binaries drop their JSON artifacts.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Serializes `value` to `target/experiments/<name>.json` and returns the
+/// path.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )
+    .expect("write experiment artifact");
+    path
+}
+
+/// Prints a section header in a consistent style.
+pub fn header(title: &str) {
+    println!("{}", "=".repeat(title.len().max(8)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(8)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_json_writes_readable_artifacts() {
+        let path = dump_json("selftest", &vec![1, 2, 3]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<i32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, vec![1, 2, 3]);
+        std::fs::remove_file(path).ok();
+    }
+}

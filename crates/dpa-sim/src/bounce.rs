@@ -1,0 +1,135 @@
+//! Bounce buffers in NIC memory (§IV-A).
+//!
+//! "Incoming messages are staged into bounce buffers in NIC memory ...
+//! necessary because we only know the address of the user-provided receive
+//! buffer once the matching is performed." Staging on the NIC also avoids
+//! registering user buffers and avoids crossing PCIe twice.
+//!
+//! The pool has a fixed number of fixed-size buffers, charged against the
+//! device-memory budget by the service that creates it.
+
+use otm_base::MatchError;
+
+/// Identifier of a buffer within a [`BouncePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BounceId(pub u32);
+
+/// A fixed pool of staging buffers.
+#[derive(Debug)]
+pub struct BouncePool {
+    buffers: Vec<Vec<u8>>,
+    free: Vec<u32>,
+    buf_size: usize,
+}
+
+impl BouncePool {
+    /// Creates a pool of `count` buffers of `buf_size` bytes each.
+    pub fn new(count: usize, buf_size: usize) -> Self {
+        BouncePool {
+            buffers: vec![Vec::new(); count],
+            free: (0..count as u32).rev().collect(),
+            buf_size,
+        }
+    }
+
+    /// Total NIC-memory cost of the pool in bytes.
+    pub fn footprint(&self) -> u64 {
+        (self.buffers.len() * self.buf_size) as u64
+    }
+
+    /// Buffers currently in use.
+    pub fn in_use(&self) -> usize {
+        self.buffers.len() - self.free.len()
+    }
+
+    /// Per-buffer capacity in bytes.
+    pub fn buf_size(&self) -> usize {
+        self.buf_size
+    }
+
+    /// Stages `data` into a free buffer.
+    ///
+    /// Fails with [`MatchError::UnexpectedStoreFull`] when the pool is
+    /// exhausted (staging capacity is part of the same NIC-memory resource
+    /// class whose exhaustion forces software fallback) and panics if the
+    /// payload exceeds the buffer size — the transport must fragment or use
+    /// rendezvous before that point.
+    pub fn stage(&mut self, data: &[u8]) -> Result<BounceId, MatchError> {
+        assert!(
+            data.len() <= self.buf_size,
+            "payload of {} B exceeds the {} B bounce buffers (use rendezvous)",
+            data.len(),
+            self.buf_size
+        );
+        let id = self.free.pop().ok_or(MatchError::UnexpectedStoreFull)?;
+        let buf = &mut self.buffers[id as usize];
+        buf.clear();
+        buf.extend_from_slice(data);
+        Ok(BounceId(id))
+    }
+
+    /// Reads a staged buffer.
+    pub fn data(&self, id: BounceId) -> &[u8] {
+        &self.buffers[id.0 as usize]
+    }
+
+    /// Releases a buffer back to the pool.
+    pub fn release(&mut self, id: BounceId) {
+        debug_assert!(
+            !self.free.contains(&id.0),
+            "double release of bounce buffer {id:?}"
+        );
+        self.free.push(id.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_read_release_round_trip() {
+        let mut p = BouncePool::new(2, 64);
+        let id = p.stage(&[1, 2, 3]).unwrap();
+        assert_eq!(p.data(id), &[1, 2, 3]);
+        assert_eq!(p.in_use(), 1);
+        p.release(id);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut p = BouncePool::new(1, 8);
+        let _a = p.stage(&[0]).unwrap();
+        assert_eq!(p.stage(&[1]), Err(MatchError::UnexpectedStoreFull));
+    }
+
+    #[test]
+    fn released_buffers_are_reused_with_fresh_contents() {
+        let mut p = BouncePool::new(1, 8);
+        let a = p.stage(&[9, 9, 9]).unwrap();
+        p.release(a);
+        let b = p.stage(&[1]).unwrap();
+        assert_eq!(p.data(b), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use rendezvous")]
+    fn oversized_payload_panics() {
+        let mut p = BouncePool::new(1, 4);
+        let _ = p.stage(&[0u8; 5]);
+    }
+
+    #[test]
+    fn footprint_is_count_times_size() {
+        let p = BouncePool::new(16, 1024);
+        assert_eq!(p.footprint(), 16 * 1024);
+    }
+
+    #[test]
+    fn zero_length_payloads_are_fine() {
+        let mut p = BouncePool::new(1, 8);
+        let id = p.stage(&[]).unwrap();
+        assert!(p.data(id).is_empty());
+    }
+}

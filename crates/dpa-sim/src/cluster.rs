@@ -1,0 +1,268 @@
+//! A simulated multi-node job: a full mesh of queue pairs, one matching
+//! service per node.
+//!
+//! The paper's closing discussion (§VII) argues that offloading tag
+//! matching unlocks offloading the operations *built on top of it* —
+//! "collective operations, which are normally built on top of
+//! point-to-point operations, and hence need matching to be performed in
+//! order to be offloaded". The [`crate::collectives`] module implements
+//! tree collectives over this cluster; every hop goes through the full
+//! receive path (wire → bounce buffer → CQ → matching → protocol).
+
+use crate::bounce::BouncePool;
+use crate::memory::DeviceMemory;
+use crate::nic::RecvNic;
+use crate::rdma::{connected_pair, eager_packet, rendezvous_packet, QueuePair, RdmaDomain};
+use crate::service::{CompletedReceive, MatchingService, ServiceError};
+use mpi_matching::RecvHandle;
+use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+
+/// Which matching backend every node of the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterBackend {
+    /// Offloaded optimistic matching (per-node DPA budget willing).
+    Offloaded,
+    /// Host-CPU traditional matching.
+    MpiCpu,
+}
+
+/// One simulated node: its matching service plus send endpoints to every
+/// peer.
+pub struct ClusterNode {
+    rank: Rank,
+    service: MatchingService,
+    /// Send endpoint towards each peer (`None` at our own index).
+    peers: Vec<Option<QueuePair>>,
+    domain: RdmaDomain,
+    /// Eager/rendezvous switchover for [`ClusterNode::send`].
+    eager_threshold: usize,
+}
+
+impl ClusterNode {
+    /// This node's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Posts a receive on this node.
+    pub fn post_recv(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
+        self.service.post_recv(pattern)
+    }
+
+    /// Sends `payload` to `dest` with `tag`, choosing eager or rendezvous
+    /// by size (§IV-B).
+    pub fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<(), ServiceError> {
+        let env = Envelope::world(self.rank, tag);
+        let qp = self.peers[dest]
+            .as_ref()
+            .expect("no loopback sends in the mesh");
+        if payload.len() <= self.eager_threshold {
+            qp.send(eager_packet(env, payload))
+                .map_err(ServiceError::Rdma)
+        } else {
+            let (pkt, _rkey) = rendezvous_packet(&self.domain, env, payload, 64);
+            qp.send(pkt).map_err(ServiceError::Rdma)
+        }
+    }
+
+    /// Polls the NIC, matches, runs protocols; returns newly completed
+    /// receives.
+    pub fn progress(&mut self) -> Result<Vec<CompletedReceive>, ServiceError> {
+        self.service.progress()?;
+        Ok(self.service.take_completed())
+    }
+
+    /// Engine statistics when offloaded.
+    pub fn engine_stats(&self) -> Option<otm::StatsSnapshot> {
+        self.service.engine_stats()
+    }
+
+    /// The backend label.
+    pub fn backend_name(&self) -> &'static str {
+        self.service.backend_name()
+    }
+}
+
+/// The simulated job (see module docs).
+pub struct Cluster {
+    nodes: Vec<ClusterNode>,
+}
+
+impl Cluster {
+    /// Builds an `n`-node full-mesh cluster with the given matching
+    /// backend on every node.
+    ///
+    /// Offloaded nodes each charge their tables against a fresh
+    /// BlueField-3-sized DPA budget; `config.block_threads` is forced to 1
+    /// (inline lanes) so large simulated clusters do not oversubscribe the
+    /// simulation host with worker pools.
+    pub fn new(n: usize, backend: ClusterBackend, config: MatchConfig) -> Self {
+        assert!(n >= 2, "a cluster needs at least two nodes");
+        // peers_qp[i][j] = i's send endpoint to j.
+        let mut send_eps: Vec<Vec<Option<QueuePair>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut recv_qps: Vec<Vec<QueuePair>> = (0..n).map(|_| Vec::new()).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = connected_pair(); // a: i's side, b: j's side
+                let (c, d) = connected_pair(); // c: j's side, d: i's side
+                send_eps[i][j] = Some(a);
+                recv_qps[j].push(b);
+                send_eps[j][i] = Some(c);
+                recv_qps[i].push(d);
+            }
+        }
+        let config = config.with_block_threads(1);
+        // One domain for the whole fabric: RDMA reads reach any peer's
+        // registered region, as verbs rkeys do.
+        let fabric = RdmaDomain::new();
+        let nodes = send_eps
+            .into_iter()
+            .zip(recv_qps)
+            .enumerate()
+            .map(|(i, (peers, qps))| {
+                let domain = fabric.clone();
+                let mut qps = qps.into_iter();
+                // Bounce buffers must hold the largest eager payload a
+                // peer may send (anything bigger goes rendezvous).
+                let mut nic = RecvNic::new(
+                    qps.next().expect("n >= 2 gives every node a peer"),
+                    BouncePool::new(
+                        4 * n.max(16),
+                        mpi_matching::protocol::DEFAULT_EAGER_THRESHOLD,
+                    ),
+                );
+                for qp in qps {
+                    nic.add_qp(qp);
+                }
+                let service = match backend {
+                    ClusterBackend::Offloaded => {
+                        let mut budget = DeviceMemory::bluefield3_l3();
+                        MatchingService::offloaded(nic, domain.clone(), config.clone(), &mut budget)
+                            .expect("cluster tables fit the per-node DPA budget")
+                    }
+                    ClusterBackend::MpiCpu => MatchingService::mpi_cpu(nic, domain.clone()),
+                };
+                ClusterNode {
+                    rank: Rank(i as u32),
+                    service,
+                    peers,
+                    domain,
+                    eager_threshold: mpi_matching::protocol::DEFAULT_EAGER_THRESHOLD,
+                }
+            })
+            .collect();
+        Cluster { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never: construction requires n ≥ 2).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mutable access to one node.
+    pub fn node_mut(&mut self, i: usize) -> &mut ClusterNode {
+        &mut self.nodes[i]
+    }
+
+    /// Progresses node `i` until it has accumulated `want` completions
+    /// (single-threaded event loop: the sends feeding it must already be on
+    /// the wire).
+    pub fn progress_until(
+        &mut self,
+        i: usize,
+        want: usize,
+    ) -> Result<Vec<CompletedReceive>, ServiceError> {
+        let mut done = Vec::new();
+        while done.len() < want {
+            done.extend(self.nodes[i].progress()?);
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MatchConfig {
+        MatchConfig::default()
+            .with_max_receives(256)
+            .with_max_unexpected(256)
+            .with_bins(64)
+    }
+
+    #[test]
+    fn mesh_wires_every_pair_in_both_directions() {
+        let mut c = Cluster::new(4, ClusterBackend::MpiCpu, config());
+        for src in 0..4 {
+            for dst in 0..4 {
+                if src == dst {
+                    continue;
+                }
+                let tag = Tag((src * 4 + dst) as u32);
+                c.node_mut(dst)
+                    .post_recv(ReceivePattern::exact(Rank(src as u32), tag))
+                    .unwrap();
+                c.node_mut(src)
+                    .send(dst, tag, vec![src as u8, dst as u8])
+                    .unwrap();
+                let done = c.progress_until(dst, 1).unwrap();
+                assert_eq!(done[0].data, vec![src as u8, dst as u8], "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn offloaded_cluster_matches_end_to_end() {
+        let mut c = Cluster::new(3, ClusterBackend::Offloaded, config());
+        assert_eq!(c.node_mut(0).backend_name(), "Optimistic-DPA");
+        // Everyone sends to node 0 with distinct tags; node 0 pre-posts.
+        for src in 1..3 {
+            c.node_mut(0)
+                .post_recv(ReceivePattern::exact(Rank(src as u32), Tag(src as u32)))
+                .unwrap();
+        }
+        for src in 1..3usize {
+            c.node_mut(src)
+                .send(0, Tag(src as u32), vec![src as u8; 8])
+                .unwrap();
+        }
+        let done = c.progress_until(0, 2).unwrap();
+        assert_eq!(done.len(), 2);
+        let stats = c.node_mut(0).engine_stats().unwrap();
+        assert_eq!(stats.matched, 2);
+    }
+
+    #[test]
+    fn eager_payloads_up_to_the_threshold_cross_the_mesh() {
+        // A payload between the old 4 KiB bounce size and the 8 KiB eager
+        // threshold must stage cleanly (regression: it used to panic the
+        // receiver's poll).
+        let mut c = Cluster::new(2, ClusterBackend::Offloaded, config());
+        let payload = vec![7u8; 6000];
+        c.node_mut(1)
+            .post_recv(ReceivePattern::exact(Rank(0), Tag(4)))
+            .unwrap();
+        c.node_mut(0).send(1, Tag(4), payload.clone()).unwrap();
+        let done = c.progress_until(1, 1).unwrap();
+        assert_eq!(done[0].data, payload);
+    }
+
+    #[test]
+    fn rendezvous_payloads_cross_the_mesh() {
+        let mut c = Cluster::new(2, ClusterBackend::Offloaded, config());
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        c.node_mut(1)
+            .post_recv(ReceivePattern::exact(Rank(0), Tag(9)))
+            .unwrap();
+        c.node_mut(0).send(1, Tag(9), payload.clone()).unwrap();
+        let done = c.progress_until(1, 1).unwrap();
+        assert_eq!(done[0].data, payload);
+    }
+}

@@ -1,0 +1,266 @@
+//! Collective operations built on matched point-to-point messages —
+//! the workload class §VII motivates: "offloading tag matching is a
+//! necessary step to be able to offload the full chain of actions".
+//!
+//! Implemented over the [`crate::cluster`] mesh:
+//!
+//! * [`broadcast`] — binomial-tree broadcast from a root;
+//! * [`reduce_sum`] — binomial-tree reduction of `u64` vectors to a root;
+//! * [`allreduce_sum`] — reduce + broadcast.
+//!
+//! The cluster is single-threaded (a deterministic event loop), so every
+//! hop is explicit: post the receive, send, progress the receiver until
+//! the matched payload lands. Every one of those hops exercises the
+//! complete offloaded path — wire, bounce buffer, completion queue,
+//! optimistic matching, protocol handling.
+
+use crate::cluster::Cluster;
+use crate::service::ServiceError;
+use otm_base::{Rank, ReceivePattern, Tag};
+
+/// The binomial-tree parent of `rank` (relative to `root`, over `n`
+/// nodes), or `None` for the root itself.
+fn parent(rank: usize, root: usize, n: usize) -> Option<usize> {
+    let rel = (rank + n - root) % n;
+    if rel == 0 {
+        return None;
+    }
+    // Clear the lowest set bit: the standard binomial-tree parent.
+    let prel = rel & (rel - 1);
+    Some((prel + root) % n)
+}
+
+/// The binomial-tree children of `rank` (relative to `root`, over `n`
+/// nodes), in send order (largest subtree first).
+fn children(rank: usize, root: usize, n: usize) -> Vec<usize> {
+    let rel = (rank + n - root) % n;
+    let mut out = Vec::new();
+    let mut bit = 1usize;
+    // Children are rel + 2^k for each k above rel's lowest set bit range.
+    while bit < n {
+        if rel & bit != 0 {
+            break;
+        }
+        let child = rel | bit;
+        if child < n {
+            out.push((child + root) % n);
+        }
+        bit <<= 1;
+    }
+    out.reverse(); // largest subtree first, as classic MPI trees do
+    out
+}
+
+/// Binomial-tree broadcast: `payload` travels from `root` to every node.
+/// Returns each node's received copy (the root's entry is the original).
+///
+/// ```
+/// use dpa_sim::{Cluster, ClusterBackend};
+/// use dpa_sim::collectives::broadcast;
+/// use otm_base::{MatchConfig, Tag};
+///
+/// let mut cluster = Cluster::new(4, ClusterBackend::Offloaded, MatchConfig::small());
+/// let copies = broadcast(&mut cluster, 0, b"hello".to_vec(), Tag(1)).unwrap();
+/// assert!(copies.iter().all(|c| c == b"hello"));
+/// ```
+pub fn broadcast(
+    cluster: &mut Cluster,
+    root: usize,
+    payload: Vec<u8>,
+    tag: Tag,
+) -> Result<Vec<Vec<u8>>, ServiceError> {
+    let n = cluster.len();
+    assert!(root < n);
+    // Every non-root pre-posts its receive from its tree parent — matching
+    // must happen before the dependent forwarding can run (§VII).
+    for rank in 0..n {
+        if let Some(p) = parent(rank, root, n) {
+            cluster
+                .node_mut(rank)
+                .post_recv(ReceivePattern::exact(Rank(p as u32), tag))?;
+        }
+    }
+    let mut data: Vec<Option<Vec<u8>>> = vec![None; n];
+    data[root] = Some(payload);
+    // BFS order by tree depth: a node forwards once its copy has arrived.
+    let mut frontier = vec![root];
+    while let Some(rank) = frontier.pop() {
+        let bytes = data[rank].clone().expect("frontier nodes hold data");
+        for child in children(rank, root, n) {
+            cluster.node_mut(rank).send(child, tag, bytes.clone())?;
+            let done = cluster.progress_until(child, 1)?;
+            data[child] = Some(done[0].data.clone());
+            frontier.push(child);
+        }
+    }
+    Ok(data
+        .into_iter()
+        .map(|d| d.expect("every node reached"))
+        .collect())
+}
+
+fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn encode_u64s(vals: &[u64]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Binomial-tree reduction: element-wise sum of every node's `u64` vector,
+/// delivered at `root`. `values[i]` is node `i`'s contribution.
+pub fn reduce_sum(
+    cluster: &mut Cluster,
+    root: usize,
+    values: &[Vec<u64>],
+    tag: Tag,
+) -> Result<Vec<u64>, ServiceError> {
+    let n = cluster.len();
+    assert_eq!(values.len(), n);
+    let width = values[0].len();
+    assert!(
+        values.iter().all(|v| v.len() == width),
+        "uniform vector width"
+    );
+
+    // Interior nodes post one receive per child; leaves send immediately.
+    // Process in deepest-first order: a node reduces its subtree before
+    // shipping the partial sum to its parent.
+    let mut partial: Vec<Vec<u64>> = values.to_vec();
+    // Order nodes by decreasing tree depth (relative rank popcount works
+    // for binomial trees: deeper nodes have more set bits).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&r| std::cmp::Reverse(((r + n - root) % n).count_ones()));
+    for &rank in &order {
+        let kids = children(rank, root, n);
+        if !kids.is_empty() {
+            for &child in &kids {
+                cluster
+                    .node_mut(rank)
+                    .post_recv(ReceivePattern::exact(Rank(child as u32), tag))?;
+            }
+            let done = cluster.progress_until(rank, kids.len())?;
+            for c in done {
+                for (acc, v) in partial[rank].iter_mut().zip(decode_u64s(&c.data)) {
+                    *acc = acc.wrapping_add(v);
+                }
+            }
+        }
+        if let Some(p) = parent(rank, root, n) {
+            let bytes = encode_u64s(&partial[rank]);
+            cluster.node_mut(rank).send(p, tag, bytes)?;
+        }
+    }
+    Ok(partial[root].clone())
+}
+
+/// Allreduce as reduce-to-root plus broadcast — every node ends with the
+/// element-wise sum.
+pub fn allreduce_sum(
+    cluster: &mut Cluster,
+    values: &[Vec<u64>],
+    tag: Tag,
+) -> Result<Vec<Vec<u64>>, ServiceError> {
+    let total = reduce_sum(cluster, 0, values, tag)?;
+    let copies = broadcast(cluster, 0, encode_u64s(&total), Tag(tag.0 ^ 0x8000_0000))?;
+    Ok(copies.into_iter().map(|b| decode_u64s(&b)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBackend;
+    use otm_base::MatchConfig;
+
+    fn cluster(n: usize, backend: ClusterBackend) -> Cluster {
+        Cluster::new(
+            n,
+            backend,
+            MatchConfig::default()
+                .with_max_receives(256)
+                .with_max_unexpected(256)
+                .with_bins(64),
+        )
+    }
+
+    #[test]
+    fn binomial_tree_is_well_formed_for_any_size() {
+        for n in 2..20usize {
+            for root in [0, 1, n - 1] {
+                let mut reached = vec![false; n];
+                reached[root] = true;
+                // Walk the tree: every node must be some node's child
+                // exactly once, and parent/children must be consistent.
+                for rank in 0..n {
+                    for child in children(rank, root, n) {
+                        assert!(!reached[child], "n={n} root={root}: {child} reached twice");
+                        reached[child] = true;
+                        assert_eq!(parent(child, root, n), Some(rank));
+                    }
+                }
+                assert!(
+                    reached.iter().all(|&r| r),
+                    "n={n} root={root}: unreached nodes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_offloaded() {
+        let mut c = cluster(7, ClusterBackend::Offloaded);
+        let payload = b"collectives need matching".to_vec();
+        let copies = broadcast(&mut c, 2, payload.clone(), Tag(5)).unwrap();
+        assert_eq!(copies.len(), 7);
+        for copy in copies {
+            assert_eq!(copy, payload);
+        }
+    }
+
+    #[test]
+    fn broadcast_works_on_cpu_backend_identically() {
+        let payload = vec![9u8; 64];
+        let mut a = cluster(6, ClusterBackend::Offloaded);
+        let mut b = cluster(6, ClusterBackend::MpiCpu);
+        let ca = broadcast(&mut a, 0, payload.clone(), Tag(1)).unwrap();
+        let cb = broadcast(&mut b, 0, payload, Tag(1)).unwrap();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn reduce_sums_every_contribution() {
+        let n = 5usize;
+        let mut c = cluster(n, ClusterBackend::Offloaded);
+        let values: Vec<Vec<u64>> = (0..n)
+            .map(|r| vec![r as u64, 10 + r as u64, 100 * r as u64])
+            .collect();
+        let total = reduce_sum(&mut c, 0, &values, Tag(3)).unwrap();
+        assert_eq!(total, vec![10, 60, 1000]);
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_same_sum() {
+        let n = 8usize;
+        let mut c = cluster(n, ClusterBackend::Offloaded);
+        let values: Vec<Vec<u64>> = (0..n).map(|r| vec![1u64 << r]).collect();
+        let results = allreduce_sum(&mut c, &values, Tag(7)).unwrap();
+        for r in results {
+            assert_eq!(r, vec![(1u64 << n) - 1]);
+        }
+    }
+
+    #[test]
+    fn large_payload_broadcast_uses_rendezvous() {
+        // Payload above the eager threshold forces the rendezvous path on
+        // every tree hop.
+        let mut c = cluster(4, ClusterBackend::Offloaded);
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let copies = broadcast(&mut c, 0, payload.clone(), Tag(2)).unwrap();
+        for copy in copies {
+            assert_eq!(copy, payload);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A host-side simulator of an on-path SmartNIC data-path accelerator —
+//! the substrate on which the paper deploys Optimistic Tag Matching (§IV).
+//!
+//! No BlueField-3 hardware or DOCA SDK is available to this reproduction,
+//! so the DPA environment is modelled in-process (see DESIGN.md §1 for the
+//! substitution argument):
+//!
+//! * [`rdma`] — an in-process RDMA transport: connected queue pairs carry
+//!   send/receive messages, memory regions are registered under rkeys, and
+//!   RDMA READ pulls registered bytes (the rendezvous data path);
+//! * [`bounce`] — bounce buffers in NIC memory, where incoming messages are
+//!   staged before matching decides the user buffer (§IV-A);
+//! * [`memory`] — the device-memory budget; allocation failure triggers
+//!   fallback to software tag matching (§IV-E);
+//! * [`nic`] — the receive-side NIC engine: RDMA receive completions are
+//!   staged into bounce buffers and exposed through a completion queue;
+//! * [`service`] — the matching service: the offloaded optimistic engine
+//!   (blocks of N completions matched in parallel), the on-CPU traditional
+//!   matcher (MPI-CPU baseline), or no matching at all (RDMA-CPU ceiling),
+//!   each driving the eager/rendezvous protocol handling of §IV-B;
+//! * [`pingpong`] — the Fig. 8 message-rate harness: k-message sequences,
+//!   acknowledged per sequence, with no-conflict and with-conflict receive
+//!   scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounce;
+pub mod cluster;
+pub mod collectives;
+pub mod memory;
+pub mod nic;
+pub mod pingpong;
+pub mod rdma;
+pub mod service;
+
+pub use cluster::{Cluster, ClusterBackend, ClusterNode};
+pub use memory::DeviceMemory;
+pub use pingpong::{MatchMode, PingPongConfig, PingPongResult, Scenario};
+pub use service::MatchingService;

@@ -1,0 +1,352 @@
+//! An in-process RDMA transport model.
+//!
+//! Two endpoints exchange messages over a connected queue pair
+//! (crossbeam channels standing in for the wire). Memory regions are
+//! registered in a process-wide [`RdmaDomain`] under rkeys; RDMA READ pulls
+//! registered bytes by `(rkey, offset, len)` — exactly the operation the
+//! rendezvous protocol issues after a match (§IV-B). Message headers carry
+//! the MPI envelope plus the sender-side inline hashes of §IV-D.
+
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use otm_base::{Envelope, InlineHashes};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Remote key identifying a registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RKey(pub u64);
+
+/// Errors surfaced by the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdmaError {
+    /// RDMA READ referenced an unknown rkey (region deregistered or never
+    /// registered).
+    InvalidRKey(u64),
+    /// RDMA READ ran past the end of the region.
+    OutOfBounds {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Region size.
+        region: usize,
+    },
+    /// The peer's queue pair has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdmaError::InvalidRKey(k) => write!(f, "invalid rkey {k:#x}"),
+            RdmaError::OutOfBounds {
+                offset,
+                len,
+                region,
+            } => {
+                write!(
+                    f,
+                    "RDMA read [{offset}, {offset}+{len}) outside region of {region} bytes"
+                )
+            }
+            RdmaError::Disconnected => write!(f, "queue pair disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+/// A protection-domain-like registry of memory regions, shared by all
+/// endpoints of a simulated fabric.
+#[derive(Debug, Clone, Default)]
+pub struct RdmaDomain {
+    regions: Arc<RwLock<HashMap<u64, Arc<Vec<u8>>>>>,
+    next_rkey: Arc<AtomicU64>,
+}
+
+impl RdmaDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        RdmaDomain::default()
+    }
+
+    /// Registers a buffer, returning its rkey. The buffer is immutable
+    /// while registered (senders register their payload right before the
+    /// RTS and deregister after the transfer is acknowledged).
+    pub fn register(&self, data: Vec<u8>) -> RKey {
+        let key = self.next_rkey.fetch_add(1, Ordering::Relaxed) + 1;
+        self.regions.write().insert(key, Arc::new(data));
+        RKey(key)
+    }
+
+    /// RDMA READ: copies `len` bytes starting at `offset` from the region.
+    pub fn read(&self, rkey: RKey, offset: usize, len: usize) -> Result<Vec<u8>, RdmaError> {
+        let region = self
+            .regions
+            .read()
+            .get(&rkey.0)
+            .cloned()
+            .ok_or(RdmaError::InvalidRKey(rkey.0))?;
+        let end = offset.checked_add(len).ok_or(RdmaError::OutOfBounds {
+            offset,
+            len,
+            region: region.len(),
+        })?;
+        if end > region.len() {
+            return Err(RdmaError::OutOfBounds {
+                offset,
+                len,
+                region: region.len(),
+            });
+        }
+        Ok(region[offset..offset + len].to_vec())
+    }
+
+    /// Deregisters a region. Reads against the rkey fail afterwards.
+    pub fn deregister(&self, rkey: RKey) {
+        self.regions.write().remove(&rkey.0);
+    }
+
+    /// Number of currently registered regions (diagnostics).
+    pub fn region_count(&self) -> usize {
+        self.regions.read().len()
+    }
+}
+
+/// How a message's payload travels (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// The full payload rides in the packet.
+    Eager {
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// Ready-To-Send descriptor: the payload is registered at the sender
+    /// and will be pulled via RDMA READ after the match.
+    Rts {
+        /// rkey of the registered send buffer.
+        rkey: RKey,
+        /// Total payload length.
+        len: usize,
+        /// Bytes of head data piggybacked in the packet.
+        piggyback: usize,
+    },
+}
+
+/// The matching-relevant message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageHeader {
+    /// The MPI envelope (source, tag, communicator).
+    pub env: Envelope,
+    /// Sender-side inline hash values (§IV-D).
+    pub hashes: InlineHashes,
+    /// Protocol selection and transfer descriptor.
+    pub kind: PayloadKind,
+}
+
+/// One packet on the wire: header plus inline bytes (the eager payload, or
+/// the rendezvous piggyback head).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePacket {
+    /// Message header.
+    pub header: MessageHeader,
+    /// Inline bytes.
+    pub inline: Vec<u8>,
+}
+
+/// One endpoint of a connected queue pair.
+#[derive(Debug)]
+pub struct QueuePair {
+    tx: Sender<WirePacket>,
+    rx: Receiver<WirePacket>,
+}
+
+impl QueuePair {
+    /// Sends a packet to the peer.
+    pub fn send(&self, packet: WirePacket) -> Result<(), RdmaError> {
+        self.tx.send(packet).map_err(|_| RdmaError::Disconnected)
+    }
+
+    /// Non-blocking receive of the next packet, if one has arrived.
+    pub fn try_recv(&self) -> Result<Option<WirePacket>, RdmaError> {
+        match self.rx.try_recv() {
+            Ok(p) => Ok(Some(p)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(RdmaError::Disconnected),
+        }
+    }
+
+    /// Blocking receive of the next packet.
+    pub fn recv(&self) -> Result<WirePacket, RdmaError> {
+        self.rx.recv().map_err(|_| RdmaError::Disconnected)
+    }
+}
+
+/// Creates a connected pair of endpoints.
+pub fn connected_pair() -> (QueuePair, QueuePair) {
+    let (atx, brx) = unbounded();
+    let (btx, arx) = unbounded();
+    (
+        QueuePair { tx: atx, rx: arx },
+        QueuePair { tx: btx, rx: brx },
+    )
+}
+
+/// Convenience: builds an eager packet for `env` carrying `payload`.
+pub fn eager_packet(env: Envelope, payload: Vec<u8>) -> WirePacket {
+    WirePacket {
+        header: MessageHeader {
+            env,
+            hashes: InlineHashes::of(&env),
+            kind: PayloadKind::Eager { len: payload.len() },
+        },
+        inline: payload,
+    }
+}
+
+/// Convenience: registers `payload` in `domain` and builds the RTS packet,
+/// piggybacking the first `piggyback` bytes. Returns the packet and the
+/// rkey (the sender deregisters it once the sequence is acknowledged).
+pub fn rendezvous_packet(
+    domain: &RdmaDomain,
+    env: Envelope,
+    payload: Vec<u8>,
+    piggyback: usize,
+) -> (WirePacket, RKey) {
+    let piggyback = piggyback.min(payload.len());
+    let head = payload[..piggyback].to_vec();
+    let len = payload.len();
+    let rkey = domain.register(payload);
+    (
+        WirePacket {
+            header: MessageHeader {
+                env,
+                hashes: InlineHashes::of(&env),
+                kind: PayloadKind::Rts {
+                    rkey,
+                    len,
+                    piggyback,
+                },
+            },
+            inline: head,
+        },
+        rkey,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otm_base::{Rank, Tag};
+
+    fn env() -> Envelope {
+        Envelope::world(Rank(0), Tag(1))
+    }
+
+    #[test]
+    fn queue_pair_delivers_in_order() {
+        let (a, b) = connected_pair();
+        a.send(eager_packet(env(), vec![1])).unwrap();
+        a.send(eager_packet(env(), vec![2])).unwrap();
+        assert_eq!(b.recv().unwrap().inline, vec![1]);
+        assert_eq!(b.recv().unwrap().inline, vec![2]);
+        assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let (a, b) = connected_pair();
+        a.send(eager_packet(env(), vec![1])).unwrap();
+        b.send(eager_packet(env(), vec![2])).unwrap();
+        assert_eq!(b.recv().unwrap().inline, vec![1]);
+        assert_eq!(a.recv().unwrap().inline, vec![2]);
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (a, b) = connected_pair();
+        drop(b);
+        assert_eq!(
+            a.send(eager_packet(env(), vec![])),
+            Err(RdmaError::Disconnected)
+        );
+        assert_eq!(a.recv(), Err(RdmaError::Disconnected));
+    }
+
+    #[test]
+    fn rdma_read_returns_registered_bytes() {
+        let d = RdmaDomain::new();
+        let rkey = d.register((0..100u8).collect());
+        assert_eq!(d.read(rkey, 0, 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(d.read(rkey, 96, 4).unwrap(), vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn rdma_read_bounds_are_checked() {
+        let d = RdmaDomain::new();
+        let rkey = d.register(vec![0u8; 10]);
+        assert!(matches!(
+            d.read(rkey, 8, 4),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rdma_read_overflowing_range_is_rejected_not_wrapped() {
+        let d = RdmaDomain::new();
+        let rkey = d.register(vec![0u8; 10]);
+        assert!(matches!(
+            d.read(rkey, usize::MAX, 2),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn deregistered_rkey_is_invalid() {
+        let d = RdmaDomain::new();
+        let rkey = d.register(vec![1, 2, 3]);
+        d.deregister(rkey);
+        assert_eq!(d.read(rkey, 0, 1), Err(RdmaError::InvalidRKey(rkey.0)));
+        assert_eq!(d.region_count(), 0);
+    }
+
+    #[test]
+    fn rkeys_are_unique_across_registrations() {
+        let d = RdmaDomain::new();
+        let a = d.register(vec![1]);
+        let b = d.register(vec![2]);
+        assert_ne!(a, b);
+        assert_eq!(d.read(a, 0, 1).unwrap(), vec![1]);
+        assert_eq!(d.read(b, 0, 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn rendezvous_packet_piggybacks_head_bytes() {
+        let d = RdmaDomain::new();
+        let payload: Vec<u8> = (0..32).collect();
+        let (pkt, rkey) = rendezvous_packet(&d, env(), payload, 8);
+        assert_eq!(pkt.inline, (0..8).collect::<Vec<u8>>());
+        match pkt.header.kind {
+            PayloadKind::Rts {
+                rkey: k,
+                len,
+                piggyback,
+            } => {
+                assert_eq!(k, rkey);
+                assert_eq!(len, 32);
+                assert_eq!(piggyback, 8);
+            }
+            _ => panic!("expected RTS"),
+        }
+        // The remainder is readable via RDMA.
+        assert_eq!(d.read(rkey, 8, 24).unwrap(), (8..32).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn header_carries_inline_hashes() {
+        let pkt = eager_packet(env(), vec![]);
+        assert_eq!(pkt.header.hashes, InlineHashes::of(&env()));
+    }
+}

@@ -1,0 +1,838 @@
+//! The receive-side matching service: matching backend + protocol handling.
+//!
+//! This is the component Fig. 8 compares in three configurations:
+//!
+//! * **Optimistic-DPA** — the offloaded engine: blocks of up to `N`
+//!   completions are matched in parallel by [`otm::OtmEngine`]; the host CPU
+//!   does no matching work;
+//! * **MPI-CPU** — the traditional linked-list matcher running on the host,
+//!   one completion at a time;
+//! * **RDMA-CPU** — no matching at all: completions are consumed in arrival
+//!   order (the transport ceiling: "a reference baseline where no matching
+//!   is performed").
+//!
+//! After a match, the service drives the protocol stage of §IV-B through the
+//! checked state machines of [`mpi_matching::protocol`]: eager payloads are
+//! copied out of the bounce buffer; rendezvous payloads are pulled with an
+//! RDMA READ against the sender's registered region. Unexpected messages
+//! have their staged bytes (or RTS descriptor) moved into the unexpected
+//! store so the bounce buffer frees immediately (§IV-C).
+
+use crate::memory::DeviceMemory;
+use crate::nic::{Completion, NicError, RecvNic};
+use crate::rdma::{PayloadKind, RdmaDomain, RdmaError};
+use mpi_matching::protocol::{Action, EagerTransfer, ProtocolStateError, RendezvousTransfer, Rts};
+use mpi_matching::traditional::TraditionalMatcher;
+use mpi_matching::{ArriveResult, Matcher, MsgHandle, PostResult, RecvHandle};
+use otm::{Delivery, OtmEngine};
+use otm_base::memory::Footprint;
+use otm_base::{Envelope, MatchConfig, MatchError, ReceivePattern};
+use std::collections::HashMap;
+
+/// A receive that completed: matched, protocol executed, data delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedReceive {
+    /// The receive handle returned by [`MatchingService::post_recv`].
+    pub recv: RecvHandle,
+    /// The matched message's envelope.
+    pub env: Envelope,
+    /// The delivered payload (the "user buffer" after the copy / RDMA read).
+    pub data: Vec<u8>,
+}
+
+/// Errors surfaced by the service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Receive path failure.
+    Nic(NicError),
+    /// Matching failure (resource exhaustion ⇒ software fallback).
+    Match(MatchError),
+    /// Rendezvous RDMA read failure.
+    Rdma(RdmaError),
+    /// Protocol state machine violation (a bug, surfaced loudly).
+    Protocol(ProtocolStateError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Nic(e) => write!(f, "nic: {e}"),
+            ServiceError::Match(e) => write!(f, "match: {e}"),
+            ServiceError::Rdma(e) => write!(f, "rdma: {e}"),
+            ServiceError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<NicError> for ServiceError {
+    fn from(e: NicError) -> Self {
+        ServiceError::Nic(e)
+    }
+}
+impl From<MatchError> for ServiceError {
+    fn from(e: MatchError) -> Self {
+        ServiceError::Match(e)
+    }
+}
+impl From<RdmaError> for ServiceError {
+    fn from(e: RdmaError) -> Self {
+        ServiceError::Rdma(e)
+    }
+}
+impl From<ProtocolStateError> for ServiceError {
+    fn from(e: ProtocolStateError) -> Self {
+        ServiceError::Protocol(e)
+    }
+}
+
+/// Payload-relevant state of an unexpected message, after its bounce buffer
+/// has been released (§IV-C: for eager the bytes are copied to the
+/// unexpected store; for rendezvous the stored data carries what the RDMA
+/// read will need).
+#[derive(Debug, Clone)]
+enum StoredPayload {
+    Eager(Vec<u8>),
+    Rts { rts: Rts, head: Vec<u8> },
+}
+
+#[derive(Debug, Clone)]
+struct StoredMessage {
+    env: Envelope,
+    payload: StoredPayload,
+}
+
+/// The matching backend variants of Fig. 8.
+enum Backend {
+    Optimistic(Box<OtmEngine>),
+    MpiCpu(Box<TraditionalMatcher>),
+    RdmaCpu,
+}
+
+impl Backend {
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Optimistic(_) => "Optimistic-DPA",
+            Backend::MpiCpu(_) => "MPI-CPU",
+            Backend::RdmaCpu => "RDMA-CPU",
+        }
+    }
+}
+
+/// The receive-side matching service (see module docs).
+pub struct MatchingService {
+    backend: Backend,
+    nic: RecvNic,
+    domain: RdmaDomain,
+    block: usize,
+    next_recv: u64,
+    completed: Vec<CompletedReceive>,
+    unexpected: HashMap<MsgHandle, StoredMessage>,
+    fellback: bool,
+}
+
+impl MatchingService {
+    /// Creates the offloaded service, charging the communicator's matching
+    /// state against the DPA memory budget. On
+    /// [`MatchError::OutOfDeviceMemory`] the caller is expected to fall back
+    /// to [`MatchingService::mpi_cpu`] (§IV-E).
+    pub fn offloaded(
+        nic: RecvNic,
+        domain: RdmaDomain,
+        config: MatchConfig,
+        budget: &mut DeviceMemory,
+    ) -> Result<Self, MatchError> {
+        budget.try_alloc_comm(Footprint::compute(config.bins, config.max_receives))?;
+        let block = config.block_threads;
+        let engine = OtmEngine::new(config)?;
+        Ok(MatchingService {
+            backend: Backend::Optimistic(Box::new(engine)),
+            nic,
+            domain,
+            block,
+            next_recv: 0,
+            completed: Vec::new(),
+            unexpected: HashMap::new(),
+            fellback: false,
+        })
+    }
+
+    /// Creates the offloaded service if the budget allows, otherwise falls
+    /// back to host software matching — the fallback rule of §IV-E. The
+    /// returned flag reports whether offloading succeeded.
+    pub fn offloaded_or_fallback(
+        nic: RecvNic,
+        domain: RdmaDomain,
+        config: MatchConfig,
+        budget: &mut DeviceMemory,
+    ) -> (Self, bool) {
+        match budget.try_alloc_comm(Footprint::compute(config.bins, config.max_receives)) {
+            Ok(()) => {
+                let block = config.block_threads;
+                let engine = OtmEngine::new(config).expect("validated config");
+                (
+                    MatchingService {
+                        backend: Backend::Optimistic(Box::new(engine)),
+                        nic,
+                        domain,
+                        block,
+                        next_recv: 0,
+                        completed: Vec::new(),
+                        unexpected: HashMap::new(),
+                        fellback: false,
+                    },
+                    true,
+                )
+            }
+            Err(_) => (Self::mpi_cpu(nic, domain), false),
+        }
+    }
+
+    /// The host-CPU traditional matcher (MPI-CPU baseline).
+    pub fn mpi_cpu(nic: RecvNic, domain: RdmaDomain) -> Self {
+        MatchingService {
+            backend: Backend::MpiCpu(Box::new(TraditionalMatcher::new())),
+            nic,
+            domain,
+            block: 1,
+            next_recv: 0,
+            completed: Vec::new(),
+            unexpected: HashMap::new(),
+            fellback: false,
+        }
+    }
+
+    /// The no-matching transport ceiling (RDMA-CPU baseline).
+    pub fn rdma_cpu(nic: RecvNic, domain: RdmaDomain) -> Self {
+        MatchingService {
+            backend: Backend::RdmaCpu,
+            nic,
+            domain,
+            block: 1,
+            next_recv: 0,
+            completed: Vec::new(),
+            unexpected: HashMap::new(),
+            fellback: false,
+        }
+    }
+
+    /// Which backend is running (for reports).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Engine statistics, when the backend is the offloaded engine.
+    pub fn engine_stats(&self) -> Option<otm::StatsSnapshot> {
+        match &self.backend {
+            Backend::Optimistic(e) => Some(e.stats()),
+            _ => None,
+        }
+    }
+
+    /// Posts a receive. If an unexpected message already matches, the
+    /// protocol runs immediately and the receive completes.
+    ///
+    /// When the offloaded engine's descriptor table fills up, the service
+    /// transparently migrates all matching state to host software matching
+    /// and retries — "if the number of posted receives exceeds this
+    /// capacity, the application must fall back to software tag matching"
+    /// (§III-B).
+    pub fn post_recv(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
+        let handle = RecvHandle(self.next_recv);
+        self.next_recv += 1;
+        let matched = match &mut self.backend {
+            Backend::Optimistic(engine) => match engine.post(pattern, handle) {
+                Ok(PostResult::Matched(msg)) => Some(msg),
+                Ok(PostResult::Posted) => None,
+                Err(MatchError::ReceiveTableFull) => {
+                    self.fall_back_to_software();
+                    let Backend::MpiCpu(matcher) = &mut self.backend else {
+                        unreachable!("fallback installs the software matcher")
+                    };
+                    match matcher.post(pattern, handle)? {
+                        PostResult::Matched(msg) => Some(msg),
+                        PostResult::Posted => None,
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            },
+            Backend::MpiCpu(matcher) => match matcher.post(pattern, handle)? {
+                PostResult::Matched(msg) => Some(msg),
+                PostResult::Posted => None,
+            },
+            // RDMA-CPU performs no matching: the "receive" is just a slot in
+            // arrival order, completed by progress().
+            Backend::RdmaCpu => None,
+        };
+        if let Some(msg) = matched {
+            let stored = self
+                .unexpected
+                .remove(&msg)
+                .expect("unexpected payload stored");
+            let completed = self.run_protocol_from_store(handle, stored)?;
+            self.completed.push(completed);
+        }
+        Ok(handle)
+    }
+
+    /// Migrates all matching state from the offloaded engine to a host
+    /// software matcher (§III-B/§IV-E fallback). Pending receives and
+    /// waiting unexpected messages are mutually non-matching by
+    /// construction (each was checked against the other side when it was
+    /// recorded), so the replay cannot create spurious matches.
+    fn fall_back_to_software(&mut self) {
+        let backend = std::mem::replace(&mut self.backend, Backend::RdmaCpu);
+        let Backend::Optimistic(engine) = backend else {
+            unreachable!("fallback only triggers from the offloaded backend")
+        };
+        let (receives, unexpected) = engine.drain_for_fallback();
+        let mut matcher = TraditionalMatcher::new();
+        for (env, msg) in unexpected {
+            let r = matcher
+                .arrive(env, msg)
+                .expect("software matcher is unbounded");
+            debug_assert_eq!(
+                r,
+                ArriveResult::Unexpected,
+                "replay must not create matches"
+            );
+        }
+        for (pattern, recv) in receives {
+            let r = matcher
+                .post(pattern, recv)
+                .expect("software matcher is unbounded");
+            debug_assert_eq!(r, PostResult::Posted, "replay must not create matches");
+        }
+        self.backend = Backend::MpiCpu(Box::new(matcher));
+        self.fellback = true;
+    }
+
+    /// Whether the service has fallen back to software matching.
+    pub fn fell_back(&self) -> bool {
+        self.fellback
+    }
+
+    /// Polls the NIC and matches everything that arrived. Returns the
+    /// number of newly completed receives.
+    pub fn progress(&mut self) -> Result<usize, ServiceError> {
+        self.nic.poll()?;
+        let before = self.completed.len();
+        loop {
+            let block = self.nic.take_block(self.block);
+            if block.is_empty() {
+                break;
+            }
+            self.match_block(block)?;
+        }
+        Ok(self.completed.len() - before)
+    }
+
+    fn match_block(&mut self, block: Vec<Completion>) -> Result<(), ServiceError> {
+        match &mut self.backend {
+            Backend::Optimistic(engine) => {
+                let msgs: Vec<(Envelope, MsgHandle)> =
+                    block.iter().map(|c| (c.header.env, c.msg)).collect();
+                let deliveries = match engine.process_block(&msgs) {
+                    Ok(d) => d,
+                    Err(MatchError::UnexpectedStoreFull) => {
+                        // The engine rejected the block atomically (its
+                        // state is untouched and no bounce buffer was
+                        // consumed yet): migrate to software matching and
+                        // reprocess the very same block there (§IV-E).
+                        self.fall_back_to_software();
+                        return self.match_block(block);
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                for (completion, delivery) in block.into_iter().zip(deliveries) {
+                    match delivery {
+                        Delivery::Matched { recv, .. } => {
+                            let done = Self::run_protocol_from_bounce(
+                                &mut self.nic,
+                                &self.domain,
+                                recv,
+                                &completion,
+                            )?;
+                            self.completed.push(done);
+                        }
+                        Delivery::Unexpected { msg } => {
+                            Self::stash_unexpected(
+                                &mut self.nic,
+                                &mut self.unexpected,
+                                msg,
+                                &completion,
+                            );
+                        }
+                    }
+                }
+            }
+            Backend::MpiCpu(matcher) => {
+                for completion in block {
+                    match matcher.arrive(completion.header.env, completion.msg)? {
+                        ArriveResult::Matched(recv) => {
+                            let done = Self::run_protocol_from_bounce(
+                                &mut self.nic,
+                                &self.domain,
+                                recv,
+                                &completion,
+                            )?;
+                            self.completed.push(done);
+                        }
+                        ArriveResult::Unexpected => {
+                            Self::stash_unexpected(
+                                &mut self.nic,
+                                &mut self.unexpected,
+                                completion.msg,
+                                &completion,
+                            );
+                        }
+                    }
+                }
+            }
+            Backend::RdmaCpu => {
+                // No matching: message i completes "receive" i directly.
+                for completion in block {
+                    let recv = RecvHandle(completion.msg.0);
+                    let done = Self::run_protocol_from_bounce(
+                        &mut self.nic,
+                        &self.domain,
+                        recv,
+                        &completion,
+                    )?;
+                    self.completed.push(done);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Protocol handling for an expected message: eager copies out of the
+    /// bounce buffer; rendezvous issues the RDMA read (and releases the
+    /// sender's one-shot region afterwards). Frees the bounce buffer on
+    /// every path, including errors.
+    fn run_protocol_from_bounce(
+        nic: &mut RecvNic,
+        domain: &RdmaDomain,
+        recv: RecvHandle,
+        completion: &Completion,
+    ) -> Result<CompletedReceive, ServiceError> {
+        let data: Result<Vec<u8>, ServiceError> = (|| match completion.header.kind {
+            PayloadKind::Eager { len } => {
+                let mut t = EagerTransfer::staged(len);
+                let Action::CopyToUser { len } = t.on_match()? else {
+                    unreachable!("eager on_match requests the copy")
+                };
+                let data = nic.staged(completion.bounce)[..len].to_vec();
+                t.on_copy_done()?;
+                Ok(data)
+            }
+            PayloadKind::Rts {
+                rkey,
+                len,
+                piggyback,
+            } => {
+                let rts = Rts {
+                    rkey: rkey.0,
+                    remote_addr: 0,
+                    len,
+                    piggyback,
+                };
+                let mut t = RendezvousTransfer::rts_received(rts);
+                let Action::IssueRdmaRead {
+                    remote_addr,
+                    len: read_len,
+                    ..
+                } = t.on_match()?
+                else {
+                    unreachable!("rendezvous on_match requests the read")
+                };
+                let mut data = nic.staged(completion.bounce).to_vec();
+                data.extend(domain.read(rkey, remote_addr as usize, read_len)?);
+                t.on_read_complete()?;
+                // The transfer is one-shot in this simulator: release the
+                // sender's registered region so the fabric-wide domain does
+                // not accumulate a region per rendezvous message.
+                domain.deregister(rkey);
+                Ok(data)
+            }
+        })();
+        // The bounce buffer is NIC memory; leak it on an error path and the
+        // receive ring eventually starves.
+        nic.release(completion.bounce);
+        Ok(CompletedReceive {
+            recv,
+            env: completion.header.env,
+            data: data?,
+        })
+    }
+
+    /// Moves an unexpected message's payload (or RTS descriptor) out of the
+    /// bounce buffer into the unexpected store (§IV-C).
+    fn stash_unexpected(
+        nic: &mut RecvNic,
+        store: &mut HashMap<MsgHandle, StoredMessage>,
+        msg: MsgHandle,
+        completion: &Completion,
+    ) {
+        let payload = match completion.header.kind {
+            PayloadKind::Eager { len } => {
+                StoredPayload::Eager(nic.staged(completion.bounce)[..len].to_vec())
+            }
+            PayloadKind::Rts {
+                rkey,
+                len,
+                piggyback,
+            } => StoredPayload::Rts {
+                rts: Rts {
+                    rkey: rkey.0,
+                    remote_addr: 0,
+                    len,
+                    piggyback,
+                },
+                head: nic.staged(completion.bounce).to_vec(),
+            },
+        };
+        nic.release(completion.bounce);
+        store.insert(
+            msg,
+            StoredMessage {
+                env: completion.header.env,
+                payload,
+            },
+        );
+    }
+
+    /// Protocol handling for a receive that matched a stored unexpected
+    /// message.
+    fn run_protocol_from_store(
+        &mut self,
+        recv: RecvHandle,
+        stored: StoredMessage,
+    ) -> Result<CompletedReceive, ServiceError> {
+        let data = match stored.payload {
+            StoredPayload::Eager(bytes) => {
+                let mut t = EagerTransfer::staged(bytes.len());
+                t.on_match()?;
+                t.on_copy_done()?;
+                bytes
+            }
+            StoredPayload::Rts { rts, head } => {
+                let mut t = RendezvousTransfer::rts_received(rts);
+                let Action::IssueRdmaRead {
+                    remote_addr,
+                    len,
+                    rkey,
+                } = t.on_match()?
+                else {
+                    unreachable!("rendezvous on_match requests the read")
+                };
+                let mut data = head;
+                data.extend(self.domain.read(
+                    crate::rdma::RKey(rkey),
+                    remote_addr as usize,
+                    len,
+                )?);
+                t.on_read_complete()?;
+                self.domain.deregister(crate::rdma::RKey(rkey));
+                data
+            }
+        };
+        Ok(CompletedReceive {
+            recv,
+            env: stored.env,
+            data,
+        })
+    }
+
+    /// Takes everything completed so far.
+    pub fn take_completed(&mut self) -> Vec<CompletedReceive> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Completed receives waiting to be taken.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Unexpected messages currently stored.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Access to the NIC (e.g. for sending acks from the receiver side).
+    pub fn nic(&self) -> &RecvNic {
+        &self.nic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounce::BouncePool;
+    use crate::rdma::{connected_pair, eager_packet, rendezvous_packet, QueuePair};
+    use otm_base::{Rank, Tag};
+
+    fn setup(mode: &str) -> (QueuePair, RdmaDomain, MatchingService) {
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let svc = match mode {
+            "otm" => {
+                let mut budget = DeviceMemory::bluefield3_l3();
+                MatchingService::offloaded(nic, domain.clone(), MatchConfig::small(), &mut budget)
+                    .unwrap()
+            }
+            "cpu" => MatchingService::mpi_cpu(nic, domain.clone()),
+            "rdma" => MatchingService::rdma_cpu(nic, domain.clone()),
+            _ => unreachable!(),
+        };
+        (tx, domain, svc)
+    }
+
+    fn env(src: u32, tag: u32) -> Envelope {
+        Envelope::world(Rank(src), Tag(tag))
+    }
+
+    #[test]
+    fn eager_expected_path_delivers_payload() {
+        for mode in ["otm", "cpu"] {
+            let (tx, _domain, mut svc) = setup(mode);
+            let recv = svc
+                .post_recv(ReceivePattern::exact(Rank(0), Tag(1)))
+                .unwrap();
+            tx.send(eager_packet(env(0, 1), vec![10, 20, 30])).unwrap();
+            assert_eq!(svc.progress().unwrap(), 1, "{mode}");
+            let done = svc.take_completed();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].recv, recv);
+            assert_eq!(done[0].data, vec![10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn eager_unexpected_path_delivers_on_post() {
+        for mode in ["otm", "cpu"] {
+            let (tx, _domain, mut svc) = setup(mode);
+            tx.send(eager_packet(env(2, 9), vec![5; 16])).unwrap();
+            assert_eq!(svc.progress().unwrap(), 0, "{mode}: no receive yet");
+            assert_eq!(svc.unexpected_len(), 1);
+            let recv = svc.post_recv(ReceivePattern::any_source(Tag(9))).unwrap();
+            let done = svc.take_completed();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].recv, recv);
+            assert_eq!(done[0].data, vec![5; 16]);
+            assert_eq!(svc.unexpected_len(), 0);
+        }
+    }
+
+    #[test]
+    fn rendezvous_expected_path_pulls_via_rdma_read() {
+        for mode in ["otm", "cpu"] {
+            let (tx, domain, mut svc) = setup(mode);
+            let recv = svc
+                .post_recv(ReceivePattern::exact(Rank(0), Tag(2)))
+                .unwrap();
+            let payload: Vec<u8> = (0..200).map(|i| (i % 251) as u8).collect();
+            let (pkt, _rkey) = rendezvous_packet(&domain, env(0, 2), payload.clone(), 16);
+            tx.send(pkt).unwrap();
+            assert_eq!(svc.progress().unwrap(), 1, "{mode}");
+            let done = svc.take_completed();
+            assert_eq!(done[0].recv, recv);
+            assert_eq!(done[0].data, payload);
+        }
+    }
+
+    #[test]
+    fn rendezvous_unexpected_path_reads_at_post_time() {
+        let (tx, domain, mut svc) = setup("otm");
+        let payload: Vec<u8> = (0..100).collect();
+        let (pkt, _rkey) = rendezvous_packet(&domain, env(1, 3), payload.clone(), 0);
+        tx.send(pkt).unwrap();
+        svc.progress().unwrap();
+        assert_eq!(svc.unexpected_len(), 1);
+        svc.post_recv(ReceivePattern::exact(Rank(1), Tag(3)))
+            .unwrap();
+        let done = svc.take_completed();
+        assert_eq!(done[0].data, payload);
+    }
+
+    #[test]
+    fn rdma_cpu_completes_without_matching() {
+        let (tx, _domain, mut svc) = setup("rdma");
+        tx.send(eager_packet(env(0, 0), vec![1])).unwrap();
+        tx.send(eager_packet(env(5, 7), vec![2])).unwrap();
+        assert_eq!(svc.progress().unwrap(), 2);
+        let done = svc.take_completed();
+        assert_eq!(done[0].recv, RecvHandle(0));
+        assert_eq!(done[1].recv, RecvHandle(1));
+        assert_eq!(done[0].data, vec![1]);
+    }
+
+    #[test]
+    fn bursts_are_matched_in_blocks_by_the_offloaded_engine() {
+        let (tx, _domain, mut svc) = setup("otm");
+        let n = 12usize; // three blocks of the small config's 4 lanes
+        let mut expected = Vec::new();
+        for i in 0..n {
+            expected.push(
+                svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i as u32)))
+                    .unwrap(),
+            );
+        }
+        for i in 0..n {
+            tx.send(eager_packet(env(0, i as u32), vec![i as u8]))
+                .unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), n);
+        let done = svc.take_completed();
+        let stats = svc.engine_stats().unwrap();
+        assert!(
+            stats.blocks >= 3,
+            "burst must span several blocks: {stats:?}"
+        );
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, expected[i]);
+            assert_eq!(d.data, vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn memory_budget_gates_offloading() {
+        let (_tx, _domain, _svc) = setup("otm"); // sanity: the big budget works
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(4, 64));
+        let mut tiny = DeviceMemory::new(1024); // far below the tables' cost
+        let (svc, offloaded) =
+            MatchingService::offloaded_or_fallback(nic, domain, MatchConfig::default(), &mut tiny);
+        assert!(!offloaded, "tiny budget must force software fallback");
+        assert_eq!(svc.backend_name(), "MPI-CPU");
+        drop(tx);
+    }
+
+    #[test]
+    fn backend_names_match_figure_8_labels() {
+        let (_t1, _d1, a) = setup("otm");
+        let (_t2, _d2, b) = setup("cpu");
+        let (_t3, _d3, c) = setup("rdma");
+        assert_eq!(a.backend_name(), "Optimistic-DPA");
+        assert_eq!(b.backend_name(), "MPI-CPU");
+        assert_eq!(c.backend_name(), "RDMA-CPU");
+    }
+
+    #[test]
+    fn table_full_falls_back_to_software_transparently() {
+        // A tiny descriptor table: the engine fills after 4 posts; the 5th
+        // triggers migration to software matching. Everything posted before
+        // AND after — plus the unexpected messages parked on the device —
+        // must keep matching as if nothing happened.
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let mut budget = DeviceMemory::bluefield3_l3();
+        let config = MatchConfig::small()
+            .with_max_receives(4)
+            .with_block_threads(2);
+        let mut svc = MatchingService::offloaded(nic, domain, config, &mut budget).unwrap();
+
+        // One unexpected message parks in the device-side store.
+        tx.send(eager_packet(env(9, 9), vec![99])).unwrap();
+        svc.progress().unwrap();
+        assert_eq!(svc.unexpected_len(), 1);
+
+        // Fill the table, then exceed it.
+        let mut posted = Vec::new();
+        for i in 0..4u32 {
+            posted.push(
+                svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i)))
+                    .unwrap(),
+            );
+        }
+        assert!(!svc.fell_back());
+        posted.push(
+            svc.post_recv(ReceivePattern::exact(Rank(0), Tag(4)))
+                .unwrap(),
+        );
+        assert!(svc.fell_back(), "5th post must trigger the §III-B fallback");
+        assert_eq!(svc.backend_name(), "MPI-CPU");
+
+        // All five receives (4 migrated + 1 post-fallback) still match, in
+        // posted order per pattern.
+        for i in 0..5u32 {
+            tx.send(eager_packet(env(0, i), vec![i as u8])).unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), 5);
+        let done = svc.take_completed();
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i]);
+            assert_eq!(d.data, vec![i as u8]);
+        }
+
+        // The migrated unexpected message matches a late post too.
+        let late = svc
+            .post_recv(ReceivePattern::exact(Rank(9), Tag(9)))
+            .unwrap();
+        let done = svc.take_completed();
+        assert_eq!(done[0].recv, late);
+        assert_eq!(done[0].data, vec![99]);
+    }
+
+    #[test]
+    fn fallback_preserves_post_order_of_same_pattern_receives() {
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let mut budget = DeviceMemory::bluefield3_l3();
+        let config = MatchConfig::small()
+            .with_max_receives(3)
+            .with_block_threads(2);
+        let mut svc = MatchingService::offloaded(nic, domain, config, &mut budget).unwrap();
+        // Three identical receives fill the table; the fourth (also
+        // identical) lands on the software side. C1 must survive the
+        // migration: messages match receives in original post order.
+        let mut posted = Vec::new();
+        for _ in 0..4 {
+            posted.push(
+                svc.post_recv(ReceivePattern::exact(Rank(1), Tag(1)))
+                    .unwrap(),
+            );
+        }
+        assert!(svc.fell_back());
+        for i in 0..4u32 {
+            tx.send(eager_packet(env(1, 1), vec![i as u8])).unwrap();
+        }
+        svc.progress().unwrap();
+        let done = svc.take_completed();
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i], "C1 across the fallback migration");
+            assert_eq!(d.data, vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn wc_burst_preserves_message_order_end_to_end() {
+        // All receives identical, all messages identical: the with-conflict
+        // scenario. Payloads reveal the pairing: message i must complete
+        // receive i.
+        let (tx, _domain, mut svc) = setup("otm");
+        let n = 8usize;
+        let mut posted = Vec::new();
+        for _ in 0..n {
+            posted.push(
+                svc.post_recv(ReceivePattern::exact(Rank(0), Tag(0)))
+                    .unwrap(),
+            );
+        }
+        for i in 0..n {
+            tx.send(eager_packet(env(0, 0), vec![i as u8])).unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), n);
+        let mut done = svc.take_completed();
+        done.sort_by_key(|c| c.recv);
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i]);
+            assert_eq!(d.data, vec![i as u8], "receive {i} must get message {i}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Search-depth and queue-length statistics.
+//!
+//! Fig. 7 of the paper reports *queue depth*: the number of queue elements a
+//! matching attempt examines before it finds a match or gives up. With one
+//! bin this is the traditional linear scan; with `b` bins the expected depth
+//! drops towards `n/b` (§II-B). The trace analyzer aggregates these samples
+//! per application and per bin count.
+
+use serde::{Deserialize, Serialize};
+
+/// Running aggregate of a stream of `usize` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepthAggregate {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl DepthAggregate {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, depth: usize) {
+        let d = depth as u64;
+        self.count += 1;
+        self.sum += d;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 if none were recorded.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &DepthAggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Statistics accumulated by a matching engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchStats {
+    /// Depth of searches through the posted receive queue (one sample per
+    /// incoming message).
+    pub prq_search: DepthAggregate,
+    /// Depth of searches through the unexpected message queue (one sample
+    /// per posted receive).
+    pub umq_search: DepthAggregate,
+    /// Messages that matched a posted receive on arrival.
+    pub matched_on_arrival: u64,
+    /// Messages that became unexpected.
+    pub unexpected: u64,
+    /// Receives that matched an unexpected message at post time.
+    pub matched_on_post: u64,
+    /// Receives that were appended to the posted receive queue.
+    pub posted: u64,
+    /// High-water mark of the posted receive queue length.
+    pub prq_high_water: usize,
+    /// High-water mark of the unexpected message queue length.
+    pub umq_high_water: usize,
+}
+
+impl MatchStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        MatchStats::default()
+    }
+
+    /// Records a PRQ search and its outcome. `examined` is the number of
+    /// live entries the search looked at, *including* the matched one; the
+    /// recorded queue-depth sample excludes the match itself, so it counts
+    /// the wasted comparisons. (This is the paper's Fig. 7 accounting: a
+    /// 26-receive fan-in yields a maximum depth of 25, and a first-try hit
+    /// costs 0 — which is how the 128-bin average can fall to 0.33.)
+    #[inline]
+    pub fn record_arrival(&mut self, examined: usize, matched: bool) {
+        let depth = if matched {
+            examined.saturating_sub(1)
+        } else {
+            examined
+        };
+        self.prq_search.record(depth);
+        if matched {
+            self.matched_on_arrival += 1;
+        } else {
+            self.unexpected += 1;
+        }
+    }
+
+    /// Records a UMQ search and its outcome, with the same
+    /// examined-minus-match accounting as [`MatchStats::record_arrival`].
+    #[inline]
+    pub fn record_post(&mut self, examined: usize, matched: bool) {
+        let depth = if matched {
+            examined.saturating_sub(1)
+        } else {
+            examined
+        };
+        self.umq_search.record(depth);
+        if matched {
+            self.matched_on_post += 1;
+        } else {
+            self.posted += 1;
+        }
+    }
+
+    /// Updates the queue-length high-water marks.
+    #[inline]
+    pub fn observe_queue_lens(&mut self, prq: usize, umq: usize) {
+        if prq > self.prq_high_water {
+            self.prq_high_water = prq;
+        }
+        if umq > self.umq_high_water {
+            self.umq_high_water = umq;
+        }
+    }
+
+    /// Combined mean search depth over both queues — the per-application
+    /// "queue depth" series of Fig. 7.
+    pub fn mean_depth(&self) -> f64 {
+        let count = self.prq_search.count + self.umq_search.count;
+        if count == 0 {
+            0.0
+        } else {
+            (self.prq_search.sum + self.umq_search.sum) as f64 / count as f64
+        }
+    }
+
+    /// Combined maximum search depth over both queues.
+    pub fn max_depth(&self) -> u64 {
+        self.prq_search.max.max(self.umq_search.max)
+    }
+
+    /// Merges another statistics block into this one (used to aggregate
+    /// per-rank replays).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.prq_search.merge(&other.prq_search);
+        self.umq_search.merge(&other.umq_search);
+        self.matched_on_arrival += other.matched_on_arrival;
+        self.unexpected += other.unexpected;
+        self.matched_on_post += other.matched_on_post;
+        self.posted += other.posted;
+        self.prq_high_water = self.prq_high_water.max(other.prq_high_water);
+        self.umq_high_water = self.umq_high_water.max(other.umq_high_water);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_tracks_count_sum_max() {
+        let mut a = DepthAggregate::default();
+        for d in [3usize, 0, 7, 2] {
+            a.record(d);
+        }
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 12);
+        assert_eq!(a.max, 7);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_mean_is_zero() {
+        assert_eq!(DepthAggregate::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_aggregates() {
+        let mut a = DepthAggregate::default();
+        a.record(5);
+        let mut b = DepthAggregate::default();
+        b.record(9);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 15);
+        assert_eq!(a.max, 9);
+    }
+
+    #[test]
+    fn outcome_counters_partition_events() {
+        let mut s = MatchStats::new();
+        s.record_arrival(1, true);
+        s.record_arrival(4, false);
+        s.record_post(0, true);
+        s.record_post(2, false);
+        assert_eq!(s.matched_on_arrival, 1);
+        assert_eq!(s.unexpected, 1);
+        assert_eq!(s.matched_on_post, 1);
+        assert_eq!(s.posted, 1);
+        assert_eq!(s.prq_search.count + s.umq_search.count, 4);
+    }
+
+    #[test]
+    fn mean_depth_spans_both_queues() {
+        let mut s = MatchStats::new();
+        s.record_arrival(4, true); // 3 wasted comparisons + the match
+        s.record_post(0, false);
+        assert!((s.mean_depth() - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_depth(), 3);
+    }
+
+    #[test]
+    fn first_try_hits_cost_zero() {
+        let mut s = MatchStats::new();
+        s.record_arrival(1, true);
+        s.record_post(1, true);
+        assert_eq!(s.mean_depth(), 0.0);
+        assert_eq!(s.max_depth(), 0);
+    }
+
+    #[test]
+    fn high_water_marks_are_monotone() {
+        let mut s = MatchStats::new();
+        s.observe_queue_lens(3, 1);
+        s.observe_queue_lens(2, 5);
+        assert_eq!(s.prq_high_water, 3);
+        assert_eq!(s.umq_high_water, 5);
+    }
+
+    #[test]
+    fn stats_merge_is_componentwise() {
+        let mut a = MatchStats::new();
+        a.record_arrival(2, true);
+        a.observe_queue_lens(1, 1);
+        let mut b = MatchStats::new();
+        b.record_post(3, false);
+        b.observe_queue_lens(4, 0);
+        a.merge(&b);
+        assert_eq!(a.matched_on_arrival, 1);
+        assert_eq!(a.posted, 1);
+        assert_eq!(a.prq_high_water, 4);
+        assert_eq!(a.umq_high_water, 1);
+    }
+}

@@ -1,0 +1,940 @@
+//! The Optimistic Tag Matching engine: public API and coordinator logic.
+//!
+//! [`OtmEngine`] owns a persistent pool of block workers (the DPA threads of
+//! §IV) and the host-facing state: per-communicator descriptor tables, index
+//! structures and unexpected-message stores. Receives are posted through
+//! [`OtmEngine::post`] — the QP command path of §IV-E — and incoming
+//! messages are matched in blocks of up to `N` via
+//! [`OtmEngine::process_block`] (a chunking [`OtmEngine::process_stream`] is
+//! provided for convenience).
+//!
+//! Posting and block processing take `&mut self`: the engine serializes the
+//! host command path with block execution exactly as the DPA serializes QP
+//! command handling with its run-to-completion handlers. Inside a block,
+//! matching is genuinely parallel across the worker pool.
+
+use crate::block::{BlockShared, CommShared, LaneData};
+use crate::index::PrqIndexes;
+use crate::stats::{OtmStats, StatsSnapshot};
+use crate::table::{DescId, Payload, ReceiveTable};
+use crate::umq::UnexpectedStore;
+use crate::worker::{pool_size, worker_main, worker_main_inline, WorkerCtx};
+use mpi_matching::{ArriveResult, Matcher, MsgHandle, PostResult, RecvHandle};
+use otm_base::{
+    ArrivalSeq, CommHints, CommId, Envelope, InlineHashes, MatchConfig, MatchError, PostLabel,
+    ReceivePattern, SeqId,
+};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Matching state drained from an engine for software fallback: the
+/// pending receives (per-communicator post order) and the waiting
+/// unexpected messages (per-communicator arrival order).
+pub type FallbackState = (
+    Vec<(ReceivePattern, RecvHandle)>,
+    Vec<(Envelope, MsgHandle)>,
+);
+
+/// Outcome of matching one incoming message in a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message matched a posted receive.
+    Matched {
+        /// The message's handle.
+        msg: MsgHandle,
+        /// The matched receive's handle.
+        recv: RecvHandle,
+    },
+    /// No receive matched; the message was stored as unexpected.
+    Unexpected {
+        /// The message's handle.
+        msg: MsgHandle,
+    },
+}
+
+impl Delivery {
+    /// The matched receive handle, if any.
+    pub fn matched(self) -> Option<RecvHandle> {
+        match self {
+            Delivery::Matched { recv, .. } => Some(recv),
+            Delivery::Unexpected { .. } => None,
+        }
+    }
+
+    /// The message handle.
+    pub fn msg(self) -> MsgHandle {
+        match self {
+            Delivery::Matched { msg, .. } | Delivery::Unexpected { msg } => msg,
+        }
+    }
+}
+
+/// Host-side per-communicator state (never touched by workers).
+struct CommHost {
+    shared: Arc<CommShared>,
+    umq: UnexpectedStore,
+    next_label: PostLabel,
+    cur_seq: SeqId,
+    last_pattern: Option<ReceivePattern>,
+}
+
+/// The Optimistic Tag Matching engine (see module docs and crate docs).
+pub struct OtmEngine {
+    config: MatchConfig,
+    shared: Arc<BlockShared>,
+    stats: Arc<OtmStats>,
+    comms: HashMap<CommId, CommHost>,
+    workers: Vec<JoinHandle<()>>,
+    next_arrival: ArrivalSeq,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for OtmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OtmEngine")
+            .field("config", &self.config)
+            .field("comms", &self.comms.len())
+            .field("workers", &self.workers.len())
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl OtmEngine {
+    /// Creates an engine and spawns its worker pool.
+    ///
+    /// A `block_threads == 1` engine spawns no workers at all: its single
+    /// lane runs inline on the caller's thread (one DPA execution unit, no
+    /// handoff), which keeps the configuration meaningful on small hosts.
+    pub fn new(config: MatchConfig) -> Result<Self, MatchError> {
+        config.validate()?;
+        let shared = Arc::new(BlockShared::new(config.block_threads));
+        let stats = Arc::new(OtmStats::default());
+        let pool = if config.block_threads == 1 {
+            0
+        } else {
+            config.block_threads
+        };
+        let workers = (0..pool)
+            .map(|lane| {
+                let ctx = WorkerCtx {
+                    shared: Arc::clone(&shared),
+                    stats: Arc::clone(&stats),
+                    config: config.clone(),
+                    lane,
+                };
+                std::thread::Builder::new()
+                    .name(format!("otm-worker-{lane}"))
+                    .spawn(move || worker_main(ctx))
+                    .expect("spawning an engine worker thread")
+            })
+            .collect();
+        Ok(OtmEngine {
+            config,
+            shared,
+            stats,
+            comms: HashMap::new(),
+            workers,
+            next_arrival: ArrivalSeq::ZERO,
+            stopped: false,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// A snapshot of the engine's statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn check_running(&self) -> Result<(), MatchError> {
+        if self.stopped || self.shared.poisoned.load(Ordering::SeqCst) {
+            Err(MatchError::EngineStopped)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ensure_comm(&mut self, comm: CommId) -> &mut CommHost {
+        self.ensure_comm_with_hints(comm, CommHints::NONE)
+    }
+
+    fn ensure_comm_with_hints(&mut self, comm: CommId, hints: CommHints) -> &mut CommHost {
+        let config = &self.config;
+        self.comms.entry(comm).or_insert_with(|| CommHost {
+            shared: Arc::new(CommShared {
+                table: ReceiveTable::new(config.max_receives),
+                prq: PrqIndexes::new(config.bins),
+                hints,
+            }),
+            umq: UnexpectedStore::new(config.bins, config.max_unexpected),
+            next_label: PostLabel::ZERO,
+            cur_seq: SeqId::ZERO,
+            last_pattern: None,
+        })
+    }
+
+    /// Declares a communicator with matching hints (§VII): "applications
+    /// can provide MPI communicator info objects to influence the
+    /// offloading of tag matching for a given communicator" (§IV-E).
+    ///
+    /// Like the DPA resource allocation, hints are fixed at communicator
+    /// creation: calling this after the communicator has been used is an
+    /// error.
+    pub fn declare_comm(&mut self, comm: CommId, hints: CommHints) -> Result<(), MatchError> {
+        self.check_running()?;
+        if self.comms.contains_key(&comm) {
+            return Err(MatchError::InvalidConfig(format!(
+                "hints for {comm} must be declared before the communicator is used"
+            )));
+        }
+        self.ensure_comm_with_hints(comm, hints);
+        Ok(())
+    }
+
+    /// The hints a communicator was declared with.
+    pub fn comm_hints(&self, comm: CommId) -> Option<CommHints> {
+        self.comms.get(&comm).map(|c| c.shared.hints)
+    }
+
+    /// Posts a receive — the host-to-DPA command path (§IV-E).
+    ///
+    /// The unexpected-message store is searched first (§IV-C); on a miss the
+    /// receive is labelled, assigned its sequence id, and indexed in the
+    /// structure matching its wildcard class (§III-B).
+    pub fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        self.check_running()?;
+        let stats = Arc::clone(&self.stats);
+        let host = self.ensure_comm(pattern.comm);
+        if !host.shared.hints.permits(pattern.wildcard_class()) {
+            return Err(MatchError::HintViolation(format!(
+                "receive {pattern} violates the hints declared for {}",
+                pattern.comm
+            )));
+        }
+        if let Some(m) = host.umq.match_post(&pattern) {
+            stats.matched_on_post.fetch_add(1, Ordering::Relaxed);
+            stats
+                .umq_depth_sum
+                .fetch_add(m.depth as u64, Ordering::Relaxed);
+            stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
+            // The consumed receive is not indexed, so it breaks any ongoing
+            // run of compatible receives.
+            host.last_pattern = None;
+            return Ok(PostResult::Matched(m.handle));
+        }
+        stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
+        // Sequence ids (§III-D3a): consecutive compatible posts share one.
+        let seq = match &host.last_pattern {
+            Some(p) if p.compatible(&pattern) => host.cur_seq,
+            _ => {
+                host.cur_seq = host.cur_seq.next();
+                host.cur_seq
+            }
+        };
+        host.last_pattern = Some(pattern);
+        let home = host.shared.prq.home_of(&pattern);
+        let label = host.next_label;
+        let desc = host.shared.table.allocate(Payload {
+            pattern,
+            label,
+            seq,
+            handle: handle.0,
+            home,
+        })?;
+        host.next_label = host.next_label.next();
+        host.shared.prq.insert(home, desc);
+        stats.posted.fetch_add(1, Ordering::Relaxed);
+        Ok(PostResult::Posted)
+    }
+
+    /// Matches one block of up to `N` incoming messages in parallel.
+    ///
+    /// Messages are taken in arrival order: lane *i* processes the *i*-th
+    /// message, and the block's deliveries are returned in the same order.
+    pub fn process_block(
+        &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<Delivery>, MatchError> {
+        self.check_running()?;
+        let n = msgs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if n > self.config.block_threads {
+            return Err(MatchError::InvalidConfig(format!(
+                "block of {n} messages exceeds the {}-thread pool",
+                self.config.block_threads
+            )));
+        }
+
+        // Pre-resolve every lane's communicator state so the workers never
+        // touch the communicator map, and pre-check the unexpected-store
+        // capacity: in the worst case every message of the block goes
+        // unexpected, and rejecting up front keeps the operation atomic —
+        // the caller can fall back to software matching (§IV-E) with the
+        // engine's state fully intact (see `drain_for_fallback`).
+        for (env, _) in msgs {
+            self.ensure_comm(env.comm);
+        }
+        let mut per_comm: HashMap<CommId, usize> = HashMap::new();
+        for (env, _) in msgs {
+            *per_comm.entry(env.comm).or_insert(0) += 1;
+        }
+        for (comm, count) in per_comm {
+            if self.comms[&comm].umq.available() < count {
+                return Err(MatchError::UnexpectedStoreFull);
+            }
+        }
+        let lanes: Vec<LaneData> = msgs
+            .iter()
+            .map(|&(env, handle)| LaneData {
+                env,
+                handle,
+                hashes: InlineHashes::of(&env),
+                comm: Arc::clone(&self.comms[&env.comm].shared),
+            })
+            .collect();
+
+        // Publish the block and run it: inline on this thread for a
+        // single-lane engine, otherwise on the worker pool.
+        self.shared.reset_for_block();
+        *self.shared.lanes.write() = lanes;
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        if self.workers.is_empty() {
+            let guard = self.shared.lanes.read();
+            let ctx = WorkerCtx {
+                shared: Arc::clone(&self.shared),
+                stats: Arc::clone(&self.stats),
+                config: self.config.clone(),
+                lane: 0,
+            };
+            worker_main_inline(&ctx, &guard[0]);
+        } else {
+            {
+                let mut control = self.shared.control.lock();
+                control.epoch += 1;
+                control.done = 0;
+                self.shared.start_cv.notify_all();
+            }
+            // Wait for the whole pool to drain the block.
+            let mut control = self.shared.control.lock();
+            while control.done < pool_size(n, self.config.block_threads) {
+                self.shared.done_cv.wait(&mut control);
+            }
+        }
+
+        if self.shared.poisoned.load(Ordering::SeqCst) {
+            self.stopped = true;
+            return Err(MatchError::EngineStopped);
+        }
+
+        self.stats.blocks.fetch_add(1, Ordering::Relaxed);
+        self.stats.messages.fetch_add(n as u64, Ordering::Relaxed);
+
+        // Block-end cleanup, phase 1: clear the booking bitmaps so they are
+        // monotone only within a block.
+        for (booked, (env, _)) in self.shared.booked_desc.iter().zip(msgs) {
+            let desc = booked.load(Ordering::Acquire);
+            if desc != u32::MAX {
+                let comm = &self.comms[&env.comm].shared;
+                comm.table.slot(desc).clear_booking();
+            }
+        }
+
+        // Phase 2: collect results, unlink and free consumed descriptors,
+        // store unexpected messages (in lane = arrival order).
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        let base_arrival = self.next_arrival;
+        let mut deliveries = Vec::with_capacity(n);
+        for (lane, &(env, handle)) in msgs.iter().enumerate() {
+            let code = self.shared.results[lane].load(Ordering::Acquire);
+            debug_assert_ne!(
+                code,
+                crate::block::result_code::UNSET,
+                "lane {lane} never settled"
+            );
+            if code == crate::block::result_code::UNEXPECTED {
+                self.stats.unexpected.fetch_add(1, Ordering::Relaxed);
+                let host = self.comms.get_mut(&env.comm).expect("comm ensured above");
+                host.umq
+                    .insert(env, handle, ArrivalSeq(base_arrival.0 + lane as u64))
+                    .expect("capacity pre-checked before the block ran");
+                deliveries.push(Delivery::Unexpected { msg: handle });
+            } else {
+                let desc = code as DescId;
+                let comm = Arc::clone(&self.comms[&env.comm].shared);
+                debug_assert_eq!(comm.table.slot(desc).state(), crate::table::state::CONSUMED);
+                debug_assert_eq!(comm.table.slot(desc).consumed_epoch(), epoch);
+                let payload = comm.table.slot(desc).payload();
+                if self.config.lazy_removal {
+                    // The coordinator is the lock winner of §IV-D's lazy
+                    // scheme: sweep the tombstone out of its chain now that
+                    // no block is in flight.
+                    comm.prq.unlink(payload.home, desc);
+                }
+                comm.table.release(desc);
+                self.stats.matched.fetch_add(1, Ordering::Relaxed);
+                deliveries.push(Delivery::Matched {
+                    msg: handle,
+                    recv: RecvHandle(payload.handle),
+                });
+            }
+        }
+        self.next_arrival = ArrivalSeq(self.next_arrival.0 + n as u64);
+        Ok(deliveries)
+    }
+
+    /// Matches an arbitrarily long message stream, chunked into blocks of
+    /// the configured size.
+    pub fn process_stream(
+        &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<Delivery>, MatchError> {
+        let mut out = Vec::with_capacity(msgs.len());
+        for chunk in msgs.chunks(self.config.block_threads) {
+            out.extend(self.process_block(chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// Non-destructive unexpected-message probe (`MPI_Iprobe` semantics):
+    /// the oldest waiting message matching `pattern`, if any.
+    pub fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
+        self.comms
+            .get(&pattern.comm)
+            .and_then(|host| host.umq.probe(pattern))
+    }
+
+    /// Drains the complete matching state for migration to software tag
+    /// matching — the fallback the paper mandates when device resources run
+    /// out (§III-B, §IV-E). Consumes the engine (the device resources are
+    /// being given up).
+    ///
+    /// Returns the pending receives and the waiting unexpected messages.
+    /// Receives are ordered per communicator by post label (C1 only
+    /// constrains order *within* a communicator, so replaying
+    /// communicator-by-communicator into a software matcher preserves MPI
+    /// semantics); unexpected messages are in arrival order per
+    /// communicator.
+    pub fn drain_for_fallback(mut self) -> FallbackState {
+        let mut receives = Vec::new();
+        let mut unexpected = Vec::new();
+        let mut comms: Vec<(CommId, CommHost)> = self.comms.drain().collect();
+        comms.sort_by_key(|(id, _)| *id);
+        for (_, mut host) in comms {
+            let mut posted = host.shared.table.posted_snapshot();
+            posted.sort_by_key(|p| p.label);
+            receives.extend(
+                posted
+                    .into_iter()
+                    .map(|p| (p.pattern, RecvHandle(p.handle))),
+            );
+            unexpected.extend(host.umq.drain());
+        }
+        (receives, unexpected)
+    }
+
+    /// Live posted receives across all communicators.
+    pub fn prq_len(&self) -> usize {
+        self.comms
+            .values()
+            .map(|c| c.shared.prq.live_count(&c.shared.table))
+            .sum()
+    }
+
+    /// Waiting unexpected messages across all communicators.
+    pub fn umq_len(&self) -> usize {
+        self.comms.values().map(|c| c.umq.len()).sum()
+    }
+}
+
+impl Drop for OtmEngine {
+    fn drop(&mut self) {
+        {
+            let mut control = self.shared.control.lock();
+            control.stop = true;
+            self.shared.start_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Adapter implementing the sequential [`Matcher`] interface on top of the
+/// parallel engine by processing one-message blocks.
+///
+/// Single-message blocks exercise the optimistic search and booking paths
+/// (never the conflict paths); the adapter lets the engine participate in
+/// the oracle-equivalence harness and the Table I strategy comparison.
+pub struct SequentialOtm {
+    engine: OtmEngine,
+    stats: mpi_matching::MatchStats,
+}
+
+impl SequentialOtm {
+    /// Wraps a fresh engine with the given configuration.
+    pub fn new(config: MatchConfig) -> Result<Self, MatchError> {
+        Ok(SequentialOtm {
+            engine: OtmEngine::new(config)?,
+            stats: mpi_matching::MatchStats::new(),
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &OtmEngine {
+        &self.engine
+    }
+}
+
+impl std::fmt::Debug for SequentialOtm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequentialOtm")
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl Matcher for SequentialOtm {
+    fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        let before = self.engine.stats();
+        let result = self.engine.post(pattern, handle)?;
+        let after = self.engine.stats();
+        let depth = (after.umq_depth_sum - before.umq_depth_sum) as usize;
+        self.stats
+            .record_post(depth, matches!(result, PostResult::Matched(_)));
+        self.stats
+            .observe_queue_lens(self.engine.prq_len(), self.engine.umq_len());
+        Ok(result)
+    }
+
+    fn arrive(&mut self, env: Envelope, handle: MsgHandle) -> Result<ArriveResult, MatchError> {
+        let before = self.engine.stats();
+        let deliveries = self.engine.process_block(&[(env, handle)])?;
+        let after = self.engine.stats();
+        let depth = (after.search_depth_sum - before.search_depth_sum) as usize;
+        let result = match deliveries[0] {
+            Delivery::Matched { recv, .. } => ArriveResult::Matched(recv),
+            Delivery::Unexpected { .. } => ArriveResult::Unexpected,
+        };
+        self.stats
+            .record_arrival(depth, matches!(result, ArriveResult::Matched(_)));
+        self.stats
+            .observe_queue_lens(self.engine.prq_len(), self.engine.umq_len());
+        Ok(result)
+    }
+
+    fn prq_len(&self) -> usize {
+        self.engine.prq_len()
+    }
+
+    fn umq_len(&self) -> usize {
+        self.engine.umq_len()
+    }
+
+    fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
+        self.engine.probe(pattern)
+    }
+
+    fn stats(&self) -> &mpi_matching::MatchStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = mpi_matching::MatchStats::new();
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "optimistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otm_base::{Rank, Tag};
+
+    fn engine() -> OtmEngine {
+        OtmEngine::new(MatchConfig::small()).unwrap()
+    }
+
+    fn env(src: u32, tag: u32) -> Envelope {
+        Envelope::world(Rank(src), Tag(tag))
+    }
+
+    #[test]
+    fn expected_message_matches() {
+        let mut e = engine();
+        e.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(10))
+            .unwrap();
+        let d = e.process_block(&[(env(0, 1), MsgHandle(0))]).unwrap();
+        assert_eq!(
+            d,
+            vec![Delivery::Matched {
+                msg: MsgHandle(0),
+                recv: RecvHandle(10)
+            }]
+        );
+        assert_eq!(e.prq_len(), 0);
+    }
+
+    #[test]
+    fn unexpected_message_is_stored_then_matched_at_post() {
+        let mut e = engine();
+        let d = e.process_block(&[(env(2, 3), MsgHandle(5))]).unwrap();
+        assert_eq!(d, vec![Delivery::Unexpected { msg: MsgHandle(5) }]);
+        assert_eq!(e.umq_len(), 1);
+        let r = e
+            .post(ReceivePattern::exact(Rank(2), Tag(3)), RecvHandle(0))
+            .unwrap();
+        assert_eq!(r, PostResult::Matched(MsgHandle(5)));
+        assert_eq!(e.umq_len(), 0);
+    }
+
+    #[test]
+    fn full_block_matches_distinct_receives_in_parallel() {
+        let mut e = engine();
+        let n = e.config().block_threads;
+        for i in 0..n {
+            e.post(
+                ReceivePattern::exact(Rank(i as u32), Tag(0)),
+                RecvHandle(i as u64),
+            )
+            .unwrap();
+        }
+        let msgs: Vec<_> = (0..n)
+            .map(|i| (env(i as u32, 0), MsgHandle(i as u64)))
+            .collect();
+        let d = e.process_block(&msgs).unwrap();
+        for (i, del) in d.iter().enumerate() {
+            assert_eq!(
+                *del,
+                Delivery::Matched {
+                    msg: MsgHandle(i as u64),
+                    recv: RecvHandle(i as u64)
+                }
+            );
+        }
+        let snap = e.stats();
+        assert_eq!(snap.matched, n as u64);
+        assert_eq!(
+            snap.slow_path + snap.fast_path,
+            0,
+            "distinct receives must not conflict"
+        );
+    }
+
+    #[test]
+    fn conflicting_block_preserves_message_order() {
+        // All messages match the same sequence of compatible receives: the
+        // canonical WC scenario. Deliveries must pair message i with the
+        // i-th posted receive.
+        let mut e = engine();
+        let n = e.config().block_threads;
+        for i in 0..n {
+            e.post(ReceivePattern::exact(Rank(7), Tag(7)), RecvHandle(i as u64))
+                .unwrap();
+        }
+        let msgs: Vec<_> = (0..n).map(|i| (env(7, 7), MsgHandle(i as u64))).collect();
+        let d = e.process_block(&msgs).unwrap();
+        for (i, del) in d.iter().enumerate() {
+            assert_eq!(
+                *del,
+                Delivery::Matched {
+                    msg: MsgHandle(i as u64),
+                    recv: RecvHandle(i as u64)
+                },
+                "lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_is_taken_for_compatible_sequences() {
+        // Conflicts are time-dependent (§III-C): "two threads attempt to
+        // book the same receive only if they process messages matching that
+        // same receive at the same time". With 32 lanes racing over many
+        // rounds, the all-booked-same-receive scenario occurs reliably.
+        let mut e =
+            OtmEngine::new(MatchConfig::default().with_max_receives(4096).with_bins(64)).unwrap();
+        let n = e.config().block_threads;
+        let mut next = 0u64;
+        for _round in 0..50 {
+            for _ in 0..n {
+                e.post(ReceivePattern::exact(Rank(1), Tag(1)), RecvHandle(next))
+                    .unwrap();
+                next += 1;
+            }
+            let msgs: Vec<_> = (0..n).map(|i| (env(1, 1), MsgHandle(i as u64))).collect();
+            let d = e.process_block(&msgs).unwrap();
+            let base = next - n as u64;
+            for (i, del) in d.iter().enumerate() {
+                assert_eq!(del.matched(), Some(RecvHandle(base + i as u64)), "lane {i}");
+            }
+        }
+        assert!(e.stats().fast_path > 0, "stats: {:?}", e.stats());
+    }
+
+    #[test]
+    fn slow_path_only_when_fast_path_disabled() {
+        // As with the fast-path test, conflicts are time-dependent, so run
+        // many racing rounds; with the fast path off, every conflict must
+        // resolve through the slow path (the WC-SP configuration of Fig. 8).
+        let mut e = OtmEngine::new(
+            MatchConfig::default()
+                .with_max_receives(4096)
+                .with_bins(64)
+                .with_fast_path(false),
+        )
+        .unwrap();
+        let n = e.config().block_threads;
+        let mut next = 0u64;
+        for _round in 0..50 {
+            for _ in 0..n {
+                e.post(ReceivePattern::exact(Rank(1), Tag(1)), RecvHandle(next))
+                    .unwrap();
+                next += 1;
+            }
+            let msgs: Vec<_> = (0..n).map(|i| (env(1, 1), MsgHandle(i as u64))).collect();
+            let d = e.process_block(&msgs).unwrap();
+            let base = next - n as u64;
+            for (i, del) in d.iter().enumerate() {
+                assert_eq!(del.matched(), Some(RecvHandle(base + i as u64)), "lane {i}");
+            }
+        }
+        let snap = e.stats();
+        assert_eq!(snap.fast_path, 0);
+        assert!(snap.slow_path > 0, "stats: {snap:?}");
+    }
+
+    #[test]
+    fn mixed_block_some_unexpected() {
+        let mut e = engine();
+        e.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))
+            .unwrap();
+        let d = e
+            .process_block(&[
+                (env(0, 0), MsgHandle(0)),
+                (env(9, 9), MsgHandle(1)),
+                (env(0, 0), MsgHandle(2)),
+            ])
+            .unwrap();
+        assert_eq!(
+            d[0],
+            Delivery::Matched {
+                msg: MsgHandle(0),
+                recv: RecvHandle(0)
+            }
+        );
+        assert_eq!(d[1], Delivery::Unexpected { msg: MsgHandle(1) });
+        assert_eq!(d[2], Delivery::Unexpected { msg: MsgHandle(2) });
+        // Unexpected messages must be retrievable in arrival order.
+        let r = e.post(ReceivePattern::any_any(), RecvHandle(1)).unwrap();
+        assert_eq!(r, PostResult::Matched(MsgHandle(1)));
+        let r = e.post(ReceivePattern::any_any(), RecvHandle(2)).unwrap();
+        assert_eq!(r, PostResult::Matched(MsgHandle(2)));
+    }
+
+    #[test]
+    fn wildcard_receives_match_in_post_order_across_blocks() {
+        let mut e = engine();
+        e.post(ReceivePattern::any_source(Tag(5)), RecvHandle(0))
+            .unwrap();
+        e.post(ReceivePattern::exact(Rank(1), Tag(5)), RecvHandle(1))
+            .unwrap();
+        let d = e
+            .process_stream(&[(env(1, 5), MsgHandle(0)), (env(1, 5), MsgHandle(1))])
+            .unwrap();
+        assert_eq!(
+            d[0].matched(),
+            Some(RecvHandle(0)),
+            "C1: wildcard posted first wins"
+        );
+        assert_eq!(d[1].matched(), Some(RecvHandle(1)));
+    }
+
+    #[test]
+    fn receive_table_capacity_reports_fallback() {
+        let mut e = OtmEngine::new(MatchConfig::small().with_max_receives(2)).unwrap();
+        e.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))
+            .unwrap();
+        e.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(1))
+            .unwrap();
+        assert_eq!(
+            e.post(ReceivePattern::exact(Rank(0), Tag(2)), RecvHandle(2)),
+            Err(MatchError::ReceiveTableFull)
+        );
+        // Consuming a receive frees capacity.
+        e.process_block(&[(env(0, 0), MsgHandle(0))]).unwrap();
+        e.post(ReceivePattern::exact(Rank(0), Tag(2)), RecvHandle(2))
+            .unwrap();
+    }
+
+    #[test]
+    fn unexpected_store_capacity_reports_fallback() {
+        let mut e = OtmEngine::new(MatchConfig::small().with_max_unexpected(1)).unwrap();
+        e.process_block(&[(env(0, 0), MsgHandle(0))]).unwrap();
+        // A block that could overflow the store is rejected atomically —
+        // BEFORE any message is matched — so the caller can migrate the
+        // fully intact state to software matching (§IV-E).
+        let err = e.process_block(&[(env(0, 1), MsgHandle(1))]).unwrap_err();
+        assert_eq!(err, MatchError::UnexpectedStoreFull);
+        // Nothing was lost or half-applied: the first unexpected message is
+        // still there, posting still works, and draining hands it over.
+        assert_eq!(e.umq_len(), 1);
+        let r = e
+            .post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))
+            .unwrap();
+        assert_eq!(r, PostResult::Matched(MsgHandle(0)));
+        // With the store drained the same block now succeeds.
+        let d = e.process_block(&[(env(0, 1), MsgHandle(1))]).unwrap();
+        assert_eq!(d[0], Delivery::Unexpected { msg: MsgHandle(1) });
+    }
+
+    #[test]
+    fn rejected_block_preserves_state_for_fallback_drain() {
+        let mut e = OtmEngine::new(MatchConfig::small().with_max_unexpected(1)).unwrap();
+        e.post(ReceivePattern::exact(Rank(5), Tag(5)), RecvHandle(9))
+            .unwrap();
+        e.process_block(&[(env(0, 0), MsgHandle(0))]).unwrap();
+        // This block contains a MATCHING message and an overflowing one;
+        // the atomic pre-check must reject it without consuming the match.
+        let err = e
+            .process_block(&[(env(5, 5), MsgHandle(1)), (env(0, 1), MsgHandle(2))])
+            .unwrap_err();
+        assert_eq!(err, MatchError::UnexpectedStoreFull);
+        let (receives, unexpected) = e.drain_for_fallback();
+        assert_eq!(
+            receives,
+            vec![(ReceivePattern::exact(Rank(5), Tag(5)), RecvHandle(9))]
+        );
+        assert_eq!(unexpected.len(), 1);
+        assert_eq!(unexpected[0].1, MsgHandle(0));
+    }
+
+    #[test]
+    fn fast_path_requires_lazy_removal() {
+        // Eager removal unlinks consumed entries mid-block, which would
+        // shift the fast-path rank walk; such configurations must resolve
+        // conflicts through the slow path only.
+        let mut e = OtmEngine::new(
+            MatchConfig::default()
+                .with_max_receives(4096)
+                .with_bins(64)
+                .with_fast_path(true)
+                .with_lazy_removal(false),
+        )
+        .unwrap();
+        let n = e.config().block_threads;
+        let mut next = 0u64;
+        for _round in 0..30 {
+            for _ in 0..n {
+                e.post(ReceivePattern::exact(Rank(1), Tag(1)), RecvHandle(next))
+                    .unwrap();
+                next += 1;
+            }
+            let msgs: Vec<_> = (0..n).map(|i| (env(1, 1), MsgHandle(i as u64))).collect();
+            let d = e.process_block(&msgs).unwrap();
+            let base = next - n as u64;
+            for (i, del) in d.iter().enumerate() {
+                assert_eq!(del.matched(), Some(RecvHandle(base + i as u64)), "lane {i}");
+            }
+        }
+        assert_eq!(e.stats().fast_path, 0, "stats: {:?}", e.stats());
+    }
+
+    #[test]
+    fn oversized_block_is_rejected() {
+        let mut e = engine();
+        let n = e.config().block_threads;
+        let msgs: Vec<_> = (0..n + 1)
+            .map(|i| (env(0, 0), MsgHandle(i as u64)))
+            .collect();
+        assert!(matches!(
+            e.process_block(&msgs),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_block_is_a_noop() {
+        let mut e = engine();
+        assert_eq!(e.process_block(&[]).unwrap(), Vec::new());
+        assert_eq!(e.stats().blocks, 0);
+    }
+
+    #[test]
+    fn communicators_are_isolated() {
+        let mut e = engine();
+        let other = CommId(3);
+        e.post(ReceivePattern::new(Rank(0), Tag(0), other), RecvHandle(0))
+            .unwrap();
+        // Same (src, tag) on WORLD must not match the comm-3 receive.
+        let d = e.process_block(&[(env(0, 0), MsgHandle(0))]).unwrap();
+        assert_eq!(d[0], Delivery::Unexpected { msg: MsgHandle(0) });
+        let d = e
+            .process_block(&[(Envelope::new(Rank(0), Tag(0), other), MsgHandle(1))])
+            .unwrap();
+        assert_eq!(d[0].matched(), Some(RecvHandle(0)));
+    }
+
+    #[test]
+    fn sequence_ids_advance_on_incompatible_posts() {
+        let mut e = engine();
+        // Three compatible posts, then an incompatible one, then compatible
+        // again: exercised indirectly through the fast path machinery; here
+        // we just assert the engine accepts the pattern stream.
+        for i in 0..3 {
+            e.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(i))
+                .unwrap();
+        }
+        e.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(3))
+            .unwrap();
+        e.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(4))
+            .unwrap();
+        assert_eq!(e.prq_len(), 5);
+    }
+
+    #[test]
+    fn sequential_adapter_tracks_stats() {
+        let mut m = SequentialOtm::new(MatchConfig::small()).unwrap();
+        m.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))
+            .unwrap();
+        let r = m.arrive(env(0, 0), MsgHandle(0)).unwrap();
+        assert_eq!(r, ArriveResult::Matched(RecvHandle(0)));
+        assert_eq!(m.stats().matched_on_arrival, 1);
+        assert_eq!(m.strategy_name(), "optimistic");
+    }
+
+    #[test]
+    fn stream_across_many_blocks_drains_receives_in_order() {
+        let mut e = engine();
+        let total = 3 * e.config().block_threads + 1;
+        for i in 0..total {
+            e.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(i as u64))
+                .unwrap();
+        }
+        let msgs: Vec<_> = (0..total)
+            .map(|i| (env(0, 0), MsgHandle(i as u64)))
+            .collect();
+        let d = e.process_stream(&msgs).unwrap();
+        for (i, del) in d.iter().enumerate() {
+            assert_eq!(del.matched(), Some(RecvHandle(i as u64)), "message {i}");
+        }
+        assert_eq!(e.prq_len(), 0);
+    }
+}

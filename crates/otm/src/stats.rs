@@ -1,0 +1,162 @@
+//! Engine statistics: conflict behaviour, resolution paths, search depths.
+//!
+//! The message-rate benchmark of Fig. 8 distinguishes the no-conflict case
+//! (optimistic matching succeeds outright), the with-conflict fast-path case
+//! (WC-FP) and the with-conflict slow-path case (WC-SP); these counters let
+//! the harness verify which path actually ran.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared between the engine coordinator and its block
+/// workers.
+#[derive(Debug, Default)]
+pub struct OtmStats {
+    /// Blocks processed.
+    pub blocks: AtomicU64,
+    /// Messages processed.
+    pub messages: AtomicU64,
+    /// Messages matched to a receive during block processing.
+    pub matched: AtomicU64,
+    /// Messages that became unexpected.
+    pub unexpected: AtomicU64,
+    /// Messages whose optimistic match was consumed without entering
+    /// conflict resolution.
+    pub optimistic_ok: AtomicU64,
+    /// Threads that detected a direct conflict (a lower-id thread booked
+    /// their candidate, or the early-booking check skipped a receive).
+    pub direct_conflicts: AtomicU64,
+    /// Threads that entered resolution only because a lower thread
+    /// conflicted.
+    pub induced_resolutions: AtomicU64,
+    /// Conflicts resolved via the fast path (§III-D3a).
+    pub fast_path: AtomicU64,
+    /// Conflicts resolved via the slow path (§III-D3b).
+    pub slow_path: AtomicU64,
+    /// Sum of optimistic-search depths (live entries examined).
+    pub search_depth_sum: AtomicU64,
+    /// Number of optimistic searches.
+    pub search_count: AtomicU64,
+    /// Maximum optimistic-search depth.
+    pub search_depth_max: AtomicU64,
+    /// Receives that matched an unexpected message at post time.
+    pub matched_on_post: AtomicU64,
+    /// Receives posted into the index structures.
+    pub posted: AtomicU64,
+    /// Sum of UMQ search depths at post time.
+    pub umq_depth_sum: AtomicU64,
+    /// Number of UMQ searches.
+    pub umq_search_count: AtomicU64,
+}
+
+impl OtmStats {
+    /// Records one optimistic search of the given depth.
+    #[inline]
+    pub fn record_search(&self, depth: usize) {
+        let d = depth as u64;
+        self.search_depth_sum.fetch_add(d, Ordering::Relaxed);
+        self.search_count.fetch_add(1, Ordering::Relaxed);
+        self.search_depth_max.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Takes a coherent-enough snapshot for reporting (individual counters
+    /// are read relaxed; exact cross-counter consistency is not needed for
+    /// statistics).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            blocks: self.blocks.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            matched: self.matched.load(Ordering::Relaxed),
+            unexpected: self.unexpected.load(Ordering::Relaxed),
+            optimistic_ok: self.optimistic_ok.load(Ordering::Relaxed),
+            direct_conflicts: self.direct_conflicts.load(Ordering::Relaxed),
+            induced_resolutions: self.induced_resolutions.load(Ordering::Relaxed),
+            fast_path: self.fast_path.load(Ordering::Relaxed),
+            slow_path: self.slow_path.load(Ordering::Relaxed),
+            search_depth_sum: self.search_depth_sum.load(Ordering::Relaxed),
+            search_count: self.search_count.load(Ordering::Relaxed),
+            search_depth_max: self.search_depth_max.load(Ordering::Relaxed),
+            matched_on_post: self.matched_on_post.load(Ordering::Relaxed),
+            posted: self.posted.load(Ordering::Relaxed),
+            umq_depth_sum: self.umq_depth_sum.load(Ordering::Relaxed),
+            umq_search_count: self.umq_search_count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`OtmStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field meanings documented on OtmStats
+pub struct StatsSnapshot {
+    pub blocks: u64,
+    pub messages: u64,
+    pub matched: u64,
+    pub unexpected: u64,
+    pub optimistic_ok: u64,
+    pub direct_conflicts: u64,
+    pub induced_resolutions: u64,
+    pub fast_path: u64,
+    pub slow_path: u64,
+    pub search_depth_sum: u64,
+    pub search_count: u64,
+    pub search_depth_max: u64,
+    pub matched_on_post: u64,
+    pub posted: u64,
+    pub umq_depth_sum: u64,
+    pub umq_search_count: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean optimistic-search depth.
+    pub fn mean_search_depth(&self) -> f64 {
+        if self.search_count == 0 {
+            0.0
+        } else {
+            self.search_depth_sum as f64 / self.search_count as f64
+        }
+    }
+
+    /// Fraction of messages that resolved a conflict (either path).
+    pub fn conflict_rate(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            (self.fast_path + self.slow_path) as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_search_accumulates() {
+        let s = OtmStats::default();
+        s.record_search(4);
+        s.record_search(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.search_depth_sum, 6);
+        assert_eq!(snap.search_count, 2);
+        assert_eq!(snap.search_depth_max, 4);
+        assert!((snap.mean_search_depth() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.mean_search_depth(), 0.0);
+        assert_eq!(snap.conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn conflict_rate_counts_both_paths() {
+        let snap = StatsSnapshot {
+            messages: 10,
+            fast_path: 2,
+            slow_path: 3,
+            ..Default::default()
+        };
+        assert!((snap.conflict_rate() - 0.5).abs() < 1e-12);
+    }
+}

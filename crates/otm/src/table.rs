@@ -1,0 +1,357 @@
+//! The fixed-size receive descriptor table (§III-B).
+//!
+//! "Receive descriptors are stored in a fixed-size table, where the size of
+//! the table determines the maximum number of receives that can be posted at
+//! the same time." Each slot holds the matching payload (pattern, post
+//! label, sequence id, user handle, home index location) plus the atomics
+//! the parallel protocol operates on: the lifecycle state, the *booking
+//! bitmap* (one bit per block thread, §III-C) and the epoch of the block
+//! that consumed the receive (needed to keep fast-path rank walks stable
+//! while tombstones from older blocks are skipped).
+//!
+//! Slot allocation and release happen only on the coordinator side (receive
+//! posting and block-end cleanup are serialized with block execution), so
+//! the free list lives outside this shared structure; workers only ever
+//! read payloads and update atomics.
+
+use otm_base::{MatchError, PostLabel, ReceivePattern, SeqId, WildcardClass};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Index of a descriptor slot within the table.
+pub type DescId = u32;
+
+/// Lifecycle states of a descriptor slot.
+pub mod state {
+    /// Slot is unused and on the free list.
+    pub const FREE: u8 = 0;
+    /// Slot holds a posted, not-yet-matched receive.
+    pub const POSTED: u8 = 1;
+    /// Slot's receive has been matched; the slot is a tombstone until the
+    /// coordinator unlinks and frees it.
+    pub const CONSUMED: u8 = 2;
+}
+
+/// Where a posted receive was indexed, so consumption can unlink it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexHome {
+    /// Which of the four index structures holds the receive.
+    pub class: WildcardClass,
+    /// Bin within the class's table (0 for the both-wildcard list).
+    pub bin: usize,
+}
+
+/// The matching payload of a posted receive.
+///
+/// Written by the coordinator when the slot is allocated (under the write
+/// lock) and read by block workers during searches (under read locks);
+/// workers never write it.
+#[derive(Debug, Clone, Copy)]
+pub struct Payload {
+    /// What this receive matches.
+    pub pattern: ReceivePattern,
+    /// Posting-order label arbitrating C1 across indexes (§III-C).
+    pub label: PostLabel,
+    /// Sequence id of the run of compatible receives this one belongs to
+    /// (§III-D3a).
+    pub seq: SeqId,
+    /// Caller's receive handle, returned on a match.
+    pub handle: u64,
+    /// Where the receive is indexed.
+    pub home: IndexHome,
+}
+
+/// One slot of the descriptor table.
+#[derive(Debug)]
+pub struct Slot {
+    payload: RwLock<Payload>,
+    state: AtomicU8,
+    /// Booking bitmap: bit *i* set means block thread *i* optimistically
+    /// booked this receive (§III-C). Cleared by the coordinator at block end
+    /// so bitmaps stay monotone *within* a block — the fast-path rank
+    /// computation depends on that.
+    booking: AtomicU64,
+    /// Block number during which the receive was consumed. Fast-path rank
+    /// walks count entries consumed in the *current* block (they are being
+    /// taken by lower-ranked threads) but skip older tombstones.
+    consumed_epoch: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            payload: RwLock::new(Payload {
+                pattern: ReceivePattern::any_any(),
+                label: PostLabel::ZERO,
+                seq: SeqId::ZERO,
+                handle: 0,
+                home: IndexHome {
+                    class: WildcardClass::BothWild,
+                    bin: 0,
+                },
+            }),
+            state: AtomicU8::new(state::FREE),
+            booking: AtomicU64::new(0),
+            consumed_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads the payload (shared lock; uncontended in the common case).
+    #[inline]
+    pub fn payload(&self) -> Payload {
+        *self.payload.read()
+    }
+
+    /// Current lifecycle state.
+    #[inline]
+    pub fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    /// Whether the slot currently holds a live (posted) receive.
+    #[inline]
+    pub fn is_posted(&self) -> bool {
+        self.state() == state::POSTED
+    }
+
+    /// Books this receive for block thread `lane`, returning the bitmap
+    /// value *before* the booking.
+    #[inline]
+    pub fn book(&self, lane: usize) -> u64 {
+        self.booking.fetch_or(1u64 << lane, Ordering::AcqRel)
+    }
+
+    /// Loads the booking bitmap.
+    #[inline]
+    pub fn booking(&self) -> u64 {
+        self.booking.load(Ordering::Acquire)
+    }
+
+    /// Clears the booking bitmap (block-end cleanup).
+    #[inline]
+    pub fn clear_booking(&self) {
+        self.booking.store(0, Ordering::Release);
+    }
+
+    /// Attempts to consume the receive: `POSTED → CONSUMED`, stamping the
+    /// consuming block's epoch. Returns `true` on success; `false` means
+    /// another thread consumed it first.
+    #[inline]
+    pub fn try_consume(&self, epoch: u64) -> bool {
+        // Stamp the epoch before publishing CONSUMED so any thread that
+        // observes the state also observes a correct epoch.
+        self.consumed_epoch.store(epoch, Ordering::Release);
+        self.state
+            .compare_exchange(
+                state::POSTED,
+                state::CONSUMED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// The epoch stamped by [`Slot::try_consume`]. Meaningful only while the
+    /// state is `CONSUMED`.
+    #[inline]
+    pub fn consumed_epoch(&self) -> u64 {
+        self.consumed_epoch.load(Ordering::Acquire)
+    }
+}
+
+/// The fixed-size descriptor table plus its coordinator-owned free list.
+#[derive(Debug)]
+pub struct ReceiveTable {
+    slots: Box<[Slot]>,
+    /// Free slot ids. Only the coordinator allocates and frees, always
+    /// outside the parallel block phase, so no lock is needed — the table is
+    /// carried behind an `Arc` and this field behind the engine's `&mut`.
+    free: parking_lot::Mutex<Vec<DescId>>,
+}
+
+impl ReceiveTable {
+    /// Creates a table with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::new()).collect();
+        let free: Vec<DescId> = (0..capacity as DescId).rev().collect();
+        ReceiveTable {
+            slots: slots.into_boxed_slice(),
+            free: parking_lot::Mutex::new(free),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots currently allocated (posted or tombstoned).
+    pub fn allocated(&self) -> usize {
+        self.slots.len() - self.free.lock().len()
+    }
+
+    /// Accesses a slot by id.
+    #[inline]
+    pub fn slot(&self, id: DescId) -> &Slot {
+        &self.slots[id as usize]
+    }
+
+    /// Allocates a slot, writes its payload, and publishes it as `POSTED`.
+    ///
+    /// Returns [`MatchError::ReceiveTableFull`] when the table is exhausted —
+    /// the condition under which the MPI implementation must fall back to
+    /// software tag matching (§III-B).
+    pub fn allocate(&self, payload: Payload) -> Result<DescId, MatchError> {
+        let id = self.free.lock().pop().ok_or(MatchError::ReceiveTableFull)?;
+        let slot = &self.slots[id as usize];
+        debug_assert_eq!(slot.state(), state::FREE);
+        *slot.payload.write() = payload;
+        slot.booking.store(0, Ordering::Relaxed);
+        slot.state.store(state::POSTED, Ordering::Release);
+        Ok(id)
+    }
+
+    /// Snapshot of every posted receive's payload, in no particular order
+    /// (coordinator context, no block in flight). Used by the software
+    /// fallback to migrate state off the device.
+    pub fn posted_snapshot(&self) -> Vec<Payload> {
+        self.slots
+            .iter()
+            .filter(|s| s.state() == state::POSTED)
+            .map(|s| s.payload())
+            .collect()
+    }
+
+    /// Releases a consumed slot back to the free list.
+    ///
+    /// Must only be called after the slot has been unlinked from its index
+    /// chain and no block is in flight (coordinator context).
+    pub fn release(&self, id: DescId) {
+        let slot = &self.slots[id as usize];
+        debug_assert_eq!(slot.state(), state::CONSUMED);
+        slot.state.store(state::FREE, Ordering::Release);
+        slot.booking.store(0, Ordering::Relaxed);
+        self.free.lock().push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otm_base::{Rank, Tag};
+
+    fn payload(tag: u32) -> Payload {
+        Payload {
+            pattern: ReceivePattern::exact(Rank(0), Tag(tag)),
+            label: PostLabel(u64::from(tag)),
+            seq: SeqId(0),
+            handle: u64::from(tag),
+            home: IndexHome {
+                class: WildcardClass::None,
+                bin: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn allocate_publishes_posted_payload() {
+        let t = ReceiveTable::new(4);
+        let id = t.allocate(payload(9)).unwrap();
+        let slot = t.slot(id);
+        assert!(slot.is_posted());
+        assert_eq!(slot.payload().handle, 9);
+        assert_eq!(slot.payload().home.bin, 3);
+        assert_eq!(t.allocated(), 1);
+    }
+
+    #[test]
+    fn table_capacity_is_enforced() {
+        let t = ReceiveTable::new(2);
+        t.allocate(payload(0)).unwrap();
+        t.allocate(payload(1)).unwrap();
+        assert_eq!(t.allocate(payload(2)), Err(MatchError::ReceiveTableFull));
+    }
+
+    #[test]
+    fn release_recycles_slots() {
+        let t = ReceiveTable::new(1);
+        let id = t.allocate(payload(0)).unwrap();
+        assert!(t.slot(id).try_consume(5));
+        t.release(id);
+        assert_eq!(t.allocated(), 0);
+        let id2 = t.allocate(payload(1)).unwrap();
+        assert_eq!(id, id2, "single slot must be reused");
+        assert_eq!(t.slot(id2).payload().handle, 1);
+        assert_eq!(t.slot(id2).booking(), 0, "booking cleared on reuse");
+    }
+
+    #[test]
+    fn consume_is_single_winner() {
+        let t = ReceiveTable::new(1);
+        let id = t.allocate(payload(0)).unwrap();
+        assert!(t.slot(id).try_consume(7));
+        assert!(!t.slot(id).try_consume(8), "second consume must fail");
+        assert_eq!(t.slot(id).state(), state::CONSUMED);
+    }
+
+    #[test]
+    fn consumed_epoch_is_stamped() {
+        let t = ReceiveTable::new(1);
+        let id = t.allocate(payload(0)).unwrap();
+        t.slot(id).try_consume(42);
+        assert_eq!(t.slot(id).consumed_epoch(), 42);
+    }
+
+    #[test]
+    fn booking_sets_lane_bits_and_reports_prior() {
+        let t = ReceiveTable::new(1);
+        let id = t.allocate(payload(0)).unwrap();
+        let slot = t.slot(id);
+        assert_eq!(slot.book(3), 0, "first booking sees empty bitmap");
+        assert_eq!(slot.book(0), 1 << 3, "second booking sees the first");
+        assert_eq!(slot.booking(), (1 << 3) | 1);
+        slot.clear_booking();
+        assert_eq!(slot.booking(), 0);
+    }
+
+    #[test]
+    fn concurrent_bookings_all_land() {
+        use std::sync::Arc;
+        let t = Arc::new(ReceiveTable::new(1));
+        let id = t.allocate(payload(0)).unwrap();
+        let mut handles = Vec::new();
+        for lane in 0..32usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                t.slot(id).book(lane);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.slot(id).booking(), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn concurrent_consume_has_exactly_one_winner() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let t = Arc::new(ReceiveTable::new(1));
+        let id = t.allocate(payload(0)).unwrap();
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let t = Arc::clone(&t);
+            let wins = Arc::clone(&wins);
+            handles.push(std::thread::spawn(move || {
+                if t.slot(id).try_consume(1) {
+                    wins.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Oracle equivalence: the parallel optimistic engine must produce
+//! bit-identical match assignments to the sequential reference for any
+//! interleaving of receive posts and message-block arrivals.
+//!
+//! MPI matching is a deterministic function of the post/arrival sequence
+//! (C1 + C2); the optimistic protocol extracts parallelism but must not
+//! change the function. These tests drive both implementations over random
+//! workloads across every feature-flag combination and block size, many
+//! times per configuration so thread interleavings vary.
+
+use mpi_matching::oracle::{MatchEvent, Oracle};
+use mpi_matching::{Assignment, MsgHandle, RecvHandle};
+use otm::{Delivery, OtmEngine};
+use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A workload: rounds of (posts, message block).
+#[derive(Debug, Clone)]
+struct Workload {
+    rounds: Vec<(Vec<ReceivePattern>, Vec<Envelope>)>,
+}
+
+impl Workload {
+    /// Flattens into the oracle's event order: each round's posts precede
+    /// its arrivals, mirroring how the engine drains posts between blocks.
+    fn events(&self) -> Vec<MatchEvent> {
+        let mut ev = Vec::new();
+        for (posts, msgs) in &self.rounds {
+            ev.extend(posts.iter().map(|&p| MatchEvent::Post(p)));
+            ev.extend(msgs.iter().map(|&e| MatchEvent::Arrive(e)));
+        }
+        ev
+    }
+
+    /// Runs the workload on an engine, producing an oracle-comparable
+    /// assignment with the same dense handle numbering.
+    fn run_engine(&self, config: MatchConfig) -> Assignment {
+        let mut engine = OtmEngine::new(config).expect("engine config valid");
+        let mut asg = Assignment::default();
+        let mut next_recv = 0u64;
+        let mut next_msg = 0u64;
+        for (posts, msgs) in &self.rounds {
+            for &pattern in posts {
+                let h = RecvHandle(next_recv);
+                next_recv += 1;
+                match engine.post(pattern, h).expect("post succeeds") {
+                    mpi_matching::PostResult::Matched(m) => {
+                        asg.recv_to_msg.insert(h, Some(m));
+                        asg.msg_to_recv.insert(m, Some(h));
+                    }
+                    mpi_matching::PostResult::Posted => {
+                        asg.recv_to_msg.insert(h, None);
+                    }
+                }
+            }
+            let block: Vec<(Envelope, MsgHandle)> = msgs
+                .iter()
+                .map(|&e| {
+                    let m = MsgHandle(next_msg);
+                    next_msg += 1;
+                    (e, m)
+                })
+                .collect();
+            for d in engine.process_stream(&block).expect("block succeeds") {
+                match d {
+                    Delivery::Matched { msg, recv } => {
+                        asg.msg_to_recv.insert(msg, Some(recv));
+                        asg.recv_to_msg.insert(recv, Some(msg));
+                    }
+                    Delivery::Unexpected { msg } => {
+                        asg.msg_to_recv.insert(msg, None);
+                    }
+                }
+            }
+        }
+        asg
+    }
+}
+
+fn random_comm(rng: &mut SmallRng) -> CommId {
+    // Two communicators: matching state must stay isolated between them
+    // even inside one block.
+    CommId(rng.gen_range(0..2))
+}
+
+fn random_pattern(rng: &mut SmallRng, ranks: u32, tags: u32) -> ReceivePattern {
+    let comm = random_comm(rng);
+    match rng.gen_range(0..10) {
+        0 => ReceivePattern::new(otm_base::SourceSel::Any, Tag(rng.gen_range(0..tags)), comm),
+        1 => ReceivePattern::new(Rank(rng.gen_range(0..ranks)), otm_base::TagSel::Any, comm),
+        2 => ReceivePattern::new(otm_base::SourceSel::Any, otm_base::TagSel::Any, comm),
+        _ => ReceivePattern::new(
+            Rank(rng.gen_range(0..ranks)),
+            Tag(rng.gen_range(0..tags)),
+            comm,
+        ),
+    }
+}
+
+fn random_workload(rng: &mut SmallRng, rounds: usize, block_max: usize) -> Workload {
+    // A small envelope space maximizes contention and wildcard overlap.
+    let ranks = rng.gen_range(1..4);
+    let tags = rng.gen_range(1..4);
+    let rounds = (0..rounds)
+        .map(|_| {
+            let mut posts = Vec::new();
+            let n_posts = rng.gen_range(0..=block_max + 2);
+            let mut i = 0;
+            while i < n_posts {
+                let p = random_pattern(rng, ranks, tags);
+                // Sometimes post a run of compatible receives to exercise
+                // sequence ids and the fast path.
+                let run = if rng.gen_bool(0.3) {
+                    rng.gen_range(1..=block_max.max(2))
+                } else {
+                    1
+                };
+                for _ in 0..run.min(n_posts - i) {
+                    posts.push(p);
+                    i += 1;
+                }
+            }
+            let msgs = (0..rng.gen_range(0..=block_max))
+                .map(|_| {
+                    Envelope::new(
+                        Rank(rng.gen_range(0..ranks)),
+                        Tag(rng.gen_range(0..tags)),
+                        random_comm(rng),
+                    )
+                })
+                .collect();
+            (posts, msgs)
+        })
+        .collect();
+    Workload { rounds }
+}
+
+fn check(workload: &Workload, config: MatchConfig, label: &str) {
+    let expect = Oracle::run(&workload.events());
+    let got = workload.run_engine(config);
+    assert!(
+        got.is_consistent(),
+        "{label}: inconsistent engine assignment"
+    );
+    assert_eq!(
+        got, expect,
+        "{label}: engine diverged from oracle\nworkload: {workload:?}"
+    );
+}
+
+fn base_config(block: usize) -> MatchConfig {
+    MatchConfig::default()
+        .with_block_threads(block)
+        .with_max_receives(4096)
+        .with_max_unexpected(4096)
+        .with_bins(32)
+}
+
+#[test]
+fn random_workloads_match_oracle_default_flags() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for block in [1usize, 2, 4, 8, 32] {
+        for case in 0..12 {
+            let w = random_workload(&mut rng, 12, block);
+            check(
+                &w,
+                base_config(block),
+                &format!("block={block} case={case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_workloads_match_oracle_fast_path_off() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    for block in [4usize, 32] {
+        for case in 0..10 {
+            let w = random_workload(&mut rng, 10, block);
+            check(
+                &w,
+                base_config(block).with_fast_path(false),
+                &format!("no-fp block={block} case={case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_workloads_match_oracle_early_booking_check() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for block in [4usize, 32] {
+        for case in 0..10 {
+            let w = random_workload(&mut rng, 10, block);
+            check(
+                &w,
+                base_config(block).with_early_booking_check(true),
+                &format!("ebc block={block} case={case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_workloads_match_oracle_eager_removal() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for block in [4usize, 32] {
+        for case in 0..10 {
+            let w = random_workload(&mut rng, 10, block);
+            check(
+                &w,
+                base_config(block).with_lazy_removal(false),
+                &format!("eager block={block} case={case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_workloads_match_oracle_single_bin() {
+    // One bin per table: maximal chain collisions, the worst case for the
+    // index structures.
+    let mut rng = SmallRng::seed_from_u64(5);
+    for case in 0..10 {
+        let w = random_workload(&mut rng, 10, 16);
+        check(
+            &w,
+            base_config(16).with_bins(1),
+            &format!("1-bin case={case}"),
+        );
+    }
+}
+
+#[test]
+fn wc_storms_match_oracle() {
+    // The with-conflict scenario of Fig. 8: every receive identical, every
+    // message identical — maximal conflict pressure on the fast path.
+    for (flag, label) in [(true, "wc-fp"), (false, "wc-sp")] {
+        let rounds: Vec<(Vec<ReceivePattern>, Vec<Envelope>)> = (0..20)
+            .map(|_| {
+                (
+                    vec![ReceivePattern::exact(Rank(0), Tag(0)); 32],
+                    vec![Envelope::world(Rank(0), Tag(0)); 32],
+                )
+            })
+            .collect();
+        let w = Workload { rounds };
+        check(&w, base_config(32).with_fast_path(flag), label);
+    }
+}
+
+#[test]
+fn wildcard_storms_match_oracle() {
+    // All receives are ANY_ANY (single shared list, serial semantics) while
+    // messages vary: stresses cross-index arbitration and the both-wild
+    // chain under conflicts.
+    let mut rng = SmallRng::seed_from_u64(6);
+    let rounds: Vec<(Vec<ReceivePattern>, Vec<Envelope>)> = (0..15)
+        .map(|_| {
+            (
+                vec![ReceivePattern::any_any(); 8],
+                (0..8)
+                    .map(|_| Envelope::world(Rank(rng.gen_range(0..3)), Tag(rng.gen_range(0..3))))
+                    .collect(),
+            )
+        })
+        .collect();
+    let w = Workload { rounds };
+    check(&w, base_config(8), "any-any storm");
+}
+
+#[test]
+fn interleaving_repetition_stresses_schedules() {
+    // Re-run one contentious workload many times: the workload is fixed but
+    // the thread schedules are not; every schedule must agree with the
+    // oracle.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let w = random_workload(&mut rng, 8, 32);
+    let expect = Oracle::run(&w.events());
+    for round in 0..30 {
+        let got = w.run_engine(base_config(32));
+        assert_eq!(got, expect, "schedule round {round}");
+    }
+}
+
+/// A long randomized soak across schedules and configurations — too slow
+/// for every `cargo test`, run explicitly with `cargo test -- --ignored`.
+#[test]
+#[ignore = "multi-minute soak; run with -- --ignored"]
+fn soak_random_schedules() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for case in 0..200 {
+        let w = random_workload(&mut rng, 10, 32);
+        let expect = Oracle::run(&w.events());
+        for (flags, label) in [
+            ((true, false, true), "default"),
+            ((false, false, true), "no-fp"),
+            ((true, true, true), "ebc"),
+            ((true, false, false), "eager"),
+        ] {
+            let (fp, ebc, lazy) = flags;
+            let got = w.run_engine(
+                base_config(32)
+                    .with_fast_path(fp)
+                    .with_early_booking_check(ebc)
+                    .with_lazy_removal(lazy),
+            );
+            assert_eq!(got, expect, "soak case {case} ({label})");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the trace ingestion surfaces: the DUMPI-text parser
+//! and the binary cache must tolerate arbitrary input (errors, never
+//! panics) and round-trip every representable trace losslessly.
+
+use otm_base::envelope::{SourceSel, TagSel};
+use otm_base::{CommId, Rank, Tag};
+use otm_trace::model::{AppTrace, CollectiveKind, MpiOp, OneSidedKind, RankTrace, ReqId, TimedOp};
+use otm_trace::{cache, dumpi};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = MpiOp> {
+    let rank = (0u32..64).prop_map(Rank);
+    let tag = (0u32..1000).prop_map(Tag);
+    let comm = (0u16..4).prop_map(CommId);
+    let count = 0u64..1_000_000;
+    let req = (0u32..1000).prop_map(ReqId);
+    let src_sel =
+        prop_oneof![3 => rank.clone().prop_map(SourceSel::Rank), 1 => Just(SourceSel::Any)];
+    let tag_sel = prop_oneof![3 => tag.clone().prop_map(TagSel::Tag), 1 => Just(TagSel::Any)];
+    let collective = prop_oneof![
+        Just(CollectiveKind::Barrier),
+        Just(CollectiveKind::Bcast),
+        Just(CollectiveKind::Reduce),
+        Just(CollectiveKind::Allreduce),
+        Just(CollectiveKind::Gather),
+        Just(CollectiveKind::Gatherv),
+        Just(CollectiveKind::Allgather),
+        Just(CollectiveKind::Alltoall),
+        Just(CollectiveKind::Alltoallv),
+        Just(CollectiveKind::Scan),
+    ];
+    let one_sided = prop_oneof![
+        Just(OneSidedKind::Put),
+        Just(OneSidedKind::Get),
+        Just(OneSidedKind::Accumulate),
+    ];
+    prop_oneof![
+        (
+            rank.clone(),
+            tag.clone(),
+            comm.clone(),
+            count.clone(),
+            req.clone()
+        )
+            .prop_map(|(dest, tag, comm, count, request)| MpiOp::Isend {
+                dest,
+                tag,
+                comm,
+                count,
+                request
+            }),
+        (
+            src_sel.clone(),
+            tag_sel.clone(),
+            comm.clone(),
+            count.clone(),
+            req.clone()
+        )
+            .prop_map(|(src, tag, comm, count, request)| MpiOp::Irecv {
+                src,
+                tag,
+                comm,
+                count,
+                request
+            }),
+        (rank, tag, comm.clone(), count.clone()).prop_map(|(dest, tag, comm, count)| MpiOp::Send {
+            dest,
+            tag,
+            comm,
+            count
+        }),
+        (src_sel, tag_sel, comm.clone(), count).prop_map(|(src, tag, comm, count)| MpiOp::Recv {
+            src,
+            tag,
+            comm,
+            count
+        }),
+        req.prop_map(|request| MpiOp::Wait { request }),
+        (0u32..64).prop_map(|nreqs| MpiOp::Waitall { nreqs }),
+        (collective, comm).prop_map(|(kind, comm)| MpiOp::Collective { kind, comm }),
+        one_sided.prop_map(|kind| MpiOp::OneSided { kind }),
+    ]
+}
+
+fn trace_strategy() -> impl Strategy<Value = AppTrace> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..1e6, op_strategy()), 0..40),
+        1..6,
+    )
+    .prop_map(|ranks| AppTrace {
+        name: "prop".into(),
+        ranks: ranks
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| RankTrace {
+                rank: Rank(i as u32),
+                ops: ops
+                    .into_iter()
+                    .map(|(time, op)| TimedOp { time, op })
+                    .collect(),
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn parser_never_panics_on_garbage(text in "\\PC{0,400}") {
+        let _ = dumpi::parse_rank_text(&text);
+    }
+
+    /// Structured-looking garbage never panics either.
+    #[test]
+    fn parser_never_panics_on_mpi_shaped_garbage(
+        name in "[A-Za-z_]{1,12}",
+        time in "[0-9eE+.-]{1,12}",
+        body in "(int [a-z]{1,6}=[0-9-]{1,6}\n){0,5}",
+    ) {
+        let text = format!("MPI_{name} entering at walltime {time}\n{body}MPI_{name} returning at walltime {time}\n");
+        let _ = dumpi::parse_rank_text(&text);
+    }
+
+    /// Every representable trace survives text round-tripping.
+    #[test]
+    fn text_round_trip_is_lossless(trace in trace_strategy()) {
+        for rank in &trace.ranks {
+            let text = dumpi::write_rank_text(&rank.ops);
+            let parsed = dumpi::parse_rank_text(&text).expect("writer output parses");
+            prop_assert_eq!(&parsed.ops, &rank.ops);
+            prop_assert_eq!(parsed.skipped_calls, 0);
+        }
+    }
+
+    /// Every representable trace survives binary round-tripping.
+    #[test]
+    fn cache_round_trip_is_lossless(trace in trace_strategy()) {
+        let mut buf = Vec::new();
+        cache::write_trace(&trace, &mut buf).expect("write");
+        let back = cache::read_trace(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Truncating a valid cache anywhere yields an error, never a panic or
+    /// a silently wrong trace.
+    #[test]
+    fn truncated_cache_errors_cleanly(trace in trace_strategy(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        cache::write_trace(&trace, &mut buf).expect("write");
+        let cut = ((buf.len() as f64) * frac) as usize;
+        if cut < buf.len() {
+            buf.truncate(cut);
+            prop_assert!(cache::read_trace(buf.as_slice()).is_err());
+        }
+    }
+
+    /// Flipping a byte in the payload area either errors or produces *a*
+    /// trace — never a panic.
+    #[test]
+    fn corrupted_cache_never_panics(trace in trace_strategy(), pos in 0usize..4096, val in 0u8..=255) {
+        let mut buf = Vec::new();
+        cache::write_trace(&trace, &mut buf).expect("write");
+        if !buf.is_empty() {
+            let i = pos % buf.len();
+            buf[i] = val;
+            let _ = cache::read_trace(buf.as_slice());
+        }
+    }
+}

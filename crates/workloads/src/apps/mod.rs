@@ -1,0 +1,18 @@
+//! One generator per Table II application, grouped by code family.
+//!
+//! Each module documents the communication pattern it reproduces and the
+//! source of that pattern (the mini-app's published description). All
+//! generators are deterministic given their seed and produce traces at the
+//! Table II process counts.
+
+pub mod amg;
+pub mod amr;
+pub mod bigfft;
+pub mod boxlib;
+pub mod crystal;
+pub mod hilo;
+pub mod lulesh;
+pub mod minife;
+pub mod mocfe;
+pub mod nekbone;
+pub mod sweep;

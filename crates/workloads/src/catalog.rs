@@ -1,0 +1,180 @@
+//! The Table II application catalog.
+
+use crate::apps;
+use otm_trace::AppTrace;
+
+/// One Table II entry: metadata plus its generator.
+#[derive(Clone, Copy)]
+pub struct AppSpec {
+    /// Application name, exactly as in Table II.
+    pub name: &'static str,
+    /// The Table II description.
+    pub description: &'static str,
+    /// Number of processes recorded in the (synthetic) trace.
+    pub processes: usize,
+    /// Deterministic trace generator.
+    pub generate: fn(u64) -> AppTrace,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec")
+            .field("name", &self.name)
+            .field("processes", &self.processes)
+            .finish()
+    }
+}
+
+/// All sixteen Table II applications, sorted by name as in the paper.
+pub fn catalog() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "AMG",
+            description: "Algebraic MultiGrid. Linear equation solver",
+            processes: apps::amg::PROCESSES,
+            generate: apps::amg::generate,
+        },
+        AppSpec {
+            name: "AMR MiniApp",
+            description: "Single step AMR for hydrodynamics",
+            processes: apps::amr::PROCESSES,
+            generate: apps::amr::generate,
+        },
+        AppSpec {
+            name: "BigFFT",
+            description: "Distributed Fast Fourier Transform",
+            processes: apps::bigfft::PROCESSES,
+            generate: apps::bigfft::generate,
+        },
+        AppSpec {
+            name: "BoxLib CNS",
+            description: "Compressible Navier Stokes equations integrator",
+            processes: apps::boxlib::CNS_PROCESSES,
+            generate: apps::boxlib::generate_cns,
+        },
+        AppSpec {
+            name: "BoxLib MultiGrid",
+            description: "Single step BoxLib linear solver",
+            processes: apps::boxlib::BOXLIB_MG_PROCESSES,
+            generate: apps::boxlib::generate_boxlib_mg,
+        },
+        AppSpec {
+            name: "CrystalRouter",
+            description: "Proxy application for the Nek5000 scalable communication pattern",
+            processes: apps::crystal::PROCESSES,
+            generate: apps::crystal::generate,
+        },
+        AppSpec {
+            name: "FillBoundary",
+            description: "Proxy application for ghost cell exchange using MultiFabs",
+            processes: apps::boxlib::FILLBOUNDARY_PROCESSES,
+            generate: apps::boxlib::generate_fillboundary,
+        },
+        AppSpec {
+            name: "HILO",
+            description: "Modeling of Neutron Transport Evaluation and Test Suite",
+            processes: apps::hilo::PROCESSES,
+            generate: apps::hilo::generate_hilo,
+        },
+        AppSpec {
+            name: "HILO 2D",
+            description: "Modeling of Neutron Transport Evaluation and Test Suite in 2D multinode",
+            processes: apps::hilo::PROCESSES,
+            generate: apps::hilo::generate_hilo2d,
+        },
+        AppSpec {
+            name: "LULESH",
+            description: "Proxy application for hydrodynamic codes",
+            processes: apps::lulesh::PROCESSES,
+            generate: apps::lulesh::generate,
+        },
+        AppSpec {
+            name: "MiniFe",
+            description: "Proxy application for finite elements codes",
+            processes: apps::minife::PROCESSES,
+            generate: apps::minife::generate,
+        },
+        AppSpec {
+            name: "MOCFE",
+            description: "Proxy application for Method of Characteristics (MOC) reactor simulator",
+            processes: apps::mocfe::PROCESSES,
+            generate: apps::mocfe::generate,
+        },
+        AppSpec {
+            name: "MultiGrid",
+            description: "MultiGrid solver based on BoxLib",
+            processes: apps::boxlib::MULTIGRID_PROCESSES,
+            generate: apps::boxlib::generate_multigrid,
+        },
+        AppSpec {
+            name: "Nekbone",
+            description: "Proxy application for the Nek5000 poison equation solver",
+            processes: apps::nekbone::PROCESSES,
+            generate: apps::nekbone::generate,
+        },
+        AppSpec {
+            name: "PARTISN",
+            description: "Discrete-ordinates neutral-particle transport equation solver",
+            processes: apps::sweep::PROCESSES,
+            generate: apps::sweep::generate_partisn,
+        },
+        AppSpec {
+            name: "SNAP",
+            description: "Proxy application for the PARTISN communication pattern",
+            processes: apps::sweep::PROCESSES,
+            generate: apps::sweep::generate_snap,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_applications_as_in_table2() {
+        assert_eq!(catalog().len(), 16);
+    }
+
+    #[test]
+    fn names_are_sorted_alphabetically_as_in_table2() {
+        let names: Vec<&str> = catalog().iter().map(|a| a.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_by_key(|n| n.to_lowercase());
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn process_counts_match_table2() {
+        let expected: Vec<(&str, usize)> = vec![
+            ("AMG", 8),
+            ("AMR MiniApp", 64),
+            ("BigFFT", 1024),
+            ("BoxLib CNS", 64),
+            ("BoxLib MultiGrid", 64),
+            ("CrystalRouter", 100),
+            ("FillBoundary", 1000),
+            ("HILO", 256),
+            ("HILO 2D", 256),
+            ("LULESH", 64),
+            ("MiniFe", 1152),
+            ("MOCFE", 64),
+            ("MultiGrid", 1000),
+            ("Nekbone", 64),
+            ("PARTISN", 168),
+            ("SNAP", 168),
+        ];
+        let got: Vec<(&str, usize)> = catalog().iter().map(|a| (a.name, a.processes)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn every_generator_matches_its_declared_size_and_name() {
+        for spec in catalog() {
+            let trace = (spec.generate)(0);
+            assert_eq!(trace.processes(), spec.processes, "{}", spec.name);
+            assert_eq!(trace.name, spec.name);
+            assert!(trace.total_ops() > 0, "{}", spec.name);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Collectives on top of offloaded matching — the §VII motivation: "in
+//! order to be executed, the incoming message needs to be matched ...
+//! offloading tag matching is a necessary step to be able to offload the
+//! full chain of actions."
+//!
+//! An 8-node simulated cluster (full mesh, one optimistic matching service
+//! per node) runs a binomial-tree broadcast and an allreduce; every tree
+//! hop crosses the complete receive path: wire → bounce buffer → CQ →
+//! optimistic matching → eager/rendezvous protocol.
+//!
+//! Run with: `cargo run --release --example collective_offload`
+
+use dpa_sim::collectives::{allreduce_sum, broadcast};
+use dpa_sim::{Cluster, ClusterBackend};
+use otm_base::{MatchConfig, Tag};
+
+fn main() {
+    let n = 8;
+    let config = MatchConfig::default()
+        .with_max_receives(256)
+        .with_max_unexpected(256)
+        .with_bins(64);
+    let mut cluster = Cluster::new(n, ClusterBackend::Offloaded, config);
+    println!(
+        "{n}-node cluster, per-node backend: {}",
+        cluster.node_mut(0).backend_name()
+    );
+
+    // Broadcast a model snapshot from rank 0.
+    let payload = b"model weights v17".to_vec();
+    let copies = broadcast(&mut cluster, 0, payload.clone(), Tag(1)).expect("broadcast");
+    assert!(copies.iter().all(|c| c == &payload));
+    println!(
+        "broadcast: {} bytes delivered to all {n} nodes",
+        payload.len()
+    );
+
+    // Allreduce the per-node gradients.
+    let values: Vec<Vec<u64>> = (0..n)
+        .map(|r| vec![r as u64 + 1, 10 * (r as u64 + 1)])
+        .collect();
+    let sums = allreduce_sum(&mut cluster, &values, Tag(2)).expect("allreduce");
+    println!("allreduce: every node holds {:?}", sums[0]);
+    assert!(sums.iter().all(|s| s == &sums[0]));
+
+    // Every match happened on the simulated NIC, none on the "host".
+    println!("\nper-node offloaded matching activity:");
+    for i in 0..n {
+        let stats = cluster
+            .node_mut(i)
+            .engine_stats()
+            .expect("offloaded nodes have stats");
+        println!(
+            "  node {i}: matched {:>2} | unexpected {:>2} | mean search depth {:.2}",
+            stats.matched,
+            stats.unexpected,
+            stats.mean_search_depth()
+        );
+    }
+}

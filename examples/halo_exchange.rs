@@ -1,0 +1,69 @@
+//! A receiver-side view of a 3-D halo exchange — the workload class that
+//! dominates the paper's application analysis (§V).
+//!
+//! One rank of a 4×4×4 job receives ghost-cell messages from its 26
+//! neighbors over several timesteps. Receives are pre-posted per step with
+//! per-direction tags; neighbors' messages arrive out of order. The example
+//! prints how the optimistic engine's search depth compares between a
+//! 1-bin ("traditional") configuration and the paper's binned layout.
+//!
+//! Run with: `cargo run --release --example halo_exchange`
+
+use mpi_matching::{MsgHandle, RecvHandle};
+use otm::OtmEngine;
+use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+
+const NEIGHBORS: usize = 26;
+const STEPS: u64 = 50;
+
+fn run(bins: usize) -> (f64, u64) {
+    let config = MatchConfig::default()
+        .with_bins(bins)
+        .with_block_threads(32);
+    let mut engine = OtmEngine::new(config).expect("valid config");
+    let mut next_recv = 0u64;
+    let mut next_msg = 0u64;
+    for step in 0..STEPS {
+        // Pre-post one receive per neighbor, tagged by direction.
+        for d in 0..NEIGHBORS {
+            let pattern = ReceivePattern::exact(Rank(d as u32), Tag((step as u32) << 5 | d as u32));
+            engine.post(pattern, RecvHandle(next_recv)).unwrap();
+            next_recv += 1;
+        }
+        // Neighbors send in a scrambled order (they stagger their send
+        // loops); the block engine matches them in parallel.
+        let mut order: Vec<usize> = (0..NEIGHBORS).collect();
+        order.sort_by_key(|&d| otm_base::hash::mix64(step ^ ((d as u64) << 7)));
+        let block: Vec<(Envelope, MsgHandle)> = order
+            .iter()
+            .map(|&d| {
+                let m = MsgHandle(next_msg);
+                next_msg += 1;
+                (
+                    Envelope::world(Rank(d as u32), Tag((step as u32) << 5 | d as u32)),
+                    m,
+                )
+            })
+            .collect();
+        let deliveries = engine.process_stream(&block).unwrap();
+        assert!(
+            deliveries.iter().all(|d| d.matched().is_some()),
+            "halo fully matched"
+        );
+    }
+    let stats = engine.stats();
+    (stats.mean_search_depth(), stats.search_depth_max)
+}
+
+fn main() {
+    println!("26-neighbor halo exchange, {STEPS} steps, out-of-order arrivals\n");
+    for bins in [1usize, 32, 128] {
+        let (mean, max) = run(bins);
+        println!("bins = {bins:>3}: mean search depth {mean:>6.2}, max {max:>3}");
+    }
+    println!(
+        "\nWith one bin every pending receive shares a list (traditional matching);\n\
+         binning spreads the 26 (src, tag) keys so most searches hit immediately —\n\
+         the effect behind Fig. 7 of the paper."
+    );
+}

@@ -1,0 +1,70 @@
+//! The paper's trace-analyzer flow (§V) end to end: generate a DOE
+//! mini-app workload, write it out as DUMPI text, parse it back (through
+//! the binary cache), and replay it at several bin counts.
+//!
+//! Run with: `cargo run --release --example trace_analysis [app-name]`
+//! (default app: "BoxLib CNS"; pass e.g. "LULESH" or "MOCFE").
+
+use otm_trace::report::{fig6_row, fig7_cell};
+use otm_trace::{cache, dumpi, replay, ReplayConfig};
+
+fn main() {
+    let app_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BoxLib CNS".to_string());
+    let spec = otm_workloads::catalog()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(&app_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app '{app_name}'; available:");
+            for a in otm_workloads::catalog() {
+                eprintln!("  {}", a.name);
+            }
+            std::process::exit(1);
+        });
+
+    println!("generating {} ({} processes)...", spec.name, spec.processes);
+    let trace = (spec.generate)(42);
+
+    // Round-trip through the DUMPI text format and the binary cache, the
+    // way the analyzer ingests real traces.
+    let dir = std::env::temp_dir().join(format!("otm-trace-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for rank in &trace.ranks {
+        std::fs::write(
+            dir.join(format!("dumpi-{}.txt", rank.rank.0)),
+            dumpi::write_rank_text(&rank.ops),
+        )
+        .unwrap();
+    }
+    let cache_path = dir.join("trace.otmcache");
+    let t0 = std::time::Instant::now();
+    let parsed = cache::load_or_parse(&dir, &cache_path, spec.name).expect("parse");
+    let cold = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let _again = cache::load_or_parse(&dir, &cache_path, spec.name).expect("cached load");
+    let warm = t1.elapsed();
+    println!(
+        "parsed {} ops from {} rank files in {cold:?} (cached reload: {warm:?})\n",
+        parsed.total_ops(),
+        parsed.processes()
+    );
+
+    // Fig. 6 row: the application's call-type distribution.
+    let base = replay(&parsed, &ReplayConfig { bins: 1 });
+    println!("{}", fig6_row(&base));
+    println!(
+        "tags: {} distinct, {} (src, tag) pairs, {:.1}% wildcard receives\n",
+        base.tag_usage.distinct_tags,
+        base.tag_usage.distinct_src_tag_pairs,
+        100.0 * base.tag_usage.wildcard_recv_fraction
+    );
+
+    // Fig. 7 sweep: queue depth vs bin count.
+    for bins in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let report = replay(&parsed, &ReplayConfig { bins });
+        println!("{}", fig7_cell(&report));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

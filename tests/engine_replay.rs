@@ -1,0 +1,67 @@
+//! The strongest cross-crate check in the workspace: replaying every
+//! Table II application through the *real* optimistic engine
+//! (`otm::SequentialOtm`, descriptor table + booking machinery included)
+//! must produce exactly the same outcomes — and, because engine and
+//! analyzer implement the same §III-B organization with the same hash
+//! function, exactly the same search depths — as the analyzer's
+//! lightweight emulation.
+
+use otm_trace::{replay, replay::replay_engine, ReplayConfig};
+
+#[test]
+fn engine_replay_matches_emulation_for_every_application() {
+    for spec in otm_workloads::catalog() {
+        let trace = (spec.generate)(42);
+        for bins in [1usize, 32] {
+            let config = ReplayConfig { bins };
+            let emul = replay(&trace, &config);
+            let engine = replay_engine(&trace, &config);
+
+            // Outcomes must be identical (matching is deterministic).
+            assert_eq!(
+                emul.match_stats.matched_on_arrival, engine.match_stats.matched_on_arrival,
+                "{} bins={bins}: matched-on-arrival",
+                spec.name
+            );
+            assert_eq!(
+                emul.match_stats.unexpected, engine.match_stats.unexpected,
+                "{} bins={bins}: unexpected",
+                spec.name
+            );
+            assert_eq!(
+                emul.match_stats.matched_on_post, engine.match_stats.matched_on_post,
+                "{} bins={bins}: matched-on-post",
+                spec.name
+            );
+            assert_eq!(
+                emul.final_prq, engine.final_prq,
+                "{} bins={bins}",
+                spec.name
+            );
+            assert_eq!(
+                emul.final_umq, engine.final_umq,
+                "{} bins={bins}",
+                spec.name
+            );
+
+            // Same data structures, same hash, same bins — same depths.
+            assert_eq!(
+                emul.match_stats.prq_search, engine.match_stats.prq_search,
+                "{} bins={bins}: PRQ search depths",
+                spec.name
+            );
+            assert_eq!(
+                emul.match_stats.umq_search, engine.match_stats.umq_search,
+                "{} bins={bins}: UMQ search depths",
+                spec.name
+            );
+
+            // And the call distribution is a property of the trace alone.
+            assert_eq!(
+                emul.call_dist, engine.call_dist,
+                "{} bins={bins}",
+                spec.name
+            );
+        }
+    }
+}

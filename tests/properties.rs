@@ -1,0 +1,146 @@
+//! Property-based tests (proptest): randomized workloads over every engine,
+//! asserting oracle equivalence and structural invariants.
+
+use mpi_matching::binned::BinnedMatcher;
+use mpi_matching::oracle::{MatchEvent, Oracle};
+use mpi_matching::rank_based::RankBasedMatcher;
+use mpi_matching::traditional::TraditionalMatcher;
+use mpi_matching::Matcher;
+use otm::OtmEngine;
+use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+use otm_trace::emul::FourIndexMatcher;
+use proptest::prelude::*;
+
+/// Strategy: one matching event over a small (rank, tag) space — small so
+/// wildcards and duplicates collide often.
+fn event_strategy() -> impl Strategy<Value = MatchEvent> {
+    let src = 0u32..3;
+    let tag = 0u32..3;
+    prop_oneof![
+        4 => (src.clone(), tag.clone())
+            .prop_map(|(s, t)| MatchEvent::Arrive(Envelope::world(Rank(s), Tag(t)))),
+        3 => (src.clone(), tag.clone())
+            .prop_map(|(s, t)| MatchEvent::Post(ReceivePattern::exact(Rank(s), Tag(t)))),
+        1 => tag.clone().prop_map(|t| MatchEvent::Post(ReceivePattern::any_source(Tag(t)))),
+        1 => src.prop_map(|s| MatchEvent::Post(ReceivePattern::any_tag(Rank(s)))),
+        1 => Just(MatchEvent::Post(ReceivePattern::any_any())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All sequential engines equal the oracle on arbitrary event streams.
+    #[test]
+    fn sequential_engines_equal_oracle(events in prop::collection::vec(event_strategy(), 0..200)) {
+        let expect = Oracle::run(&events);
+        let mut engines: Vec<Box<dyn Matcher>> = vec![
+            Box::new(TraditionalMatcher::new()),
+            Box::new(BinnedMatcher::new(1)),
+            Box::new(BinnedMatcher::new(16)),
+            Box::new(RankBasedMatcher::new()),
+            Box::new(FourIndexMatcher::new(1)),
+            Box::new(FourIndexMatcher::new(16)),
+        ];
+        for engine in &mut engines {
+            let got = Oracle::drive(engine.as_mut(), &events).unwrap();
+            prop_assert_eq!(&got, &expect, "{} diverged", engine.strategy_name());
+            prop_assert!(got.is_consistent());
+        }
+    }
+
+    /// The parallel engine equals the oracle when arrivals are chunked into
+    /// blocks of arbitrary size at arbitrary post boundaries.
+    #[test]
+    fn parallel_engine_equals_oracle(
+        events in prop::collection::vec(event_strategy(), 0..120),
+        block in 1usize..9,
+    ) {
+        let expect = Oracle::run(&events);
+        let config = MatchConfig::default()
+            .with_block_threads(block)
+            .with_max_receives(1024)
+            .with_max_unexpected(1024)
+            .with_bins(16);
+        let mut engine = OtmEngine::new(config).unwrap();
+        let mut asg = mpi_matching::Assignment::default();
+        let mut next_recv = 0u64;
+        let mut next_msg = 0u64;
+        let mut pending: Vec<(Envelope, mpi_matching::MsgHandle)> = Vec::new();
+        let flush = |engine: &mut OtmEngine,
+                         pending: &mut Vec<(Envelope, mpi_matching::MsgHandle)>,
+                         asg: &mut mpi_matching::Assignment| {
+            for d in engine.process_stream(pending).unwrap() {
+                match d {
+                    otm::Delivery::Matched { msg, recv } => {
+                        asg.msg_to_recv.insert(msg, Some(recv));
+                        asg.recv_to_msg.insert(recv, Some(msg));
+                    }
+                    otm::Delivery::Unexpected { msg } => {
+                        asg.msg_to_recv.insert(msg, None);
+                    }
+                }
+            }
+            pending.clear();
+        };
+        for ev in &events {
+            match *ev {
+                MatchEvent::Post(p) => {
+                    // Posts drain the pending arrivals first (QP ordering).
+                    flush(&mut engine, &mut pending, &mut asg);
+                    let h = mpi_matching::RecvHandle(next_recv);
+                    next_recv += 1;
+                    match engine.post(p, h).unwrap() {
+                        mpi_matching::PostResult::Matched(m) => {
+                            asg.recv_to_msg.insert(h, Some(m));
+                            asg.msg_to_recv.insert(m, Some(h));
+                        }
+                        mpi_matching::PostResult::Posted => {
+                            asg.recv_to_msg.insert(h, None);
+                        }
+                    }
+                }
+                MatchEvent::Arrive(env) => {
+                    pending.push((env, mpi_matching::MsgHandle(next_msg)));
+                    next_msg += 1;
+                }
+            }
+        }
+        flush(&mut engine, &mut pending, &mut asg);
+        prop_assert_eq!(&asg, &expect);
+        prop_assert!(asg.is_consistent());
+    }
+
+    /// Queue-length invariant: posts+arrivals conserve — every event is
+    /// matched exactly once or sits in exactly one queue.
+    #[test]
+    fn conservation_of_events(events in prop::collection::vec(event_strategy(), 0..200)) {
+        let mut m = TraditionalMatcher::new();
+        let asg = Oracle::drive(&mut m, &events).unwrap();
+        let posts = events.iter().filter(|e| matches!(e, MatchEvent::Post(_))).count();
+        let arrivals = events.len() - posts;
+        let pairs = asg.pairs();
+        prop_assert_eq!(m.prq_len(), posts - pairs);
+        prop_assert_eq!(m.umq_len(), arrivals - pairs);
+        let stats = m.stats();
+        prop_assert_eq!(stats.matched_on_arrival + stats.matched_on_post, pairs as u64);
+    }
+
+    /// The analyzer's four-index matcher records depth samples for every
+    /// event and its outcome counters always sum up.
+    #[test]
+    fn four_index_stats_are_complete(
+        events in prop::collection::vec(event_strategy(), 0..150),
+        bins in 1usize..64,
+    ) {
+        let mut m = FourIndexMatcher::new(bins);
+        Oracle::drive(&mut m, &events).unwrap();
+        let stats = m.stats();
+        let posts = events.iter().filter(|e| matches!(e, MatchEvent::Post(_))).count() as u64;
+        let arrivals = events.len() as u64 - posts;
+        prop_assert_eq!(stats.umq_search.count, posts);
+        prop_assert_eq!(stats.prq_search.count, arrivals);
+        prop_assert_eq!(stats.matched_on_post + stats.posted, posts);
+        prop_assert_eq!(stats.matched_on_arrival + stats.unexpected, arrivals);
+    }
+}
