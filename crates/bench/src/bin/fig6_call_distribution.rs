@@ -6,13 +6,15 @@
 //! HILO pair) and zero one-sided usage.
 //!
 //! Run with: `cargo run --release -p otm-bench --bin fig6_call_distribution`
+//! (`--out PATH` redirects the JSON report).
 
-use otm_bench::{dump_json, header};
+use otm_bench::{header, observability_value, write_report, BenchReport, CommonArgs};
 use otm_trace::replay::AppReport;
 use otm_trace::report::fig6_row;
 use otm_trace::{replay, ReplayConfig};
 
 fn main() {
+    let args = CommonArgs::parse();
     header("Figure 6: distribution of MPI calls for the application set");
     let mut reports: Vec<AppReport> = Vec::new();
     for spec in otm_workloads::catalog() {
@@ -36,6 +38,9 @@ fn main() {
     println!("collectives-only applications:     {coll_only} (paper: 2, the HILO pair)");
     println!("one-sided operations anywhere:     {one_sided} (paper: none)");
 
-    let path = dump_json("fig6_call_distribution", &reports);
+    // The replay registry carries progress counters for the whole sweep.
+    let obs = observability_value(otm_trace::replay_metrics().snapshot_json().as_deref());
+    let report = BenchReport::with_observability("fig6_call_distribution", false, reports, obs);
+    let path = write_report(&args, &report);
     println!("\nJSON artifact: {}", path.display());
 }

@@ -9,8 +9,9 @@
 //! BoxLib CNS max 25 → 3 → 1.
 //!
 //! Run with: `cargo run --release -p otm-bench --bin fig7_queue_depth`
+//! (`--full` sweeps 1..256 bins; `--out PATH` redirects the JSON report).
 
-use otm_bench::{dump_json, header};
+use otm_bench::{header, observability_value, write_report, BenchReport, CommonArgs};
 use otm_trace::replay::AppReport;
 use otm_trace::{replay, ReplayConfig};
 use serde::Serialize;
@@ -23,8 +24,8 @@ struct Fig7 {
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let bins: Vec<usize> = if full {
+    let args = CommonArgs::parse();
+    let bins: Vec<usize> = if args.full {
         vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
     } else {
         vec![1, 32, 128]
@@ -74,13 +75,17 @@ fn main() {
     println!("\npaper anchors: averages 8.21 / 0.80 / 0.33 at 1 / 32 / 128 bins (−90% / −95%);");
     println!("               BoxLib CNS max depth 25 -> 3 -> 1");
 
-    let path = dump_json(
+    let obs = observability_value(otm_trace::replay_metrics().snapshot_json().as_deref());
+    let report = BenchReport::with_observability(
         "fig7_queue_depth",
-        &Fig7 {
+        !args.full,
+        Fig7 {
             bins,
             per_app,
             averages,
         },
+        obs,
     );
+    let path = write_report(&args, &report);
     println!("\nJSON artifact: {}", path.display());
 }

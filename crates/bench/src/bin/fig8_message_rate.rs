@@ -17,16 +17,31 @@
 //! simulated device on host threads.
 //!
 //! Run with: `cargo run --release -p otm-bench --bin fig8_message_rate`
-//! (`--quick` shrinks the repeat count for smoke testing).
+//! (`--quick` shrinks the repeat count for smoke testing; `--messages N`
+//! budgets ~N messages per series; `--repeats N` sets the count directly;
+//! `--out PATH` redirects the JSON report).
+//!
+//! The JSON report is a [`BenchReport`] whose `observability` object maps
+//! each offloaded series label to its merged registry snapshot: the
+//! per-path resolution counters (NC / WC-FP / WC-SP), the search-depth and
+//! block-latency histogram quantiles, and the dpa-sim queue-depth gauges.
 
 use dpa_sim::{MatchMode, PingPongConfig, PingPongResult, Scenario};
-use otm_bench::{dump_json, header};
+use otm_bench::{header, observability_value, write_report, BenchReport, CommonArgs};
+use std::collections::BTreeMap;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let repeats = if quick { 50 } else { 500 };
+    let args = CommonArgs::parse();
+    let k = 100usize;
+    // --messages budgets the total per-series message count (the CI smoke
+    // step runs with --messages 1000); otherwise --repeats / --quick.
+    let repeats = match args.messages {
+        Some(m) => (m as usize / k).max(1),
+        None => args.repeats_or(500, 50),
+    };
+    let quick = repeats < 500;
     header("Figure 8: single-process message rate");
-    println!("ping-pong: k=100 msgs/sequence, {repeats} repeats, 1024 in-flight receives\n");
+    println!("ping-pong: k={k} msgs/sequence, {repeats} repeats, 1024 in-flight receives\n");
 
     let runs: Vec<(MatchMode, Scenario)> = vec![
         (
@@ -47,9 +62,10 @@ fn main() {
     ];
 
     let mut results: Vec<PingPongResult> = Vec::new();
+    let mut observability: BTreeMap<String, serde_json::Value> = BTreeMap::new();
     for (mode, scenario) in runs {
         let cfg = PingPongConfig {
-            k: 100,
+            k,
             repeats,
             scenario,
             ..Default::default()
@@ -63,6 +79,7 @@ fn main() {
                 Scenario::WithConflict => "MPI-CPU (WC receives)".to_string(),
             };
         }
+        harvest(&mut result, &mut observability);
         print_result(&result);
         results.push(result);
     }
@@ -74,7 +91,7 @@ fn main() {
     // structure cost from that artifact (see EXPERIMENTS.md).
     {
         let cfg = PingPongConfig {
-            k: 100,
+            k,
             repeats,
             scenario: Scenario::NoConflict,
             block_threads: 1,
@@ -83,10 +100,20 @@ fn main() {
         let mut result =
             dpa_sim::pingpong::run_pingpong(MatchMode::OptimisticDpa { fast_path: true }, &cfg);
         result.label = "Optimistic-DPA NC (1 exec unit)".to_string();
+        harvest(&mut result, &mut observability);
         print_result(&result);
         results.push(result);
     }
-    finish(results);
+    finish(&args, quick, results, observability);
+}
+
+/// Moves a run's registry snapshot out of the result row and into the
+/// report-level observability map, parsed into structured JSON.
+fn harvest(result: &mut PingPongResult, observability: &mut BTreeMap<String, serde_json::Value>) {
+    if let Some(v) = observability_value(result.observability_json.as_deref()) {
+        observability.insert(result.label.clone(), v);
+    }
+    result.observability_json = None;
 }
 
 fn print_result(result: &PingPongResult) {
@@ -100,7 +127,12 @@ fn print_result(result: &PingPongResult) {
     println!();
 }
 
-fn finish(results: Vec<PingPongResult>) {
+fn finish(
+    args: &CommonArgs,
+    quick: bool,
+    results: Vec<PingPongResult>,
+    observability: BTreeMap<String, serde_json::Value>,
+) {
     // Shape checks mirrored from the paper's discussion of Fig. 8.
     let rate = |label: &str| {
         results
@@ -123,6 +155,16 @@ fn finish(results: Vec<PingPongResult>) {
         nc > fp.min(sp)
     );
 
-    let path = dump_json("fig8_message_rate", &results);
+    let report = BenchReport::with_observability(
+        "fig8_message_rate",
+        quick,
+        results,
+        if observability.is_empty() {
+            None
+        } else {
+            Some(observability)
+        },
+    );
+    let path = write_report(args, &report);
     println!("\nJSON artifact: {}", path.display());
 }

@@ -6,9 +6,10 @@
 //! the BlueField-3 DPA caches (L2 1.5 MiB, L3 3 MiB).
 //!
 //! Run with: `cargo run --release -p otm-bench --bin memory_footprint`
+//! (`--out PATH` redirects the JSON report).
 
 use otm_base::memory::{Footprint, BIN_BYTES, DESCRIPTOR_BYTES, DPA_L2_BYTES, DPA_L3_BYTES};
-use otm_bench::{dump_json, header};
+use otm_bench::{header, write_report, BenchReport, CommonArgs};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,6 +22,7 @@ struct Row {
 }
 
 fn main() {
+    let args = CommonArgs::parse();
     header("Section IV-E: DPA memory footprint model");
     println!("bin entry: {BIN_BYTES} B, receive descriptor: {DESCRIPTOR_BYTES} B");
     println!(
@@ -54,6 +56,7 @@ fn main() {
     }
 
     println!("\npaper anchors: 7.5 KiB for 128 bins x 3 tables; ~520 KiB for 8K receives.");
-    let path = dump_json("memory_footprint", &rows);
+    let report = BenchReport::new("memory_footprint", false, rows);
+    let path = write_report(&args, &report);
     println!("JSON artifact: {}", path.display());
 }

@@ -12,6 +12,7 @@
 //! * wildcard-heavy: everything serializes, as the standard requires.
 //!
 //! Run with: `cargo run --release -p otm-bench --bin table1_strategies`
+//! (`--out PATH` redirects the JSON report).
 
 use mpi_matching::binned::BinnedMatcher;
 use mpi_matching::oracle::{MatchEvent, Oracle};
@@ -19,7 +20,7 @@ use mpi_matching::rank_based::RankBasedMatcher;
 use mpi_matching::traditional::TraditionalMatcher;
 use mpi_matching::Matcher;
 use otm_base::{Envelope, Rank, ReceivePattern, Tag};
-use otm_bench::{dump_json, header};
+use otm_bench::{header, write_report, BenchReport, CommonArgs};
 use otm_trace::emul::FourIndexMatcher;
 use serde::Serialize;
 
@@ -65,6 +66,7 @@ struct Row {
 }
 
 fn main() {
+    let args = CommonArgs::parse();
     header("Table I (operationalized): matching strategies under adversarial workloads");
     let n = 128u32;
     let workloads: Vec<(&'static str, Vec<MatchEvent>)> = vec![
@@ -111,6 +113,7 @@ fn main() {
     println!("bin-based and the optimistic indexes flatten both; wildcards serialize everyone,");
     println!("which is why the MPI hints of §VII matter.");
 
-    let path = dump_json("table1_strategies", &rows);
+    let report = BenchReport::new("table1_strategies", false, rows);
+    let path = write_report(&args, &report);
     println!("\nJSON artifact: {}", path.display());
 }

@@ -6,8 +6,9 @@
 //! DESIGN.md §1).
 //!
 //! Run with: `cargo run --release -p otm-bench --bin table2_applications`
+//! (`--out PATH` redirects the JSON report).
 
-use otm_bench::{dump_json, header};
+use otm_bench::{header, write_report, BenchReport, CommonArgs};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -19,6 +20,7 @@ struct Row {
 }
 
 fn main() {
+    let args = CommonArgs::parse();
     header("Table II: application traces analyzed, sorted by name");
     println!(
         "{:<18} {:>6}  {:>9}  description",
@@ -41,6 +43,7 @@ fn main() {
             total_ops: trace.total_ops(),
         });
     }
-    let path = dump_json("table2_applications", &rows);
+    let report = BenchReport::new("table2_applications", false, rows);
+    let path = write_report(&args, &report);
     println!("\nJSON artifact: {}", path.display());
 }

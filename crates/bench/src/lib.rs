@@ -4,12 +4,136 @@
 //! DESIGN.md §3 for the index) and, besides the human-readable rows, drops
 //! a JSON artifact under `target/experiments/` so EXPERIMENTS.md numbers
 //! have machine-readable provenance.
+//!
+//! Since the observability PR every binary emits the same [`BenchReport`]
+//! envelope: the bench-specific rows under `results`, plus — when the
+//! instrumented crates are compiled with their default `metrics` feature —
+//! an `observability` object holding parsed `otm-metrics` registry
+//! snapshots (counters, queue-depth gauges, histogram quantiles). Command
+//! lines are parsed by the shared [`CommonArgs`] so every harness accepts
+//! the same `--quick` / `--full` / `--messages N` / `--repeats N` /
+//! `--out PATH` vocabulary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;
 use std::path::PathBuf;
+
+/// Command-line vocabulary shared by all harness binaries.
+///
+/// Unrecognized tokens are ignored so individual binaries can layer their
+/// own flags on top without re-implementing the scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// `--quick`: shrink the workload for smoke testing.
+    pub quick: bool,
+    /// `--full`: extend the workload to the paper's full sweep.
+    pub full: bool,
+    /// `--messages N`: target message volume (harness-specific meaning;
+    /// fig8 divides it by the per-sequence k to derive the repeat count).
+    pub messages: Option<u64>,
+    /// `--repeats N`: explicit repeat count, overriding `--quick` presets.
+    pub repeats: Option<u64>,
+    /// `--out PATH`: write the JSON artifact here instead of
+    /// `target/experiments/<bench>.json`.
+    pub out: Option<PathBuf>,
+}
+
+impl CommonArgs {
+    /// Parses the process's command line (flag values that fail to parse
+    /// are ignored, like unknown flags).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (testable form of [`Self::parse`]).
+    pub fn from_iter<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut args = CommonArgs::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--quick" => args.quick = true,
+                "--full" => args.full = true,
+                "--messages" => args.messages = it.next().and_then(|v| v.parse().ok()),
+                "--repeats" => args.repeats = it.next().and_then(|v| v.parse().ok()),
+                "--out" => args.out = it.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        args
+    }
+
+    /// The effective repeat count: explicit `--repeats` wins, then the
+    /// quick/full preset split.
+    pub fn repeats_or(&self, full: usize, quick: usize) -> usize {
+        match self.repeats {
+            Some(r) => r.max(1) as usize,
+            None => {
+                if self.quick {
+                    quick
+                } else {
+                    full
+                }
+            }
+        }
+    }
+}
+
+/// The common machine-readable envelope every harness binary writes.
+///
+/// `results` carries the bench-specific rows (unchanged from the
+/// pre-envelope artifacts, one level down); `observability` carries parsed
+/// `otm-metrics` registry snapshots — per-path resolution counters,
+/// queue-depth gauges, histogram quantiles — when the run captured any.
+#[derive(Debug, Serialize)]
+pub struct BenchReport<T: Serialize, O: Serialize = ()> {
+    /// Harness name; also the default artifact file stem.
+    pub bench: &'static str,
+    /// True when `--quick` (or a small `--messages`) trimmed the workload,
+    /// flagging the numbers as smoke-test-scale.
+    pub quick: bool,
+    /// Bench-specific result rows.
+    pub results: T,
+    /// Parsed observability payload, if the run captured one.
+    pub observability: Option<O>,
+}
+
+impl<T: Serialize> BenchReport<T, ()> {
+    /// An envelope with no observability payload.
+    pub fn new(bench: &'static str, quick: bool, results: T) -> Self {
+        BenchReport {
+            bench,
+            quick,
+            results,
+            observability: None,
+        }
+    }
+}
+
+impl<T: Serialize, O: Serialize> BenchReport<T, O> {
+    /// An envelope carrying an observability payload.
+    pub fn with_observability(
+        bench: &'static str,
+        quick: bool,
+        results: T,
+        observability: Option<O>,
+    ) -> Self {
+        BenchReport {
+            bench,
+            quick,
+            results,
+            observability,
+        }
+    }
+}
+
+/// Parses an `otm-metrics` registry-snapshot JSON string (as returned by
+/// `RegistrySnapshot::to_json` or `MatchingService::observability_json`)
+/// into a JSON value for embedding in a [`BenchReport`].
+pub fn observability_value(json: Option<&str>) -> Option<serde_json::Value> {
+    json.and_then(|s| serde_json::from_str(s).ok())
+}
 
 /// Directory where harness binaries drop their JSON artifacts.
 pub fn experiments_dir() -> PathBuf {
@@ -20,6 +144,31 @@ pub fn experiments_dir() -> PathBuf {
         .join("experiments");
     std::fs::create_dir_all(&dir).expect("create target/experiments");
     dir
+}
+
+/// Writes a [`BenchReport`] to `--out` (if given) or
+/// `target/experiments/<bench>.json`, and returns the path.
+pub fn write_report<T: Serialize, O: Serialize>(
+    args: &CommonArgs,
+    report: &BenchReport<T, O>,
+) -> PathBuf {
+    let path = match &args.out {
+        Some(p) => {
+            if let Some(parent) = p.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create --out directory");
+                }
+            }
+            p.clone()
+        }
+        None => experiments_dir().join(format!("{}.json", report.bench)),
+    };
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(report).expect("serializable"),
+    )
+    .expect("write experiment artifact");
+    path
 }
 
 /// Serializes `value` to `target/experiments/<name>.json` and returns the
@@ -52,5 +201,67 @@ mod tests {
         let parsed: Vec<i32> = serde_json::from_str(&text).unwrap();
         assert_eq!(parsed, vec![1, 2, 3]);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn common_args_parse_the_shared_vocabulary() {
+        let args = CommonArgs::from_iter(
+            ["--quick", "--messages", "1000", "--out", "/tmp/x.json"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(args.quick);
+        assert!(!args.full);
+        assert_eq!(args.messages, Some(1000));
+        assert_eq!(args.repeats, None);
+        assert_eq!(
+            args.out.as_deref(),
+            Some(std::path::Path::new("/tmp/x.json"))
+        );
+    }
+
+    #[test]
+    fn common_args_ignore_unknown_flags_and_bad_values() {
+        let args = CommonArgs::from_iter(
+            ["--frobnicate", "--repeats", "abc", "--full"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(args.full);
+        assert_eq!(args.repeats, None);
+    }
+
+    #[test]
+    fn repeats_precedence_is_explicit_then_preset() {
+        let explicit = CommonArgs {
+            repeats: Some(7),
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(explicit.repeats_or(500, 50), 7);
+        let quick = CommonArgs {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(quick.repeats_or(500, 50), 50);
+        assert_eq!(CommonArgs::default().repeats_or(500, 50), 500);
+    }
+
+    #[test]
+    fn write_report_honors_out_path() {
+        let dir = experiments_dir().join("selftest-report");
+        let out = dir.join("custom.json");
+        let args = CommonArgs {
+            out: Some(out.clone()),
+            ..Default::default()
+        };
+        let report = BenchReport::new("selftest_report", true, vec![1u64, 2]);
+        let path = write_report(&args, &report);
+        assert_eq!(path, out);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["bench"], "selftest_report");
+        assert_eq!(v["quick"], true);
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -14,6 +14,8 @@
 //!   fallback to software tag matching (§IV-E);
 //! * [`nic`] — the receive-side NIC engine: RDMA receive completions are
 //!   staged into bounce buffers and exposed through a completion queue;
+//! * [`obs`] — feature-gated observability: queue-depth gauges and
+//!   NIC-memory pressure counters for the matching service;
 //! * [`service`] — the matching service: the offloaded optimistic engine
 //!   (blocks of N completions matched in parallel), the on-CPU traditional
 //!   matcher (MPI-CPU baseline), or no matching at all (RDMA-CPU ceiling),
@@ -30,11 +32,13 @@ pub mod cluster;
 pub mod collectives;
 pub mod memory;
 pub mod nic;
+pub mod obs;
 pub mod pingpong;
 pub mod rdma;
 pub mod service;
 
 pub use cluster::{Cluster, ClusterBackend, ClusterNode};
 pub use memory::DeviceMemory;
+pub use obs::ServiceMetrics;
 pub use pingpong::{MatchMode, PingPongConfig, PingPongResult, Scenario};
 pub use service::MatchingService;

@@ -146,6 +146,11 @@ impl RecvNic {
         self.cq.len()
     }
 
+    /// Bounce buffers currently holding staged messages.
+    pub fn bounce_in_use(&self) -> usize {
+        self.pool.in_use()
+    }
+
     /// Reads the staged bytes of a completion.
     pub fn staged(&self, bounce: BounceId) -> &[u8] {
         self.pool.data(bounce)

@@ -1,0 +1,225 @@
+//! Feature-gated service observability.
+//!
+//! [`ServiceMetrics`] is the matching service's handle to the `otm-metrics`
+//! registry: completion-queue poll counters, queue-depth gauges (CQ
+//! backlog, bounce-pool occupancy, unexpected-store size) with their peak
+//! twins, and counters for the two NIC-memory pressure events of §IV —
+//! bounce-buffer exhaustion and fallback to software matching.
+//!
+//! Like the engine-side [`otm::EngineMetrics`], the whole struct compiles
+//! to a zero-sized no-op under `--no-default-features`, so the simulator's
+//! receive path carries no instrumentation cost when observability is off.
+
+#[cfg(feature = "metrics")]
+mod imp {
+    use otm_metrics::{Counter, Gauge, Registry, RegistrySnapshot};
+    use std::sync::Arc;
+
+    /// Events retained by the timeline ring before overwriting.
+    #[cfg(feature = "trace-events")]
+    const TRACE_CAPACITY: usize = 16 * 1024;
+
+    /// Cheap-to-clone handle to the service's metric instruments.
+    #[derive(Debug, Clone)]
+    pub struct ServiceMetrics {
+        registry: Registry,
+        cq_polls: Arc<Counter>,
+        completions: Arc<Counter>,
+        bounce_spills: Arc<Counter>,
+        fallbacks: Arc<Counter>,
+        cq_depth: Arc<Gauge>,
+        cq_depth_peak: Arc<Gauge>,
+        bounce_in_use: Arc<Gauge>,
+        bounce_in_use_peak: Arc<Gauge>,
+        unexpected_depth: Arc<Gauge>,
+        #[cfg(feature = "trace-events")]
+        trace: Arc<otm_metrics::TraceRing>,
+    }
+
+    impl Default for ServiceMetrics {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl ServiceMetrics {
+        /// Creates a fresh registry with the service's instruments.
+        pub fn new() -> Self {
+            let registry = Registry::new();
+            Self {
+                cq_polls: registry.counter("dpa_cq_polls_total"),
+                completions: registry.counter("dpa_completions_total"),
+                bounce_spills: registry.counter("dpa_bounce_spills_total"),
+                fallbacks: registry.counter("dpa_fallbacks_total"),
+                cq_depth: registry.gauge("dpa_cq_depth"),
+                cq_depth_peak: registry.gauge("dpa_cq_depth_peak"),
+                bounce_in_use: registry.gauge("dpa_bounce_in_use"),
+                bounce_in_use_peak: registry.gauge("dpa_bounce_in_use_peak"),
+                unexpected_depth: registry.gauge("dpa_unexpected_depth"),
+                #[cfg(feature = "trace-events")]
+                trace: Arc::new(otm_metrics::TraceRing::new(TRACE_CAPACITY)),
+                registry,
+            }
+        }
+
+        /// Counts one completion-queue poll.
+        #[inline]
+        pub fn count_poll(&self) {
+            self.cq_polls.inc();
+        }
+
+        /// Counts receives completed by one progress call.
+        #[inline]
+        pub fn add_completions(&self, n: u64) {
+            self.completions.add(n);
+        }
+
+        /// Counts one bounce-pool exhaustion (a message had to wait on the
+        /// wire because NIC staging memory ran out).
+        #[inline]
+        pub fn count_spill(&self) {
+            self.bounce_spills.inc();
+        }
+
+        /// Counts one migration to host software matching (§IV-E).
+        #[inline]
+        pub fn count_fallback(&self) {
+            self.fallbacks.inc();
+        }
+
+        /// Updates the queue-depth gauges and their peak twins.
+        #[inline]
+        pub fn observe_queues(&self, cq: usize, bounce: usize, unexpected: usize) {
+            self.cq_depth.set(cq as i64);
+            self.cq_depth_peak.set_max(cq as i64);
+            self.bounce_in_use.set(bounce as i64);
+            self.bounce_in_use_peak.set_max(bounce as i64);
+            self.unexpected_depth.set(unexpected as i64);
+        }
+
+        /// The underlying registry (for embedding into a larger exporter).
+        pub fn registry(&self) -> &Registry {
+            &self.registry
+        }
+
+        /// Copies out all service metrics.
+        pub fn snapshot(&self) -> RegistrySnapshot {
+            self.registry.snapshot()
+        }
+
+        /// Pushes a timeline event (no-op unless `trace-events` is on).
+        #[inline]
+        pub fn trace_push(&self, worker: u32, kind: otm_metrics::EventKind) {
+            #[cfg(feature = "trace-events")]
+            self.trace.push(worker, kind);
+            #[cfg(not(feature = "trace-events"))]
+            let _ = (worker, kind);
+        }
+
+        /// The timeline ring.
+        #[cfg(feature = "trace-events")]
+        pub fn trace_ring(&self) -> &otm_metrics::TraceRing {
+            &self.trace
+        }
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod imp {
+    /// No-op stand-in: all instrumentation compiles away.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ServiceMetrics;
+
+    impl ServiceMetrics {
+        /// Creates the no-op handle.
+        pub fn new() -> Self {
+            ServiceMetrics
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn count_poll(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn add_completions(&self, _n: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_spill(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_fallback(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn observe_queues(&self, _cq: usize, _bounce: usize, _unexpected: usize) {}
+    }
+}
+
+pub use imp::ServiceMetrics;
+
+/// Pushes a service timeline event when `trace-events` is enabled; expands
+/// to nothing otherwise.
+#[cfg(feature = "trace-events")]
+macro_rules! service_trace_event {
+    ($metrics:expr, $worker:expr, $kind:ident) => {
+        $metrics.trace_push($worker as u32, ::otm_metrics::EventKind::$kind)
+    };
+}
+
+/// No-op expansion: `trace-events` is disabled.
+#[cfg(not(feature = "trace-events"))]
+macro_rules! service_trace_event {
+    ($metrics:expr, $worker:expr, $kind:ident) => {{
+        let _ = &$metrics;
+        let _ = $worker;
+    }};
+}
+
+pub(crate) use service_trace_event;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_service_metrics_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<ServiceMetrics>(), 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn queue_gauges_track_current_and_peak() {
+        let m = ServiceMetrics::new();
+        m.observe_queues(5, 3, 1);
+        m.observe_queues(2, 7, 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauges["dpa_cq_depth"], 2, "gauge follows the last set");
+        assert_eq!(
+            snap.gauges["dpa_cq_depth_peak"], 5,
+            "peak is a high-water mark"
+        );
+        assert_eq!(snap.gauges["dpa_bounce_in_use"], 7);
+        assert_eq!(snap.gauges["dpa_bounce_in_use_peak"], 7);
+        assert_eq!(snap.gauges["dpa_unexpected_depth"], 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn pressure_counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.count_poll();
+        m.count_poll();
+        m.add_completions(4);
+        m.count_spill();
+        m.count_fallback();
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["dpa_cq_polls_total"], 2);
+        assert_eq!(snap.counters["dpa_completions_total"], 4);
+        assert_eq!(snap.counters["dpa_bounce_spills_total"], 1);
+        assert_eq!(snap.counters["dpa_fallbacks_total"], 1);
+    }
+}

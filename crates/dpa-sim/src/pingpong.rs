@@ -107,6 +107,11 @@ pub struct PingPongResult {
     pub elapsed: Duration,
     /// Engine statistics for offloaded runs (verifies which path ran).
     pub engine_stats: Option<otm::StatsSnapshot>,
+    /// Combined observability snapshot (service queue gauges + engine
+    /// histograms and path counters) rendered as a JSON string; `None`
+    /// when the `metrics` feature is disabled or no metrics were captured.
+    #[serde(default)]
+    pub observability_json: Option<String>,
 }
 
 /// The receive pattern lane `i` of a sequence posts under the scenario.
@@ -156,6 +161,7 @@ pub fn run_pingpong(mode: MatchMode, cfg: &PingPongConfig) -> PingPongResult {
 
     let mut elapsed = Duration::ZERO;
     let mut engine_stats = None;
+    let mut observability_json = None;
     std::thread::scope(|scope| {
         // Receiver node: post the sequence's receives, signal readiness,
         // match the burst, acknowledge.
@@ -195,6 +201,7 @@ pub fn run_pingpong(mode: MatchMode, cfg: &PingPongConfig) -> PingPongResult {
                     .expect("ack");
             }
             engine_stats = service.engine_stats();
+            observability_json = service.observability_json();
         });
 
         // Sender node (measuring side).
@@ -218,6 +225,7 @@ pub fn run_pingpong(mode: MatchMode, cfg: &PingPongConfig) -> PingPongResult {
         total_messages,
         elapsed,
         engine_stats,
+        observability_json,
     }
 }
 

@@ -20,6 +20,7 @@
 
 use crate::memory::DeviceMemory;
 use crate::nic::{Completion, NicError, RecvNic};
+use crate::obs::{service_trace_event, ServiceMetrics};
 use crate::rdma::{PayloadKind, RdmaDomain, RdmaError};
 use mpi_matching::protocol::{Action, EagerTransfer, ProtocolStateError, RendezvousTransfer, Rts};
 use mpi_matching::traditional::TraditionalMatcher;
@@ -130,6 +131,7 @@ pub struct MatchingService {
     completed: Vec<CompletedReceive>,
     unexpected: HashMap<MsgHandle, StoredMessage>,
     fellback: bool,
+    metrics: ServiceMetrics,
 }
 
 impl MatchingService {
@@ -155,6 +157,7 @@ impl MatchingService {
             completed: Vec::new(),
             unexpected: HashMap::new(),
             fellback: false,
+            metrics: ServiceMetrics::new(),
         })
     }
 
@@ -181,6 +184,7 @@ impl MatchingService {
                         completed: Vec::new(),
                         unexpected: HashMap::new(),
                         fellback: false,
+                        metrics: ServiceMetrics::new(),
                     },
                     true,
                 )
@@ -200,6 +204,7 @@ impl MatchingService {
             completed: Vec::new(),
             unexpected: HashMap::new(),
             fellback: false,
+            metrics: ServiceMetrics::new(),
         }
     }
 
@@ -214,6 +219,7 @@ impl MatchingService {
             completed: Vec::new(),
             unexpected: HashMap::new(),
             fellback: false,
+            metrics: ServiceMetrics::new(),
         }
     }
 
@@ -227,6 +233,40 @@ impl MatchingService {
         match &self.backend {
             Backend::Optimistic(e) => Some(e.stats()),
             _ => None,
+        }
+    }
+
+    /// The service's metric instruments (a no-op handle when the `metrics`
+    /// feature is disabled).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// One combined registry snapshot: the service's queue gauges and
+    /// pressure counters merged with — when the backend is the offloaded
+    /// engine — the engine's search-depth/latency histograms and
+    /// per-resolution-path counters.
+    #[cfg(feature = "metrics")]
+    pub fn observability_snapshot(&self) -> otm_metrics::RegistrySnapshot {
+        let snap = self.metrics.snapshot();
+        match &self.backend {
+            Backend::Optimistic(e) => snap.merge(&e.metrics_snapshot()),
+            _ => snap,
+        }
+    }
+
+    /// The combined observability snapshot rendered as a JSON string, or
+    /// `None` when the `metrics` feature is disabled. Callers that only
+    /// forward the data (benchmark reports) can use this without any
+    /// feature gating of their own.
+    pub fn observability_json(&self) -> Option<String> {
+        #[cfg(feature = "metrics")]
+        {
+            Some(self.observability_snapshot().to_json())
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            None
         }
     }
 
@@ -306,6 +346,7 @@ impl MatchingService {
         }
         self.backend = Backend::MpiCpu(Box::new(matcher));
         self.fellback = true;
+        self.metrics.count_fallback();
     }
 
     /// Whether the service has fallen back to software matching.
@@ -316,7 +357,16 @@ impl MatchingService {
     /// Polls the NIC and matches everything that arrived. Returns the
     /// number of newly completed receives.
     pub fn progress(&mut self) -> Result<usize, ServiceError> {
-        self.nic.poll()?;
+        self.metrics.count_poll();
+        if let Err(e) = self.nic.poll() {
+            if matches!(e, NicError::Staging(_)) {
+                self.metrics.count_spill();
+                service_trace_event!(self.metrics, 0u32, BounceSpill);
+            }
+            return Err(e.into());
+        }
+        // Backlog at its largest: everything arrived, nothing matched yet.
+        self.observe_queues();
         let before = self.completed.len();
         loop {
             let block = self.nic.take_block(self.block);
@@ -325,7 +375,21 @@ impl MatchingService {
             }
             self.match_block(block)?;
         }
-        Ok(self.completed.len() - before)
+        // Post-drain view: the CQ is empty, the unexpected store and any
+        // still-staged bounce buffers reflect what matching left behind.
+        self.observe_queues();
+        let done = self.completed.len() - before;
+        self.metrics.add_completions(done as u64);
+        Ok(done)
+    }
+
+    /// Samples the three queue-depth gauges (and their peaks).
+    fn observe_queues(&self) {
+        self.metrics.observe_queues(
+            self.nic.cq_len(),
+            self.nic.bounce_in_use(),
+            self.unexpected.len(),
+        );
     }
 
     fn match_block(&mut self, block: Vec<Completion>) -> Result<(), ServiceError> {
@@ -808,6 +872,57 @@ mod tests {
             assert_eq!(d.recv, posted[i], "C1 across the fallback migration");
             assert_eq!(d.data, vec![i as u8]);
         }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn observability_snapshot_tracks_queues_and_fallback() {
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let mut budget = DeviceMemory::bluefield3_l3();
+        let config = MatchConfig::small()
+            .with_max_receives(2)
+            .with_block_threads(2);
+        let mut svc = MatchingService::offloaded(nic, domain, config, &mut budget).unwrap();
+
+        // One unexpected message, then two matched ones.
+        tx.send(eager_packet(env(9, 9), vec![1])).unwrap();
+        svc.progress().unwrap();
+        for i in 0..2u32 {
+            svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i)))
+                .unwrap();
+            tx.send(eager_packet(env(0, i), vec![i as u8])).unwrap();
+        }
+        svc.progress().unwrap();
+
+        let snap = svc.observability_snapshot();
+        assert_eq!(snap.counters["dpa_cq_polls_total"], 2);
+        assert_eq!(snap.counters["dpa_completions_total"], 2);
+        assert!(snap.gauges["dpa_cq_depth_peak"] >= 1);
+        assert!(snap.gauges["dpa_bounce_in_use_peak"] >= 1);
+        assert_eq!(snap.gauges["dpa_unexpected_depth"], 1);
+        // The merge pulls the engine's instruments into the same snapshot.
+        assert!(snap.hists.contains_key("otm_search_depth"));
+        assert_eq!(snap.counters["dpa_fallbacks_total"], 0);
+
+        // Posting unmatched receives until the 2-entry table overflows
+        // triggers the §IV-E fallback; the exact post that overflows
+        // depends on lazy slot reclamation, so loop with a safety bound.
+        for i in 0..16u32 {
+            svc.post_recv(ReceivePattern::exact(Rank(3), Tag(i)))
+                .unwrap();
+            if svc.fell_back() {
+                break;
+            }
+        }
+        assert!(svc.fell_back());
+        // After fallback the backend is software: the snapshot is the
+        // service registry alone, and still machine-readable.
+        let snap = svc.metrics().snapshot();
+        assert_eq!(snap.counters["dpa_fallbacks_total"], 1);
+        let json = svc.observability_json().expect("metrics enabled");
+        assert!(json.contains("dpa_cq_depth_peak"));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! Keeps the crate dependency-free: the exposition formats only need
+//! objects, arrays, strings, numbers, and null. Commas are inserted
+//! automatically; the caller is responsible for pairing `begin_*`/`end_*`
+//! calls.
+
+/// Streaming JSON writer producing a compact (no-whitespace) document.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Whether the next value/key at the current nesting level needs a
+    /// leading comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens a JSON object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the current object (`}`).
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the current array (`]`).
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Emits an object key; must be followed by exactly one value.
+    pub fn key(&mut self, name: &str) {
+        self.before_value();
+        write_escaped(&mut self.out, name);
+        self.out.push(':');
+        // The value that follows must not add its own comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Emits a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.before_value();
+        write_escaped(&mut self.out, v);
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emits a signed integer value.
+    pub fn value_i64(&mut self, v: i64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emits a float value (`null` when not finite, as JSON has no NaN).
+    pub fn value_f64(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Emits a `null`.
+    pub fn value_null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// `key` + string value.
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.value_str(v);
+    }
+
+    /// `key` + unsigned integer value.
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.key(name);
+        self.value_u64(v);
+    }
+
+    /// `key` + signed integer value.
+    pub fn field_i64(&mut self, name: &str, v: i64) {
+        self.key(name);
+        self.value_i64(v);
+    }
+
+    /// `key` + float value.
+    pub fn field_f64(&mut self, name: &str, v: f64) {
+        self.key(name);
+        self.value_f64(v);
+    }
+
+    /// `key` + `null`.
+    pub fn field_null(&mut self, name: &str) {
+        self.key(name);
+        self.value_null();
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_with_mixed_fields() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "hist");
+        w.field_u64("count", 3);
+        w.field_i64("delta", -2);
+        w.field_f64("mean", 1.5);
+        w.field_null("p99");
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"hist","count":3,"delta":-2,"mean":1.5,"p99":null}"#
+        );
+    }
+
+    #[test]
+    fn nested_arrays_and_objects() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("buckets");
+        w.begin_array();
+        for (u, c) in [(1u64, 2u64), (3, 4)] {
+            w.begin_array();
+            w.value_u64(u);
+            w.value_u64(c);
+            w.end_array();
+        }
+        w.end_array();
+        w.key("inner");
+        w.begin_object();
+        w.field_u64("x", 1);
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"buckets":[[1,2],[3,4]],"inner":{"x":1}}"#);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut w = JsonWriter::new();
+        w.value_str("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(f64::NAN);
+        w.value_f64(f64::INFINITY);
+        w.value_f64(2.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,2]");
+    }
+}

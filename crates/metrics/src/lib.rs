@@ -1,0 +1,60 @@
+//! **otm-metrics** — zero-dependency observability primitives for the OTM
+//! workspace.
+//!
+//! Three building blocks, all safe to share across threads:
+//!
+//! * [`Histogram`] — a lock-free log2-bucketed histogram. Recording is a
+//!   handful of relaxed atomic adds; quantiles (p50/p95/p99/max) are
+//!   estimated from the bucket upper bounds at snapshot time.
+//! * [`Registry`] — a process-wide (or per-component) collection of named
+//!   counters, gauges, and histograms with an optional small label set.
+//!   Handles are `Arc`s resolved once at setup; the hot path never touches
+//!   the registry lock. [`Registry::snapshot`] produces a
+//!   [`RegistrySnapshot`] that can be diffed ([`RegistrySnapshot::delta`]),
+//!   rendered as Prometheus text exposition, or serialized to JSON.
+//! * [`TraceRing`] — a bounded ring buffer of [`TraceEvent`]s (block
+//!   start/end, conflict detected, fast-path shift, slow-path serialize,
+//!   bounce-buffer spill) for post-mortem timeline dumps.
+//!
+//! The crate deliberately has **no dependencies**: JSON is emitted by a
+//! tiny hand-rolled writer ([`json`]), timestamps come from a monotonic
+//! process-start epoch ([`now_ns`]). Consumers feature-gate their use of
+//! this crate so that disabling metrics compiles instrumentation down to
+//! no-ops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Labels, Registry, RegistrySnapshot};
+pub use trace::{EventKind, TraceEvent, TraceRing};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the first call to `now_ns` in this process.
+///
+/// A monotonic, process-local epoch: cheap, strictly non-decreasing, and
+/// comparable across threads. Used to timestamp [`TraceEvent`]s.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::now_ns;
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,260 @@
+//! Bounded ring-buffer event tracer.
+//!
+//! Instrumented components push [`TraceEvent`]s (a few words each) into a
+//! [`TraceRing`]; when the ring is full the oldest events are overwritten,
+//! so the ring always holds the most recent window. Events carry a global
+//! sequence number so a dump can be ordered and gaps (overwritten events)
+//! detected. Intended for opt-in timeline debugging, not the hot path —
+//! pushes take a short critical section on a plain mutex.
+
+use crate::json::JsonWriter;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An OTM block began matching.
+    BlockStart,
+    /// An OTM block finished (all lanes resolved).
+    BlockEnd,
+    /// A worker detected a booking conflict during optimistic matching.
+    ConflictDetected,
+    /// A conflict was repaired on the fast path (bounded shift).
+    FastPathShift,
+    /// A conflict fell back to serialized slow-path resolution.
+    SlowPathSerialize,
+    /// The NIC bounce-buffer pool could not stage a packet (spill).
+    BounceSpill,
+    /// Periodic progress marker (e.g. trace replay batches).
+    Progress,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BlockStart => "block_start",
+            EventKind::BlockEnd => "block_end",
+            EventKind::ConflictDetected => "conflict_detected",
+            EventKind::FastPathShift => "fast_path_shift",
+            EventKind::SlowPathSerialize => "slow_path_serialize",
+            EventKind::BounceSpill => "bounce_spill",
+            EventKind::Progress => "progress",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process metrics epoch ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Worker/lane id (0 for single-threaded contexts).
+    pub worker: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Global sequence number (monotonic per ring).
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    buf: Vec<TraceEvent>,
+    /// Next write position.
+    next: usize,
+    /// Whether the ring has wrapped at least once.
+    wrapped: bool,
+}
+
+/// A fixed-capacity ring of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<RingInner>,
+    seq: AtomicU64,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(RingInner {
+                buf: Vec::with_capacity(capacity),
+                next: 0,
+                wrapped: false,
+            }),
+            seq: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an event with the current timestamp.
+    pub fn push(&self, worker: u32, kind: EventKind) {
+        self.push_at(crate::now_ns(), worker, kind);
+    }
+
+    /// Records an event with an explicit timestamp (useful in tests and
+    /// simulated-time contexts).
+    pub fn push_at(&self, ts_ns: u64, worker: u32, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Relaxed);
+        let ev = TraceEvent {
+            ts_ns,
+            worker,
+            kind,
+            seq,
+        };
+        let mut inner = self.inner.lock().expect("trace ring lock");
+        if inner.buf.len() < self.capacity {
+            inner.buf.push(ev);
+        } else {
+            let at = inner.next;
+            inner.buf[at] = ev;
+            inner.wrapped = true;
+        }
+        inner.next = (inner.next + 1) % self.capacity;
+    }
+
+    /// Total number of events ever pushed (including overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.seq.load(Relaxed)
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().expect("trace ring lock");
+        let mut out = Vec::with_capacity(inner.buf.len());
+        if inner.wrapped {
+            out.extend_from_slice(&inner.buf[inner.next..]);
+            out.extend_from_slice(&inner.buf[..inner.next]);
+        } else {
+            out.extend_from_slice(&inner.buf);
+        }
+        out
+    }
+
+    /// Discards all retained events (sequence numbers keep increasing).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("trace ring lock");
+        inner.buf.clear();
+        inner.next = 0;
+        inner.wrapped = false;
+    }
+
+    /// Renders the retained events as a JSON array of
+    /// `{"ts_ns":..,"worker":..,"kind":"..","seq":..}` objects, oldest
+    /// first.
+    pub fn to_json(&self) -> String {
+        let events = self.dump();
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for ev in &events {
+            w.begin_object();
+            w.field_u64("ts_ns", ev.ts_ns);
+            w.field_u64("worker", ev.worker as u64);
+            w.field_str("kind", ev.kind.name());
+            w.field_u64("seq", ev.seq);
+            w.end_object();
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_order_before_wrap() {
+        let ring = TraceRing::new(8);
+        ring.push_at(10, 0, EventKind::BlockStart);
+        ring.push_at(20, 1, EventKind::ConflictDetected);
+        ring.push_at(30, 0, EventKind::BlockEnd);
+        let evs = ring.dump();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, EventKind::BlockStart);
+        assert_eq!(evs[2].kind, EventKind::BlockEnd);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[2].seq, 2);
+        assert_eq!(ring.pushed(), 3);
+    }
+
+    #[test]
+    fn wraps_keeping_most_recent() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.push_at(i, 0, EventKind::Progress);
+        }
+        let evs = ring.dump();
+        assert_eq!(evs.len(), 4);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotonic() {
+        let ring = TraceRing::new(4);
+        ring.push_at(1, 0, EventKind::BlockStart);
+        ring.clear();
+        assert!(ring.dump().is_empty());
+        ring.push_at(2, 0, EventKind::BlockEnd);
+        assert_eq!(ring.dump()[0].seq, 1);
+    }
+
+    #[test]
+    fn concurrent_push_loses_nothing_before_wrap() {
+        use std::sync::Arc;
+        let ring = Arc::new(TraceRing::new(10_000));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        ring.push(t, EventKind::FastPathShift);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let evs = ring.dump();
+        assert_eq!(evs.len(), 4000);
+        // All sequence numbers distinct.
+        let mut seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4000);
+    }
+
+    #[test]
+    fn json_dump_shape() {
+        let ring = TraceRing::new(4);
+        ring.push_at(5, 2, EventKind::SlowPathSerialize);
+        let json = ring.to_json();
+        assert_eq!(
+            json,
+            r#"[{"ts_ns":5,"worker":2,"kind":"slow_path_serialize","seq":0}]"#
+        );
+        let empty = TraceRing::new(4);
+        assert_eq!(empty.to_json(), "[]");
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let ring = TraceRing::new(0);
+        ring.push_at(1, 0, EventKind::BounceSpill);
+        ring.push_at(2, 0, EventKind::BounceSpill);
+        let evs = ring.dump();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].seq, 1);
+    }
+}

@@ -47,6 +47,16 @@ impl DepthAggregate {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// Samples recorded since `prev` was taken (saturating). `max` is a
+    /// high-water mark and carries the current value.
+    pub fn delta(&self, prev: &DepthAggregate) -> DepthAggregate {
+        DepthAggregate {
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            max: self.max,
+        }
+    }
 }
 
 /// Statistics accumulated by a matching engine.
@@ -155,6 +165,24 @@ impl MatchStats {
         self.prq_high_water = self.prq_high_water.max(other.prq_high_water);
         self.umq_high_water = self.umq_high_water.max(other.umq_high_water);
     }
+
+    /// Activity recorded since `prev` was taken (saturating per counter).
+    /// High-water marks are instantaneous maxima and carry their current
+    /// values rather than a difference.
+    pub fn delta(&self, prev: &MatchStats) -> MatchStats {
+        MatchStats {
+            prq_search: self.prq_search.delta(&prev.prq_search),
+            umq_search: self.umq_search.delta(&prev.umq_search),
+            matched_on_arrival: self
+                .matched_on_arrival
+                .saturating_sub(prev.matched_on_arrival),
+            unexpected: self.unexpected.saturating_sub(prev.unexpected),
+            matched_on_post: self.matched_on_post.saturating_sub(prev.matched_on_post),
+            posted: self.posted.saturating_sub(prev.posted),
+            prq_high_water: self.prq_high_water,
+            umq_high_water: self.umq_high_water,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +258,48 @@ mod tests {
         s.observe_queue_lens(2, 5);
         assert_eq!(s.prq_high_water, 3);
         assert_eq!(s.umq_high_water, 5);
+    }
+
+    #[test]
+    fn aggregate_delta_subtracts_counters_keeps_max() {
+        let mut prev = DepthAggregate::default();
+        prev.record(3);
+        prev.record(5);
+        let mut cur = prev.clone();
+        cur.record(1);
+        let d = cur.delta(&prev);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 1);
+        assert_eq!(d.max, 5, "max is a high-water mark");
+        // Saturates rather than underflowing after a reset.
+        let fresh = DepthAggregate::default();
+        assert_eq!(fresh.delta(&prev).count, 0);
+    }
+
+    #[test]
+    fn stats_delta_isolates_interval_activity() {
+        let mut s = MatchStats::new();
+        s.record_arrival(2, true);
+        s.record_post(1, false);
+        s.observe_queue_lens(4, 2);
+        let first = s.clone();
+        s.record_arrival(3, false);
+        s.record_post(0, true);
+        s.observe_queue_lens(1, 7);
+        let d = s.delta(&first);
+        assert_eq!(d.matched_on_arrival, 0);
+        assert_eq!(d.unexpected, 1);
+        assert_eq!(d.matched_on_post, 1);
+        assert_eq!(d.posted, 0);
+        assert_eq!(d.prq_search.count, 1);
+        assert_eq!(d.prq_search.sum, 3);
+        assert_eq!(d.umq_search.count, 1);
+        assert_eq!(d.prq_high_water, 4, "high-water carries current value");
+        assert_eq!(d.umq_high_water, 7);
+        // Delta of identical snapshots is all-zero counters.
+        let z = s.delta(&s);
+        assert_eq!(z.prq_search.count, 0);
+        assert_eq!(z.matched_on_arrival + z.unexpected + z.posted, 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::block::{BlockShared, CommShared, LaneData};
 use crate::index::PrqIndexes;
+use crate::metrics::{trace_event, EngineMetrics};
 use crate::stats::{OtmStats, StatsSnapshot};
 use crate::table::{DescId, Payload, ReceiveTable};
 use crate::umq::UnexpectedStore;
@@ -85,6 +86,7 @@ pub struct OtmEngine {
     config: MatchConfig,
     shared: Arc<BlockShared>,
     stats: Arc<OtmStats>,
+    metrics: EngineMetrics,
     comms: HashMap<CommId, CommHost>,
     workers: Vec<JoinHandle<()>>,
     next_arrival: ArrivalSeq,
@@ -112,6 +114,7 @@ impl OtmEngine {
         config.validate()?;
         let shared = Arc::new(BlockShared::new(config.block_threads));
         let stats = Arc::new(OtmStats::default());
+        let metrics = EngineMetrics::new();
         let pool = if config.block_threads == 1 {
             0
         } else {
@@ -122,6 +125,7 @@ impl OtmEngine {
                 let ctx = WorkerCtx {
                     shared: Arc::clone(&shared),
                     stats: Arc::clone(&stats),
+                    metrics: metrics.clone(),
                     config: config.clone(),
                     lane,
                 };
@@ -135,6 +139,7 @@ impl OtmEngine {
             config,
             shared,
             stats,
+            metrics,
             comms: HashMap::new(),
             workers,
             next_arrival: ArrivalSeq::ZERO,
@@ -150,6 +155,31 @@ impl OtmEngine {
     /// A snapshot of the engine's statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The engine's metric instruments (histograms, path counters).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Copies out the engine's metrics registry: search-depth and
+    /// block-latency histograms plus resolution-path counters, ready for
+    /// Prometheus or JSON exposition.
+    #[cfg(feature = "metrics")]
+    pub fn metrics_snapshot(&self) -> otm_metrics::RegistrySnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Copies out the retained timeline events, oldest first.
+    #[cfg(feature = "trace-events")]
+    pub fn trace_events(&self) -> Vec<otm_metrics::TraceEvent> {
+        self.metrics.trace_ring().dump()
+    }
+
+    /// Renders the retained timeline events as a JSON array.
+    #[cfg(feature = "trace-events")]
+    pub fn trace_events_json(&self) -> String {
+        self.metrics.trace_ring().to_json()
     }
 
     fn check_running(&self) -> Result<(), MatchError> {
@@ -214,6 +244,7 @@ impl OtmEngine {
     ) -> Result<PostResult, MatchError> {
         self.check_running()?;
         let stats = Arc::clone(&self.stats);
+        let metrics = self.metrics.clone();
         let host = self.ensure_comm(pattern.comm);
         if !host.shared.hints.permits(pattern.wildcard_class()) {
             return Err(MatchError::HintViolation(format!(
@@ -227,6 +258,7 @@ impl OtmEngine {
                 .umq_depth_sum
                 .fetch_add(m.depth as u64, Ordering::Relaxed);
             stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
+            metrics.record_umq_match_depth(m.depth as u64);
             // The consumed receive is not indexed, so it breaks any ongoing
             // run of compatible receives.
             host.last_pattern = None;
@@ -307,6 +339,8 @@ impl OtmEngine {
 
         // Publish the block and run it: inline on this thread for a
         // single-lane engine, otherwise on the worker pool.
+        let block_timer = self.metrics.timer();
+        trace_event!(self.metrics, 0u32, BlockStart);
         self.shared.reset_for_block();
         *self.shared.lanes.write() = lanes;
         self.shared.epoch.fetch_add(1, Ordering::Release);
@@ -315,6 +349,7 @@ impl OtmEngine {
             let ctx = WorkerCtx {
                 shared: Arc::clone(&self.shared),
                 stats: Arc::clone(&self.stats),
+                metrics: self.metrics.clone(),
                 config: self.config.clone(),
                 lane: 0,
             };
@@ -338,6 +373,8 @@ impl OtmEngine {
             return Err(MatchError::EngineStopped);
         }
 
+        self.metrics.observe_block(block_timer);
+        trace_event!(self.metrics, 0u32, BlockEnd);
         self.stats.blocks.fetch_add(1, Ordering::Relaxed);
         self.stats.messages.fetch_add(n as u64, Ordering::Relaxed);
 
@@ -918,6 +955,42 @@ mod tests {
         assert_eq!(r, ArriveResult::Matched(RecvHandle(0)));
         assert_eq!(m.stats().matched_on_arrival, 1);
         assert_eq!(m.strategy_name(), "optimistic");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn metrics_snapshot_tracks_engine_activity() {
+        let mut e = engine();
+        e.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(10))
+            .unwrap();
+        e.process_block(&[(env(0, 1), MsgHandle(0))]).unwrap();
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.hists["otm_search_depth"].count, 1);
+        assert_eq!(snap.hists["otm_block_latency_ns"].count, 1);
+        assert!(snap.hists["otm_block_latency_ns"].max > 0);
+        assert_eq!(snap.counters["otm_resolutions_total{path=\"nc\"}"], 1);
+        // A post-time UMQ match lands in the UMQ histogram.
+        e.process_block(&[(env(9, 9), MsgHandle(1))]).unwrap();
+        e.post(ReceivePattern::exact(Rank(9), Tag(9)), RecvHandle(11))
+            .unwrap();
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.hists["otm_umq_match_depth"].count, 1);
+        // The delta between consecutive snapshots isolates new activity.
+        let later = e.metrics_snapshot();
+        assert_eq!(later.delta(&snap).hists["otm_search_depth"].count, 0);
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn trace_events_capture_block_boundaries() {
+        let mut e = engine();
+        e.process_block(&[(env(1, 1), MsgHandle(0))]).unwrap();
+        let events = e.trace_events();
+        use otm_metrics::EventKind;
+        assert!(events.iter().any(|ev| ev.kind == EventKind::BlockStart));
+        assert!(events.iter().any(|ev| ev.kind == EventKind::BlockEnd));
+        let json = e.trace_events_json();
+        assert!(json.contains("\"kind\":\"block_start\""));
     }
 
     #[test]

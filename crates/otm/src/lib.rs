@@ -60,10 +60,12 @@
 pub mod block;
 pub mod engine;
 pub mod index;
+pub mod metrics;
 pub mod stats;
 pub mod table;
 pub mod umq;
 mod worker;
 
 pub use engine::{Delivery, OtmEngine, SequentialOtm};
+pub use metrics::EngineMetrics;
 pub use stats::{OtmStats, StatsSnapshot};

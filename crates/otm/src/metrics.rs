@@ -1,0 +1,275 @@
+//! Feature-gated engine observability.
+//!
+//! [`EngineMetrics`] is the engine's handle to the `otm-metrics` registry:
+//! search-depth and block-latency histograms, per-resolution-path counters
+//! (no-conflict / fast path / slow path — the NC, WC-FP and WC-SP series
+//! of Fig. 8), and, with the `trace-events` feature, a bounded ring of
+//! timeline events.
+//!
+//! With the default `metrics` feature the struct carries `Arc` handles
+//! resolved once at engine construction, so the per-message cost is a few
+//! relaxed atomic adds. With `--no-default-features` the same type is a
+//! zero-sized struct whose methods are empty: instrumentation calls
+//! compile away entirely and the matching fast path is untouched (the
+//! `disabled_metrics_are_zero_sized` test pins this down).
+
+#[cfg(feature = "metrics")]
+mod imp {
+    use otm_metrics::{Counter, Histogram, Registry, RegistrySnapshot};
+    use std::sync::Arc;
+
+    /// Events retained by the timeline ring before overwriting.
+    #[cfg(feature = "trace-events")]
+    const TRACE_CAPACITY: usize = 64 * 1024;
+
+    /// Cheap-to-clone handle to the engine's metric instruments.
+    #[derive(Debug, Clone)]
+    pub struct EngineMetrics {
+        registry: Registry,
+        search_depth: Arc<Histogram>,
+        block_latency_ns: Arc<Histogram>,
+        umq_match_depth: Arc<Histogram>,
+        no_conflict: Arc<Counter>,
+        fast_path: Arc<Counter>,
+        slow_path: Arc<Counter>,
+        conflicts: Arc<Counter>,
+        #[cfg(feature = "trace-events")]
+        trace: Arc<otm_metrics::TraceRing>,
+    }
+
+    impl Default for EngineMetrics {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl EngineMetrics {
+        /// Creates a fresh registry with the engine's instruments.
+        pub fn new() -> Self {
+            let registry = Registry::new();
+            Self {
+                search_depth: registry.histogram("otm_search_depth"),
+                block_latency_ns: registry.histogram("otm_block_latency_ns"),
+                umq_match_depth: registry.histogram("otm_umq_match_depth"),
+                no_conflict: registry
+                    .counter_with("otm_resolutions_total", vec![("path", "nc".into())]),
+                fast_path: registry
+                    .counter_with("otm_resolutions_total", vec![("path", "wc_fp".into())]),
+                slow_path: registry
+                    .counter_with("otm_resolutions_total", vec![("path", "wc_sp".into())]),
+                conflicts: registry.counter("otm_conflicts_total"),
+                #[cfg(feature = "trace-events")]
+                trace: Arc::new(otm_metrics::TraceRing::new(TRACE_CAPACITY)),
+                registry,
+            }
+        }
+
+        /// Records one optimistic-search depth sample.
+        #[inline]
+        pub fn record_search_depth(&self, depth: u64) {
+            self.search_depth.record(depth);
+        }
+
+        /// Records the UMQ depth examined by a post-time match.
+        #[inline]
+        pub fn record_umq_match_depth(&self, depth: u64) {
+            self.umq_match_depth.record(depth);
+        }
+
+        /// Counts a message resolved without entering conflict resolution.
+        #[inline]
+        pub fn count_no_conflict(&self) {
+            self.no_conflict.inc();
+        }
+
+        /// Counts a conflict resolved via the fast path (WC-FP).
+        #[inline]
+        pub fn count_fast_path(&self) {
+            self.fast_path.inc();
+        }
+
+        /// Counts a conflict resolved via the slow path (WC-SP).
+        #[inline]
+        pub fn count_slow_path(&self) {
+            self.slow_path.inc();
+        }
+
+        /// Counts a directly detected booking conflict.
+        #[inline]
+        pub fn count_conflict(&self) {
+            self.conflicts.inc();
+        }
+
+        /// Starts a block-latency measurement.
+        #[inline]
+        pub fn timer(&self) -> BlockTimer {
+            BlockTimer(std::time::Instant::now())
+        }
+
+        /// Ends a block-latency measurement and records it (nanoseconds).
+        #[inline]
+        pub fn observe_block(&self, timer: BlockTimer) {
+            self.block_latency_ns
+                .record(timer.0.elapsed().as_nanos() as u64);
+        }
+
+        /// The underlying registry (for embedding into a larger exporter).
+        pub fn registry(&self) -> &Registry {
+            &self.registry
+        }
+
+        /// Copies out all engine metrics.
+        pub fn snapshot(&self) -> RegistrySnapshot {
+            self.registry.snapshot()
+        }
+
+        /// Pushes a timeline event (no-op unless `trace-events` is on).
+        #[inline]
+        pub fn trace_push(&self, worker: u32, kind: otm_metrics::EventKind) {
+            #[cfg(feature = "trace-events")]
+            self.trace.push(worker, kind);
+            #[cfg(not(feature = "trace-events"))]
+            let _ = (worker, kind);
+        }
+
+        /// The timeline ring.
+        #[cfg(feature = "trace-events")]
+        pub fn trace_ring(&self) -> &otm_metrics::TraceRing {
+            &self.trace
+        }
+    }
+
+    /// In-flight block-latency measurement (see [`EngineMetrics::timer`]).
+    #[derive(Debug)]
+    pub struct BlockTimer(std::time::Instant);
+}
+
+#[cfg(not(feature = "metrics"))]
+mod imp {
+    /// No-op stand-in: all instrumentation compiles away.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct EngineMetrics;
+
+    /// No-op stand-in for the block-latency timer.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BlockTimer;
+
+    impl EngineMetrics {
+        /// Creates the no-op handle.
+        pub fn new() -> Self {
+            EngineMetrics
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn record_search_depth(&self, _depth: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_umq_match_depth(&self, _depth: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_no_conflict(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_fast_path(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_slow_path(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_conflict(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn timer(&self) -> BlockTimer {
+            BlockTimer
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn observe_block(&self, _timer: BlockTimer) {}
+    }
+}
+
+pub use imp::{BlockTimer, EngineMetrics};
+
+/// Pushes a timeline event when `trace-events` is enabled; expands to
+/// nothing otherwise. Usable from any engine-internal context holding an
+/// [`EngineMetrics`].
+#[cfg(feature = "trace-events")]
+macro_rules! trace_event {
+    ($metrics:expr, $worker:expr, $kind:ident) => {
+        $metrics.trace_push($worker as u32, ::otm_metrics::EventKind::$kind)
+    };
+}
+
+/// No-op expansion: `trace-events` is disabled.
+#[cfg(not(feature = "trace-events"))]
+macro_rules! trace_event {
+    ($metrics:expr, $worker:expr, $kind:ident) => {{
+        let _ = &$metrics;
+        let _ = $worker;
+    }};
+}
+
+pub(crate) use trace_event;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_metrics_are_zero_sized() {
+        // The acceptance gate for `--no-default-features`: the handle the
+        // engine and every worker carry must occupy no space, proving the
+        // instrumentation is compile-time erased from the hot path.
+        assert_eq!(std::mem::size_of::<EngineMetrics>(), 0);
+        assert_eq!(std::mem::size_of::<BlockTimer>(), 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn instruments_are_registered_and_recorded() {
+        let m = EngineMetrics::new();
+        m.record_search_depth(3);
+        m.count_no_conflict();
+        m.count_fast_path();
+        m.count_slow_path();
+        m.count_conflict();
+        let t = m.timer();
+        m.observe_block(t);
+        let snap = m.snapshot();
+        assert_eq!(snap.hists["otm_search_depth"].count, 1);
+        assert_eq!(snap.hists["otm_block_latency_ns"].count, 1);
+        assert_eq!(snap.counters["otm_resolutions_total{path=\"nc\"}"], 1);
+        assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_fp\"}"], 1);
+        assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_sp\"}"], 1);
+        assert_eq!(snap.counters["otm_conflicts_total"], 1);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn clones_share_instruments() {
+        let a = EngineMetrics::new();
+        let b = a.clone();
+        b.record_search_depth(1);
+        assert_eq!(a.snapshot().hists["otm_search_depth"].count, 1);
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn trace_macro_pushes_events() {
+        let m = EngineMetrics::new();
+        trace_event!(m, 2usize, ConflictDetected);
+        let events = m.trace_ring().dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].worker, 2);
+        assert_eq!(events[0].kind, ::otm_metrics::EventKind::ConflictDetected);
+    }
+}

@@ -7,6 +7,7 @@
 //! enforced end-to-end by the oracle property tests.
 
 use crate::block::{below_mask, result_code, BlockShared, LaneData};
+use crate::metrics::{trace_event, EngineMetrics};
 use crate::stats::OtmStats;
 use crate::table::{state, DescId};
 use otm_base::MatchConfig;
@@ -17,6 +18,7 @@ use std::sync::Arc;
 pub(crate) struct WorkerCtx {
     pub shared: Arc<BlockShared>,
     pub stats: Arc<OtmStats>,
+    pub metrics: EngineMetrics,
     pub config: MatchConfig,
     pub lane: usize,
 }
@@ -131,6 +133,7 @@ pub(crate) fn run_lane(ctx: &WorkerCtx, lane_data: &LaneData) {
         comm.hints,
     );
     ctx.stats.record_search(search.depth);
+    ctx.metrics.record_search_depth(search.depth as u64);
 
     // Phase 2 — book the candidate: set our bit in its booking bitmap.
     if let Some(cand) = search.candidate {
@@ -159,6 +162,8 @@ pub(crate) fn run_lane(ctx: &WorkerCtx, lane_data: &LaneData) {
     if direct {
         shared.conflicted.fetch_or(bit, Ordering::AcqRel);
         ctx.stats.direct_conflicts.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.count_conflict();
+        trace_event!(ctx.metrics, lane, ConflictDetected);
     }
     shared.detected.fetch_or(bit, Ordering::AcqRel);
     BlockShared::wait_bits(&shared.detected, below);
@@ -178,6 +183,7 @@ pub(crate) fn run_lane(ctx: &WorkerCtx, lane_data: &LaneData) {
                 debug_assert!(ok, "unconflicted consume lost a race");
                 if ok {
                     ctx.stats.optimistic_ok.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.count_no_conflict();
                     finish_consume(ctx, lane_data, cand.desc);
                     cand.desc as u64
                 } else {
@@ -233,6 +239,7 @@ fn run_lane_relaxed(ctx: &WorkerCtx, lane_data: &LaneData, epoch: u64) {
             Some(c) => {
                 if comm.table.slot(c.desc).try_consume(epoch) {
                     ctx.stats.optimistic_ok.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.count_no_conflict();
                     finish_consume(ctx, lane_data, c.desc);
                     break c.desc as u64;
                 }
@@ -283,6 +290,8 @@ fn resolve_conflict(
                 {
                     if table.slot(target).try_consume(epoch) {
                         ctx.stats.fast_path.fetch_add(1, Ordering::Relaxed);
+                        ctx.metrics.count_fast_path();
+                        trace_event!(ctx.metrics, ctx.lane, FastPathShift);
                         finish_consume(ctx, lane_data, target);
                         return target as u64;
                     }
@@ -305,6 +314,8 @@ fn resolve_slow(ctx: &WorkerCtx, lane_data: &LaneData, below: u64, epoch: u64) -
 
     BlockShared::wait_bits(&shared.settled, below);
     ctx.stats.slow_path.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics.count_slow_path();
+    trace_event!(ctx.metrics, ctx.lane, SlowPathSerialize);
     loop {
         let out = prq.research(
             &lane_data.env,

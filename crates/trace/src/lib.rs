@@ -29,8 +29,10 @@ pub mod cache;
 pub mod dumpi;
 pub mod emul;
 pub mod model;
+pub mod obs;
 pub mod replay;
 pub mod report;
 
 pub use model::{AppTrace, CallKind, MpiOp, RankTrace, TimedOp};
+pub use obs::{replay_metrics, ReplayMetrics};
 pub use replay::{replay, AppReport, ReplayConfig};

@@ -137,8 +137,10 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
     let mut next_msg = 0u64;
     let mut empty_bin_sum = 0.0f64;
     let mut datapoints = 0usize;
+    let metrics = crate::obs::replay_metrics();
 
     for (rank, TimedOp { op, .. }) in trace.merged_ops() {
+        metrics.count_op();
         match op.kind() {
             CallKind::PointToPoint => dist.p2p += 1,
             CallKind::Collective => dist.collective += 1,
@@ -147,6 +149,7 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
         }
         match op {
             MpiOp::Irecv { src, tag, comm, .. } | MpiOp::Recv { src, tag, comm, .. } => {
+                metrics.count_post();
                 recv_count += 1;
                 if src.is_wild() || tag.is_wild() {
                     wildcard_recvs += 1;
@@ -166,6 +169,7 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
             } => {
                 tags.insert(tag.0);
                 src_tag_pairs.insert((rank.0, tag.0));
+                metrics.count_arrive();
                 let env = Envelope {
                     src: rank,
                     tag,
@@ -181,6 +185,7 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
             }
             MpiOp::Wait { .. } | MpiOp::Waitall { .. } => {
                 // Progress point: snapshot the data-structure state (§V-A).
+                metrics.count_progress_point();
                 empty_bin_sum += matchers[rank.0 as usize].prq_empty_bin_fraction();
                 datapoints += 1;
             }
@@ -267,7 +272,9 @@ pub fn replay_engine(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
     // lists preserves each rank's event order without extra keys.
     let mut per_rank: Vec<Vec<Ev>> = vec![Vec::new(); n];
     let mut dist = CallDistribution::default();
+    let metrics = crate::obs::replay_metrics();
     for (rank, TimedOp { op, .. }) in trace.merged_ops() {
+        metrics.count_op();
         match op.kind() {
             CallKind::PointToPoint => dist.p2p += 1,
             CallKind::Collective => dist.collective += 1,
@@ -303,6 +310,7 @@ pub fn replay_engine(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
         if events.is_empty() {
             continue;
         }
+        metrics.record_rank_events(events.len() as u64);
         // Generous fixed table: a single rank's in-flight receives in the
         // Table II workloads stay far below this.
         let engine_config = MatchConfig::default()
@@ -315,12 +323,14 @@ pub fn replay_engine(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
         for &ev in events {
             match ev {
                 Ev::Post(pattern) => {
+                    metrics.count_post();
                     engine
                         .post(pattern, RecvHandle(next_recv))
                         .expect("replay within engine capacity");
                     next_recv += 1;
                 }
                 Ev::Arrive(env) => {
+                    metrics.count_arrive();
                     engine
                         .arrive(env, MsgHandle(next_msg))
                         .expect("replay within engine capacity");
@@ -511,6 +521,22 @@ mod tests {
         assert_eq!(report.final_prq, 1);
         assert_eq!(report.final_umq, 1);
         assert_eq!(report.match_stats.unexpected, 1);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn replay_reports_progress_through_the_metrics_registry() {
+        // The registry is process-wide and tests run in parallel: assert
+        // only that this replay's contribution is present in the delta.
+        let before = crate::obs::replay_metrics().snapshot();
+        let _ = replay(&two_rank_trace(), &ReplayConfig::default());
+        let _ = replay_engine(&two_rank_trace(), &ReplayConfig::default());
+        let d = crate::obs::replay_metrics().snapshot().delta(&before);
+        assert!(d.counters["trace_replay_ops_total"] >= 14, "{d:?}");
+        assert!(d.counters["trace_replay_posts_total"] >= 4);
+        assert!(d.counters["trace_replay_arrivals_total"] >= 4);
+        assert!(d.counters["trace_replay_progress_points_total"] >= 1);
+        assert!(d.hists["trace_replay_rank_events"].count >= 1);
     }
 
     #[test]
