@@ -16,10 +16,16 @@
 //! rates differ from the paper's BlueField-3 testbed — the "DPA" here is a
 //! simulated device on host threads.
 //!
+//! A seventh section exercises the concurrent command-queue API: `--shards`
+//! communicator shards of one engine are driven by `--threads` poster
+//! threads (defaults 4 and one-per-shard) while the coordinator drains
+//! arrival blocks; the report carries aggregate and per-shard throughput.
+//!
 //! Run with: `cargo run --release -p otm-bench --bin fig8_message_rate`
 //! (`--quick` shrinks the repeat count for smoke testing; `--messages N`
 //! budgets ~N messages per series; `--repeats N` sets the count directly;
-//! `--out PATH` redirects the JSON report).
+//! `--shards N` / `--threads N` size the sharded section; `--out PATH`
+//! redirects the JSON report).
 //!
 //! The JSON report is a [`BenchReport`] whose `observability` object maps
 //! each offloaded series label to its merged registry snapshot: the
@@ -27,8 +33,58 @@
 //! block-latency histogram quantiles, and the dpa-sim queue-depth gauges.
 
 use dpa_sim::{MatchMode, PingPongConfig, PingPongResult, Scenario};
+use mpi_matching::{MsgHandle, RecvHandle};
+use otm::{Command, CommandOutcome, Delivery, OtmEngine};
+use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
 use otm_bench::{header, observability_value, write_report, BenchReport, CommonArgs};
+use serde::Serialize;
 use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The fig8 `results` payload: the classic per-series rows plus the sharded
+/// concurrent command-queue run.
+#[derive(Debug, Serialize)]
+struct Fig8Results {
+    /// The six ping-pong series plus the 1-exec-unit row.
+    series: Vec<PingPongResult>,
+    /// Throughput of concurrent posting through the sharded engine.
+    sharded: ShardedReport,
+}
+
+/// Aggregate + per-shard throughput of the concurrent command-queue run:
+/// `--threads` poster threads drive `--shards` communicator shards of one
+/// shared [`OtmEngine`] through `post_shared` and the arrival command queue
+/// while the main thread drains blocks.
+#[derive(Debug, Serialize)]
+struct ShardedReport {
+    /// Number of communicator shards driven concurrently.
+    shards: usize,
+    /// Number of poster threads feeding them.
+    threads: usize,
+    /// Total messages matched across all shards.
+    messages: u64,
+    /// Wall-clock for the whole run (posting + draining overlap).
+    elapsed_secs: f64,
+    /// Aggregate matched-message rate over the wall-clock above.
+    msgs_per_sec: f64,
+    /// Per-shard submission throughput, one row per communicator.
+    per_shard: Vec<ShardRow>,
+    /// Set when a drain stopped early; the counts above are then partial.
+    error: Option<String>,
+}
+
+/// One communicator shard's share of the sharded run.
+#[derive(Debug, Serialize)]
+struct ShardRow {
+    /// The communicator id backing this shard.
+    comm: u16,
+    /// Receives posted (== arrivals submitted) on this shard.
+    posts: u64,
+    /// Messages the drain loop delivered back for this shard.
+    delivered: u64,
+    /// Post+submit throughput seen by the shard's poster thread.
+    posts_per_sec: f64,
+}
 
 fn main() {
     let args = CommonArgs::parse();
@@ -104,7 +160,131 @@ fn main() {
         print_result(&result);
         results.push(result);
     }
-    finish(&args, quick, results, observability);
+
+    let sharded = run_sharded(&args, k * repeats);
+    finish(&args, quick, results, sharded, observability);
+}
+
+/// Drives one shared [`OtmEngine`] from multiple poster threads: shard `i`
+/// is the communicator `CommId(i + 1)`, each poster owns the shards
+/// `t, t + threads, ...`, posts receives through the lock-per-shard
+/// `post_shared` path and submits the matching arrivals to the command
+/// queue, while the main thread concurrently drains arrivals into blocks.
+/// Every arrival is posted-then-submitted by the same thread, so the strict
+/// FIFO queue guarantees each message matches (never lands unexpected).
+fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
+    let shards = args.shards.unwrap_or(4).max(1);
+    let threads = args.threads.unwrap_or(shards).clamp(1, shards);
+    let per_shard = (budget / shards).max(1);
+    let total = (per_shard * shards) as u64;
+
+    // Worst case every receive is outstanding at once (posting outruns the
+    // drain), so the table must hold the full budget.
+    let config = MatchConfig::default()
+        .with_max_receives(per_shard * shards)
+        .with_bins((2 * per_shard * shards).next_power_of_two());
+    let engine = OtmEngine::new(config).expect("sharded bench configuration");
+
+    println!(
+        "\nSharded command queue: {shards} shards x {per_shard} msgs, {threads} poster threads"
+    );
+
+    let mut delivered = vec![0u64; shards];
+    let mut error: Option<String> = None;
+    let mut timings: Vec<(usize, f64)> = Vec::new();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut rows = Vec::new();
+                    for shard in (t..shards).step_by(threads) {
+                        let comm = CommId(shard as u16 + 1);
+                        let base = (shard * per_shard) as u64;
+                        let begin = Instant::now();
+                        for i in 0..per_shard {
+                            let (src, tag) = (Rank(i as u32 % 8), Tag(i as u32 % 64));
+                            engine
+                                .post_shared(
+                                    ReceivePattern::new(src, tag, comm),
+                                    RecvHandle(base + i as u64),
+                                )
+                                .expect("table sized for the full budget");
+                            engine
+                                .submit(Command::Arrival {
+                                    env: Envelope::new(src, tag, comm),
+                                    msg: MsgHandle(base + i as u64),
+                                })
+                                .expect("engine running");
+                        }
+                        rows.push((shard, begin.elapsed().as_secs_f64()));
+                    }
+                    rows
+                })
+            })
+            .collect();
+
+        // Drain concurrently with the posters until every submitted arrival
+        // came back (or a drain reported an error).
+        let mut seen = 0u64;
+        while seen < total && error.is_none() {
+            let report = engine.drain();
+            for outcome in &report.outcomes {
+                if let CommandOutcome::Delivery(d) = outcome {
+                    seen += 1;
+                    if let Delivery::Matched { recv, .. } = d {
+                        delivered[recv.0 as usize / per_shard] += 1;
+                    }
+                }
+            }
+            if let Some(e) = report.error {
+                error = Some(e.to_string());
+            } else if seen < total {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            timings.extend(h.join().expect("poster thread"));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut per_shard_rows: Vec<ShardRow> = timings
+        .iter()
+        .map(|&(shard, secs)| ShardRow {
+            comm: shard as u16 + 1,
+            posts: per_shard as u64,
+            delivered: delivered[shard],
+            posts_per_sec: per_shard as f64 / secs.max(f64::EPSILON),
+        })
+        .collect();
+    per_shard_rows.sort_by_key(|r| r.comm);
+
+    let matched: u64 = delivered.iter().sum();
+    let report = ShardedReport {
+        shards,
+        threads,
+        messages: matched,
+        elapsed_secs: elapsed,
+        msgs_per_sec: matched as f64 / elapsed.max(f64::EPSILON),
+        per_shard: per_shard_rows,
+        error: error.clone(),
+    };
+    for row in &report.per_shard {
+        println!(
+            "  shard comm={:<3} {:>8} posts {:>12.0} posts/s  delivered {}",
+            row.comm, row.posts, row.posts_per_sec, row.delivered
+        );
+    }
+    println!(
+        "  aggregate: {} msgs in {:.3}s = {:.0} msgs/s ({} shards, {} poster threads)",
+        report.messages, report.elapsed_secs, report.msgs_per_sec, report.shards, report.threads
+    );
+    if let Some(e) = &report.error {
+        println!("  WARNING: drain stopped early: {e}");
+    }
+    report
 }
 
 /// Moves a run's registry snapshot out of the result row and into the
@@ -131,11 +311,17 @@ fn finish(
     args: &CommonArgs,
     quick: bool,
     results: Vec<PingPongResult>,
+    sharded: ShardedReport,
     observability: BTreeMap<String, serde_json::Value>,
 ) {
+    let results = Fig8Results {
+        series: results,
+        sharded,
+    };
     // Shape checks mirrored from the paper's discussion of Fig. 8.
     let rate = |label: &str| {
         results
+            .series
             .iter()
             .find(|r| r.label.starts_with(label))
             .map(|r| r.msgs_per_sec)
@@ -153,6 +339,11 @@ fn finish(
     println!(
         "shape: conflicts cost throughput (NC > WC): {}",
         nc > fp.min(sp)
+    );
+    let submitted: u64 = results.sharded.per_shard.iter().map(|r| r.posts).sum();
+    println!(
+        "shape: sharded drain delivered every message: {}",
+        results.sharded.error.is_none() && results.sharded.messages == submitted
     );
 
     let report = BenchReport::with_observability(

@@ -18,8 +18,9 @@ use mpi_matching::binned::BinnedMatcher;
 use mpi_matching::oracle::{MatchEvent, Oracle};
 use mpi_matching::rank_based::RankBasedMatcher;
 use mpi_matching::traditional::TraditionalMatcher;
-use mpi_matching::Matcher;
-use otm_base::{Envelope, Rank, ReceivePattern, Tag};
+use mpi_matching::{MatchStats, MatchingBackend};
+use otm::SequentialOtm;
+use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
 use otm_bench::{header, write_report, BenchReport, CommonArgs};
 use otm_trace::emul::FourIndexMatcher;
 use serde::Serialize;
@@ -78,7 +79,11 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for (wname, events) in &workloads {
         let expect = Oracle::run(events);
-        let mut engines: Vec<(String, Box<dyn Matcher>)> = vec![
+        // Every strategy is constructed and driven uniformly through the
+        // `MatchingBackend` trait — the same dispatch surface dpa-sim's
+        // service and the trace replayer use.
+        let seq_config = MatchConfig::default().with_bins(128).with_block_threads(1);
+        let mut engines: Vec<(String, Box<dyn MatchingBackend>)> = vec![
             (
                 "traditional (list)".into(),
                 Box::new(TraditionalMatcher::new()),
@@ -89,16 +94,22 @@ fn main() {
                 "optimistic idx b=128".into(),
                 Box::new(FourIndexMatcher::new(128)),
             ),
+            (
+                "optimistic engine".into(),
+                Box::new(SequentialOtm::new(seq_config).expect("table1 engine configuration")),
+            ),
         ];
         println!("\nworkload: {wname} (n = {n})");
         for (name, engine) in &mut engines {
-            let got = Oracle::drive(engine.as_mut(), events).expect("unbounded engines");
+            let got = Oracle::drive_backend(engine.as_mut(), events).expect("unbounded engines");
             assert_eq!(&got, &expect, "{name} must still be MPI-correct");
-            let stats = engine.stats();
+            let mut stats = MatchStats::default();
+            engine.merge_stats(&mut stats);
             println!(
-                "  {name:<22} mean depth {:>8.3} | max depth {:>4}",
+                "  {name:<22} mean depth {:>8.3} | max depth {:>4}  [{}]",
                 stats.mean_depth(),
-                stats.max_depth()
+                stats.max_depth(),
+                engine.backend_name()
             );
             rows.push(Row {
                 strategy: name.clone(),

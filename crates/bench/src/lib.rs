@@ -38,6 +38,12 @@ pub struct CommonArgs {
     /// `--out PATH`: write the JSON artifact here instead of
     /// `target/experiments/<bench>.json`.
     pub out: Option<PathBuf>,
+    /// `--shards N`: communicator shards for the concurrent command-queue
+    /// benchmark (fig8); defaults to the harness preset.
+    pub shards: Option<usize>,
+    /// `--threads N`: poster threads feeding the shards; defaults to one
+    /// thread per shard.
+    pub threads: Option<usize>,
 }
 
 impl CommonArgs {
@@ -58,6 +64,8 @@ impl CommonArgs {
                 "--messages" => args.messages = it.next().and_then(|v| v.parse().ok()),
                 "--repeats" => args.repeats = it.next().and_then(|v| v.parse().ok()),
                 "--out" => args.out = it.next().map(PathBuf::from),
+                "--shards" => args.shards = it.next().and_then(|v| v.parse().ok()),
+                "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()),
                 _ => {}
             }
         }
@@ -218,6 +226,19 @@ mod tests {
             args.out.as_deref(),
             Some(std::path::Path::new("/tmp/x.json"))
         );
+    }
+
+    #[test]
+    fn common_args_parse_shard_and_thread_knobs() {
+        let args = CommonArgs::from_iter(
+            ["--shards", "8", "--threads", "4"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.shards, Some(8));
+        assert_eq!(args.threads, Some(4));
+        let bad = CommonArgs::from_iter(["--shards", "zero"].into_iter().map(String::from));
+        assert_eq!(bad.shards, None);
     }
 
     #[test]

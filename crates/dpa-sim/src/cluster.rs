@@ -14,7 +14,10 @@ use crate::memory::DeviceMemory;
 use crate::nic::RecvNic;
 use crate::rdma::{connected_pair, eager_packet, rendezvous_packet, QueuePair, RdmaDomain};
 use crate::service::{CompletedReceive, MatchingService, ServiceError};
-use mpi_matching::RecvHandle;
+use mpi_matching::traditional::TraditionalMatcher;
+use mpi_matching::{MatchingBackend, RecvHandle};
+use otm::OtmEngine;
+use otm_base::memory::Footprint;
 use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
 
 /// Which matching backend every node of the cluster runs.
@@ -24,6 +27,24 @@ pub enum ClusterBackend {
     Offloaded,
     /// Host-CPU traditional matching.
     MpiCpu,
+}
+
+impl ClusterBackend {
+    /// Builds one node's matching backend — the uniform trait-object path
+    /// every node is constructed through. Offloaded nodes charge their
+    /// tables against a fresh BlueField-3-sized DPA budget first.
+    fn build(self, config: &MatchConfig) -> Box<dyn MatchingBackend> {
+        match self {
+            ClusterBackend::Offloaded => {
+                let mut budget = DeviceMemory::bluefield3_l3();
+                budget
+                    .try_alloc_comm(Footprint::compute(config.bins, config.max_receives))
+                    .expect("cluster tables fit the per-node DPA budget");
+                Box::new(OtmEngine::new(config.clone()).expect("validated config"))
+            }
+            ClusterBackend::MpiCpu => Box::new(TraditionalMatcher::new()),
+        }
+    }
 }
 
 /// One simulated node: its matching service plus send endpoints to every
@@ -135,14 +156,8 @@ impl Cluster {
                 for qp in qps {
                     nic.add_qp(qp);
                 }
-                let service = match backend {
-                    ClusterBackend::Offloaded => {
-                        let mut budget = DeviceMemory::bluefield3_l3();
-                        MatchingService::offloaded(nic, domain.clone(), config.clone(), &mut budget)
-                            .expect("cluster tables fit the per-node DPA budget")
-                    }
-                    ClusterBackend::MpiCpu => MatchingService::mpi_cpu(nic, domain.clone()),
-                };
+                let service =
+                    MatchingService::with_backend(nic, domain.clone(), backend.build(&config));
                 ClusterNode {
                     rank: Rank(i as u32),
                     service,

@@ -1,6 +1,9 @@
 //! The receive-side matching service: matching backend + protocol handling.
 //!
-//! This is the component Fig. 8 compares in three configurations:
+//! The service is generic over [`MatchingBackend`]: it holds a
+//! `Box<dyn MatchingBackend>` and drives posts, arrival blocks, stats and
+//! the software-fallback migration purely through the trait. The trait
+//! objects it ships with are the three configurations Fig. 8 compares:
 //!
 //! * **Optimistic-DPA** — the offloaded engine: blocks of up to `N`
 //!   completions are matched in parallel by [`otm::OtmEngine`]; the host CPU
@@ -24,7 +27,7 @@ use crate::obs::{service_trace_event, ServiceMetrics};
 use crate::rdma::{PayloadKind, RdmaDomain, RdmaError};
 use mpi_matching::protocol::{Action, EagerTransfer, ProtocolStateError, RendezvousTransfer, Rts};
 use mpi_matching::traditional::TraditionalMatcher;
-use mpi_matching::{ArriveResult, Matcher, MsgHandle, PostResult, RecvHandle};
+use mpi_matching::{MatchingBackend, MsgHandle, PostResult, RdmaNoOp, RecvHandle};
 use otm::{Delivery, OtmEngine};
 use otm_base::memory::Footprint;
 use otm_base::{Envelope, MatchConfig, MatchError, ReceivePattern};
@@ -104,29 +107,50 @@ struct StoredMessage {
     payload: StoredPayload,
 }
 
-/// The matching backend variants of Fig. 8.
-enum Backend {
-    Optimistic(Box<OtmEngine>),
-    MpiCpu(Box<TraditionalMatcher>),
-    RdmaCpu,
-}
+/// The placeholder installed while the offloaded backend is drained for the
+/// software fallback. If the replay completes, a software matcher replaces
+/// it; if the drain fails, the poison stays and every subsequent matching
+/// operation reports [`MatchError::EngineStopped`] — the service never runs
+/// with silently half-migrated state.
+struct PoisonedBackend;
 
-impl Backend {
-    fn name(&self) -> &'static str {
-        match self {
-            Backend::Optimistic(_) => "Optimistic-DPA",
-            Backend::MpiCpu(_) => "MPI-CPU",
-            Backend::RdmaCpu => "RDMA-CPU",
-        }
+impl MatchingBackend for PoisonedBackend {
+    fn backend_name(&self) -> &'static str {
+        "Poisoned"
+    }
+
+    fn post(&mut self, _: ReceivePattern, _: RecvHandle) -> Result<PostResult, MatchError> {
+        Err(MatchError::EngineStopped)
+    }
+
+    fn arrive_block(&mut self, _: &[(Envelope, MsgHandle)]) -> Result<Vec<Delivery>, MatchError> {
+        Err(MatchError::EngineStopped)
+    }
+
+    fn probe(&self, _: &ReceivePattern) -> Option<MsgHandle> {
+        None
+    }
+
+    fn prq_len(&self) -> usize {
+        0
+    }
+
+    fn umq_len(&self) -> usize {
+        0
+    }
+
+    fn merge_stats(&self, _: &mut mpi_matching::MatchStats) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
 /// The receive-side matching service (see module docs).
 pub struct MatchingService {
-    backend: Backend,
+    backend: Box<dyn MatchingBackend>,
     nic: RecvNic,
     domain: RdmaDomain,
-    block: usize,
     next_recv: u64,
     completed: Vec<CompletedReceive>,
     unexpected: HashMap<MsgHandle, StoredMessage>,
@@ -135,6 +159,26 @@ pub struct MatchingService {
 }
 
 impl MatchingService {
+    /// Creates a service around an arbitrary matching backend. This is the
+    /// single construction path: the named constructors below only pick the
+    /// backend (and, for the offloaded one, charge the memory budget).
+    pub fn with_backend(
+        nic: RecvNic,
+        domain: RdmaDomain,
+        backend: Box<dyn MatchingBackend>,
+    ) -> Self {
+        MatchingService {
+            backend,
+            nic,
+            domain,
+            next_recv: 0,
+            completed: Vec::new(),
+            unexpected: HashMap::new(),
+            fellback: false,
+            metrics: ServiceMetrics::new(),
+        }
+    }
+
     /// Creates the offloaded service, charging the communicator's matching
     /// state against the DPA memory budget. On
     /// [`MatchError::OutOfDeviceMemory`] the caller is expected to fall back
@@ -146,19 +190,8 @@ impl MatchingService {
         budget: &mut DeviceMemory,
     ) -> Result<Self, MatchError> {
         budget.try_alloc_comm(Footprint::compute(config.bins, config.max_receives))?;
-        let block = config.block_threads;
         let engine = OtmEngine::new(config)?;
-        Ok(MatchingService {
-            backend: Backend::Optimistic(Box::new(engine)),
-            nic,
-            domain,
-            block,
-            next_recv: 0,
-            completed: Vec::new(),
-            unexpected: HashMap::new(),
-            fellback: false,
-            metrics: ServiceMetrics::new(),
-        })
+        Ok(Self::with_backend(nic, domain, Box::new(engine)))
     }
 
     /// Creates the offloaded service if the budget allows, otherwise falls
@@ -172,22 +205,8 @@ impl MatchingService {
     ) -> (Self, bool) {
         match budget.try_alloc_comm(Footprint::compute(config.bins, config.max_receives)) {
             Ok(()) => {
-                let block = config.block_threads;
                 let engine = OtmEngine::new(config).expect("validated config");
-                (
-                    MatchingService {
-                        backend: Backend::Optimistic(Box::new(engine)),
-                        nic,
-                        domain,
-                        block,
-                        next_recv: 0,
-                        completed: Vec::new(),
-                        unexpected: HashMap::new(),
-                        fellback: false,
-                        metrics: ServiceMetrics::new(),
-                    },
-                    true,
-                )
+                (Self::with_backend(nic, domain, Box::new(engine)), true)
             }
             Err(_) => (Self::mpi_cpu(nic, domain), false),
         }
@@ -195,45 +214,25 @@ impl MatchingService {
 
     /// The host-CPU traditional matcher (MPI-CPU baseline).
     pub fn mpi_cpu(nic: RecvNic, domain: RdmaDomain) -> Self {
-        MatchingService {
-            backend: Backend::MpiCpu(Box::new(TraditionalMatcher::new())),
-            nic,
-            domain,
-            block: 1,
-            next_recv: 0,
-            completed: Vec::new(),
-            unexpected: HashMap::new(),
-            fellback: false,
-            metrics: ServiceMetrics::new(),
-        }
+        Self::with_backend(nic, domain, Box::new(TraditionalMatcher::new()))
     }
 
     /// The no-matching transport ceiling (RDMA-CPU baseline).
     pub fn rdma_cpu(nic: RecvNic, domain: RdmaDomain) -> Self {
-        MatchingService {
-            backend: Backend::RdmaCpu,
-            nic,
-            domain,
-            block: 1,
-            next_recv: 0,
-            completed: Vec::new(),
-            unexpected: HashMap::new(),
-            fellback: false,
-            metrics: ServiceMetrics::new(),
-        }
+        Self::with_backend(nic, domain, Box::new(RdmaNoOp::new()))
     }
 
     /// Which backend is running (for reports).
     pub fn backend_name(&self) -> &'static str {
-        self.backend.name()
+        self.backend.backend_name()
     }
 
     /// Engine statistics, when the backend is the offloaded engine.
     pub fn engine_stats(&self) -> Option<otm::StatsSnapshot> {
-        match &self.backend {
-            Backend::Optimistic(e) => Some(e.stats()),
-            _ => None,
-        }
+        self.backend
+            .as_any()
+            .downcast_ref::<OtmEngine>()
+            .map(|e| e.stats())
     }
 
     /// The service's metric instruments (a no-op handle when the `metrics`
@@ -249,9 +248,9 @@ impl MatchingService {
     #[cfg(feature = "metrics")]
     pub fn observability_snapshot(&self) -> otm_metrics::RegistrySnapshot {
         let snap = self.metrics.snapshot();
-        match &self.backend {
-            Backend::Optimistic(e) => snap.merge(&e.metrics_snapshot()),
-            _ => snap,
+        match self.backend.as_any().downcast_ref::<OtmEngine>() {
+            Some(e) => snap.merge(&e.metrics_snapshot()),
+            None => snap,
         }
     }
 
@@ -281,29 +280,17 @@ impl MatchingService {
     pub fn post_recv(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
         let handle = RecvHandle(self.next_recv);
         self.next_recv += 1;
-        let matched = match &mut self.backend {
-            Backend::Optimistic(engine) => match engine.post(pattern, handle) {
-                Ok(PostResult::Matched(msg)) => Some(msg),
-                Ok(PostResult::Posted) => None,
-                Err(MatchError::ReceiveTableFull) => {
-                    self.fall_back_to_software();
-                    let Backend::MpiCpu(matcher) = &mut self.backend else {
-                        unreachable!("fallback installs the software matcher")
-                    };
-                    match matcher.post(pattern, handle)? {
-                        PostResult::Matched(msg) => Some(msg),
-                        PostResult::Posted => None,
-                    }
+        let matched = match self.backend.post(pattern, handle) {
+            Ok(PostResult::Matched(msg)) => Some(msg),
+            Ok(PostResult::Posted) => None,
+            Err(MatchError::ReceiveTableFull) if self.backend.wants_offload_fallback() => {
+                self.fall_back_to_software()?;
+                match self.backend.post(pattern, handle)? {
+                    PostResult::Matched(msg) => Some(msg),
+                    PostResult::Posted => None,
                 }
-                Err(e) => return Err(e.into()),
-            },
-            Backend::MpiCpu(matcher) => match matcher.post(pattern, handle)? {
-                PostResult::Matched(msg) => Some(msg),
-                PostResult::Posted => None,
-            },
-            // RDMA-CPU performs no matching: the "receive" is just a slot in
-            // arrival order, completed by progress().
-            Backend::RdmaCpu => None,
+            }
+            Err(e) => return Err(e.into()),
         };
         if let Some(msg) = matched {
             let stored = self
@@ -316,25 +303,31 @@ impl MatchingService {
         Ok(handle)
     }
 
-    /// Migrates all matching state from the offloaded engine to a host
+    /// Migrates all matching state from the offloaded backend to a host
     /// software matcher (§III-B/§IV-E fallback). Pending receives and
     /// waiting unexpected messages are mutually non-matching by
     /// construction (each was checked against the other side when it was
     /// recorded), so the replay cannot create spurious matches.
-    fn fall_back_to_software(&mut self) {
-        let backend = std::mem::replace(&mut self.backend, Backend::RdmaCpu);
-        let Backend::Optimistic(engine) = backend else {
-            unreachable!("fallback only triggers from the offloaded backend")
-        };
-        let (receives, unexpected) = engine.drain_for_fallback();
-        let mut matcher = TraditionalMatcher::new();
+    ///
+    /// The migration is transactional: a [`PoisonedBackend`] holds the slot
+    /// while the offloaded backend drains, and the software matcher is
+    /// installed only once the full state has been replayed. If the drain
+    /// fails, the poison stays — subsequent operations report
+    /// [`MatchError::EngineStopped`] rather than silently matching against
+    /// a partial state.
+    fn fall_back_to_software(&mut self) -> Result<(), ServiceError> {
+        let offloaded = std::mem::replace(
+            &mut self.backend,
+            Box::new(PoisonedBackend) as Box<dyn MatchingBackend>,
+        );
+        let (receives, unexpected) = offloaded.drain_for_fallback()?;
+        let mut matcher: Box<dyn MatchingBackend> = Box::new(TraditionalMatcher::new());
         for (env, msg) in unexpected {
-            let r = matcher
-                .arrive(env, msg)
+            let d = matcher
+                .arrive_block(&[(env, msg)])
                 .expect("software matcher is unbounded");
-            debug_assert_eq!(
-                r,
-                ArriveResult::Unexpected,
+            debug_assert!(
+                matches!(d[0], Delivery::Unexpected { .. }),
                 "replay must not create matches"
             );
         }
@@ -344,9 +337,10 @@ impl MatchingService {
                 .expect("software matcher is unbounded");
             debug_assert_eq!(r, PostResult::Posted, "replay must not create matches");
         }
-        self.backend = Backend::MpiCpu(Box::new(matcher));
+        self.backend = matcher;
         self.fellback = true;
         self.metrics.count_fallback();
+        Ok(())
     }
 
     /// Whether the service has fallen back to software matching.
@@ -369,7 +363,7 @@ impl MatchingService {
         self.observe_queues();
         let before = self.completed.len();
         loop {
-            let block = self.nic.take_block(self.block);
+            let block = self.nic.take_block(self.backend.block_size());
             if block.is_empty() {
                 break;
             }
@@ -393,71 +387,23 @@ impl MatchingService {
     }
 
     fn match_block(&mut self, block: Vec<Completion>) -> Result<(), ServiceError> {
-        match &mut self.backend {
-            Backend::Optimistic(engine) => {
-                let msgs: Vec<(Envelope, MsgHandle)> =
-                    block.iter().map(|c| (c.header.env, c.msg)).collect();
-                let deliveries = match engine.process_block(&msgs) {
-                    Ok(d) => d,
-                    Err(MatchError::UnexpectedStoreFull) => {
-                        // The engine rejected the block atomically (its
-                        // state is untouched and no bounce buffer was
-                        // consumed yet): migrate to software matching and
-                        // reprocess the very same block there (§IV-E).
-                        self.fall_back_to_software();
-                        return self.match_block(block);
-                    }
-                    Err(e) => return Err(e.into()),
-                };
-                for (completion, delivery) in block.into_iter().zip(deliveries) {
-                    match delivery {
-                        Delivery::Matched { recv, .. } => {
-                            let done = Self::run_protocol_from_bounce(
-                                &mut self.nic,
-                                &self.domain,
-                                recv,
-                                &completion,
-                            )?;
-                            self.completed.push(done);
-                        }
-                        Delivery::Unexpected { msg } => {
-                            Self::stash_unexpected(
-                                &mut self.nic,
-                                &mut self.unexpected,
-                                msg,
-                                &completion,
-                            );
-                        }
-                    }
-                }
+        let msgs: Vec<(Envelope, MsgHandle)> =
+            block.iter().map(|c| (c.header.env, c.msg)).collect();
+        let deliveries = match self.backend.arrive_block(&msgs) {
+            Ok(d) => d,
+            Err(MatchError::UnexpectedStoreFull) if self.backend.wants_offload_fallback() => {
+                // The engine rejected the block atomically (its state is
+                // untouched and no bounce buffer was consumed yet): migrate
+                // to software matching and reprocess the very same block
+                // there (§IV-E).
+                self.fall_back_to_software()?;
+                return self.match_block(block);
             }
-            Backend::MpiCpu(matcher) => {
-                for completion in block {
-                    match matcher.arrive(completion.header.env, completion.msg)? {
-                        ArriveResult::Matched(recv) => {
-                            let done = Self::run_protocol_from_bounce(
-                                &mut self.nic,
-                                &self.domain,
-                                recv,
-                                &completion,
-                            )?;
-                            self.completed.push(done);
-                        }
-                        ArriveResult::Unexpected => {
-                            Self::stash_unexpected(
-                                &mut self.nic,
-                                &mut self.unexpected,
-                                completion.msg,
-                                &completion,
-                            );
-                        }
-                    }
-                }
-            }
-            Backend::RdmaCpu => {
-                // No matching: message i completes "receive" i directly.
-                for completion in block {
-                    let recv = RecvHandle(completion.msg.0);
+            Err(e) => return Err(e.into()),
+        };
+        for (completion, delivery) in block.into_iter().zip(deliveries) {
+            match delivery {
+                Delivery::Matched { recv, .. } => {
                     let done = Self::run_protocol_from_bounce(
                         &mut self.nic,
                         &self.domain,
@@ -465,6 +411,9 @@ impl MatchingService {
                         &completion,
                     )?;
                     self.completed.push(done);
+                }
+                Delivery::Unexpected { msg } => {
+                    Self::stash_unexpected(&mut self.nic, &mut self.unexpected, msg, &completion);
                 }
             }
         }
@@ -783,6 +732,98 @@ mod tests {
         assert_eq!(a.backend_name(), "Optimistic-DPA");
         assert_eq!(b.backend_name(), "MPI-CPU");
         assert_eq!(c.backend_name(), "RDMA-CPU");
+    }
+
+    #[test]
+    fn any_backend_can_be_injected_through_the_trait() {
+        // The service no longer hard-codes its engines: anything
+        // implementing MatchingBackend slots in. The binned matcher is not
+        // one of the named constructors, which makes it a good probe.
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let backend = Box::new(mpi_matching::binned::BinnedMatcher::new(16));
+        let mut svc = MatchingService::with_backend(nic, domain, backend);
+        assert_eq!(svc.backend_name(), "Binned-CPU");
+        assert!(svc.engine_stats().is_none(), "not the offloaded engine");
+        let recv = svc
+            .post_recv(ReceivePattern::exact(Rank(0), Tag(1)))
+            .unwrap();
+        tx.send(eager_packet(env(0, 1), vec![42])).unwrap();
+        assert_eq!(svc.progress().unwrap(), 1);
+        let done = svc.take_completed();
+        assert_eq!(done[0].recv, recv);
+        assert_eq!(done[0].data, vec![42]);
+    }
+
+    #[test]
+    fn failed_fallback_drain_poisons_the_service() {
+        /// A backend that demands the offload fallback but cannot deliver
+        /// its state: the service must poison itself, not limp along.
+        struct FailingBackend;
+        impl MatchingBackend for FailingBackend {
+            fn backend_name(&self) -> &'static str {
+                "Failing"
+            }
+            fn post(&mut self, _: ReceivePattern, _: RecvHandle) -> Result<PostResult, MatchError> {
+                Err(MatchError::ReceiveTableFull)
+            }
+            fn arrive_block(
+                &mut self,
+                _: &[(Envelope, MsgHandle)],
+            ) -> Result<Vec<Delivery>, MatchError> {
+                Err(MatchError::UnexpectedStoreFull)
+            }
+            fn probe(&self, _: &ReceivePattern) -> Option<MsgHandle> {
+                None
+            }
+            fn prq_len(&self) -> usize {
+                0
+            }
+            fn umq_len(&self) -> usize {
+                0
+            }
+            fn merge_stats(&self, _: &mut mpi_matching::MatchStats) {}
+            fn wants_offload_fallback(&self) -> bool {
+                true
+            }
+            fn drain_for_fallback(
+                self: Box<Self>,
+            ) -> Result<mpi_matching::FallbackState, MatchError> {
+                Err(MatchError::EngineStopped)
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let mut svc = MatchingService::with_backend(nic, domain, Box::new(FailingBackend));
+        // The post triggers the fallback, whose drain fails: the error
+        // surfaces and the poison is installed in place of the half-dead
+        // backend.
+        let err = svc
+            .post_recv(ReceivePattern::exact(Rank(0), Tag(0)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Match(MatchError::EngineStopped)
+        ));
+        assert_eq!(svc.backend_name(), "Poisoned");
+        assert!(!svc.fell_back(), "the migration did not complete");
+        // Every subsequent matching operation keeps failing loudly.
+        let err = svc
+            .post_recv(ReceivePattern::exact(Rank(0), Tag(1)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Match(MatchError::EngineStopped)
+        ));
+        tx.send(eager_packet(env(0, 0), vec![1])).unwrap();
+        assert!(svc.progress().is_err());
+        drop(tx);
     }
 
     #[test]

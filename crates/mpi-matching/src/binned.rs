@@ -103,6 +103,33 @@ impl BinnedMatcher {
         empty as f64 / self.bins as f64
     }
 
+    /// Copies out the full matching state: pending receives re-serialized
+    /// into post order (the bins and the wildcard list are merged by post
+    /// label) and unexpected messages in arrival order — the
+    /// [`FallbackState`](crate::backend::FallbackState) shape the backend
+    /// trait's drain hands to a replacement matcher.
+    pub fn snapshot_state(&self) -> crate::backend::FallbackState {
+        let mut posted: Vec<PostedRecv> = self
+            .prq_bins
+            .iter()
+            .flatten()
+            .chain(self.prq_wild.iter())
+            .copied()
+            .collect();
+        posted.sort_by_key(|r| r.label);
+        let receives = posted.into_iter().map(|r| (r.pattern, r.handle)).collect();
+        // The global order list is in arrival order; skip stale refs.
+        let unexpected = self
+            .umq_order
+            .iter()
+            .filter_map(|r| {
+                let e = &self.umq_slab[r.slot as usize];
+                (e.gen == r.gen && e.alive).then_some((e.env, e.handle))
+            })
+            .collect();
+        (receives, unexpected)
+    }
+
     fn bin_for_env(&self, env: &Envelope) -> usize {
         bin_of(hash_src_tag(env.src, env.tag, env.comm), self.bins)
     }

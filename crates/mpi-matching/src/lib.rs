@@ -5,6 +5,10 @@
 //!
 //! * [`matcher`] — the common [`matcher::Matcher`] interface: post a
 //!   receive, deliver a message, observe search-depth statistics;
+//! * [`backend`] — the block-granular [`backend::MatchingBackend`] interface
+//!   the SmartNIC simulator's service layer selects engines through (post /
+//!   arrive-block / fallback-drain / stats-merge), implemented by the host
+//!   engines here and by the offloaded optimistic engine in its own crate;
 //! * [`traditional`] — the classic two-linked-list implementation (PRQ +
 //!   UMQ) used by mainstream MPI libraries, the paper's **MPI-CPU** baseline
 //!   and the 1-bin configuration of Fig. 7;
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod binned;
 pub mod matcher;
 pub mod oracle;
@@ -34,6 +39,7 @@ pub mod rank_based;
 pub mod stats;
 pub mod traditional;
 
+pub use backend::{BlockDelivery, FallbackState, MatchingBackend, RdmaNoOp};
 pub use matcher::{ArriveResult, Matcher, MsgHandle, PostResult, RecvHandle};
 pub use oracle::{Assignment, MatchEvent, Oracle};
 pub use stats::MatchStats;

@@ -154,6 +154,17 @@ impl TraditionalMatcher {
     pub fn waiting_messages(&self) -> Vec<MsgHandle> {
         self.umq.iter().map(|(_, h)| *h).collect()
     }
+
+    /// Copies out the full matching state: pending receives in post order
+    /// and unexpected messages in arrival order — the
+    /// [`FallbackState`](crate::backend::FallbackState) shape the backend
+    /// trait's drain hands to a replacement matcher.
+    pub fn snapshot_state(&self) -> crate::backend::FallbackState {
+        (
+            self.prq.iter().copied().collect(),
+            self.umq.iter().copied().collect(),
+        )
+    }
 }
 
 impl Default for TraditionalMatcher {

@@ -1,0 +1,151 @@
+//! The engine's host-facing command submission queue.
+//!
+//! The DPA receives its work through QP command queues (§IV-E): the host
+//! enqueues *post* and *arrival* commands from any thread, and the device
+//! coordinator drains them in submission order. [`CommandQueue`] is that
+//! queue on the host side — a `&self` (interior-mutability) FIFO that any
+//! number of threads can [`CommandQueue::submit`] into concurrently, with
+//! [`crate::OtmEngine::drain`] playing the coordinator: it pops commands
+//! in order, applies posts through the per-communicator shards, and packs
+//! consecutive arrivals into parallel matching blocks.
+//!
+//! Because the queue is a strict FIFO, the engine's matching outcome over
+//! the drained commands is the same deterministic function of submission
+//! order that a fully serialized engine computes — MPI matching depends
+//! only on per-communicator post order and global arrival order, both of
+//! which the queue preserves.
+
+#![deny(missing_docs)]
+
+use crate::engine::Delivery;
+use mpi_matching::{MsgHandle, PostResult, RecvHandle};
+use otm_base::{Envelope, MatchError, ReceivePattern};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One host-to-engine command, mirroring the DPA QP command set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Post a receive (the `post` command path).
+    Post {
+        /// The receive's matching pattern.
+        pattern: ReceivePattern,
+        /// The caller's handle for the receive.
+        handle: RecvHandle,
+    },
+    /// Deliver one incoming message (the arrival path; the coordinator
+    /// batches consecutive arrivals into blocks).
+    Arrival {
+        /// The message's envelope.
+        env: Envelope,
+        /// The caller's handle for the message.
+        msg: MsgHandle,
+    },
+}
+
+/// The result of applying one [`Command`], in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandOutcome {
+    /// Outcome of a [`Command::Post`].
+    Post(PostResult),
+    /// Outcome of a [`Command::Arrival`].
+    Delivery(Delivery),
+}
+
+/// Everything one [`crate::OtmEngine::drain`] call accomplished.
+///
+/// A drain is not all-or-nothing: commands apply one by one (arrivals in
+/// blocks), and an error stops the drain mid-queue. The outcomes of the
+/// commands that *did* apply are always reported — dropping them would lose
+/// deliveries the caller must act on.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Outcome of every applied command, in submission order.
+    pub outcomes: Vec<CommandOutcome>,
+    /// The error that stopped the drain early, if any. The failing command
+    /// and everything queued behind it were put back at the front of the
+    /// queue, so a retry after remedying the error (e.g. freeing
+    /// unexpected-store capacity) resumes exactly where this drain stopped.
+    pub error: Option<MatchError>,
+}
+
+/// A multi-producer command FIFO (see module docs).
+#[derive(Debug, Default)]
+pub struct CommandQueue {
+    inner: Mutex<VecDeque<Command>>,
+}
+
+impl CommandQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        CommandQueue::default()
+    }
+
+    /// Enqueues a command at the tail. Callable from any thread.
+    pub fn submit(&self, cmd: Command) {
+        self.inner.lock().push_back(cmd);
+    }
+
+    /// Number of commands waiting to be drained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no command is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Takes every queued command, oldest first. Submissions racing with
+    /// the take land after it and are picked up by the next drain.
+    pub(crate) fn take_all(&self) -> VecDeque<Command> {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Puts unprocessed commands back at the *front* of the queue (in their
+    /// original order), ahead of anything submitted since the take.
+    pub(crate) fn requeue_front(&self, cmds: VecDeque<Command>) {
+        let mut inner = self.inner.lock();
+        for cmd in cmds.into_iter().rev() {
+            inner.push_front(cmd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otm_base::{Rank, Tag};
+
+    fn arrival(i: u64) -> Command {
+        Command::Arrival {
+            env: Envelope::world(Rank(0), Tag(i as u32)),
+            msg: MsgHandle(i),
+        }
+    }
+
+    #[test]
+    fn submit_take_preserves_fifo_order() {
+        let q = CommandQueue::new();
+        for i in 0..4 {
+            q.submit(arrival(i));
+        }
+        assert_eq!(q.len(), 4);
+        let taken: Vec<_> = q.take_all().into_iter().collect();
+        assert_eq!(taken, (0..4).map(arrival).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn requeue_front_goes_ahead_of_new_submissions() {
+        let q = CommandQueue::new();
+        q.submit(arrival(0));
+        q.submit(arrival(1));
+        let mut taken = q.take_all();
+        taken.pop_front(); // command 0 was applied
+        q.submit(arrival(2)); // raced in after the take
+        q.requeue_front(taken);
+        let order: Vec<_> = q.take_all().into_iter().collect();
+        assert_eq!(order, vec![arrival(1), arrival(2)]);
+    }
+}

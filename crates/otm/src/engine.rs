@@ -2,83 +2,59 @@
 //!
 //! [`OtmEngine`] owns a persistent pool of block workers (the DPA threads of
 //! §IV) and the host-facing state: per-communicator descriptor tables, index
-//! structures and unexpected-message stores. Receives are posted through
-//! [`OtmEngine::post`] — the QP command path of §IV-E — and incoming
-//! messages are matched in blocks of up to `N` via
-//! [`OtmEngine::process_block`] (a chunking [`OtmEngine::process_stream`] is
-//! provided for convenience).
+//! structures and unexpected-message stores, organized as independent
+//! [`shards`](crate::shard) keyed by communicator.
 //!
-//! Posting and block processing take `&mut self`: the engine serializes the
-//! host command path with block execution exactly as the DPA serializes QP
-//! command handling with its run-to-completion handlers. Inside a block,
-//! matching is genuinely parallel across the worker pool.
+//! Two host-facing paths feed the engine, mirroring §IV-E's QP command
+//! handling:
+//!
+//! * **Direct calls.** [`OtmEngine::post_shared`] posts a receive through
+//!   `&self` — it takes only the target communicator's shard lock, so
+//!   threads posting into *different* communicators proceed concurrently.
+//!   Blocks of incoming messages are matched via
+//!   [`OtmEngine::process_block`] (with a chunking
+//!   [`OtmEngine::process_stream`]); the block coordinator serializes block
+//!   execution behind an internal coordinator lock and locks exactly the
+//!   shards the block touches.
+//! * **The command queue.** Any thread may [`OtmEngine::submit`] post and
+//!   arrival commands into the engine's FIFO [`CommandQueue`]; a drainer
+//!   thread calls [`OtmEngine::drain`] to apply them in submission order,
+//!   packing consecutive arrivals into parallel blocks. Because the queue
+//!   preserves per-communicator post order and global arrival order, the
+//!   resulting match set is identical to a fully serialized engine's.
+//!
+//! The historical `&mut self` methods ([`OtmEngine::post`],
+//! [`OtmEngine::process_block`]) remain as thin compatibility wrappers over
+//! the sharded `&self` machinery.
 
-use crate::block::{BlockShared, CommShared, LaneData};
-use crate::index::PrqIndexes;
+use crate::block::{BlockShared, LaneData};
+use crate::command::{Command, CommandOutcome, CommandQueue, DrainReport};
 use crate::metrics::{trace_event, EngineMetrics};
+use crate::shard::{CommShard, ShardMap};
 use crate::stats::{OtmStats, StatsSnapshot};
-use crate::table::{DescId, Payload, ReceiveTable};
-use crate::umq::UnexpectedStore;
+use crate::table::{DescId, Payload};
 use crate::worker::{pool_size, worker_main, worker_main_inline, WorkerCtx};
-use mpi_matching::{ArriveResult, Matcher, MsgHandle, PostResult, RecvHandle};
-use otm_base::{
-    ArrivalSeq, CommHints, CommId, Envelope, InlineHashes, MatchConfig, MatchError, PostLabel,
-    ReceivePattern, SeqId,
+use mpi_matching::stats::DepthAggregate;
+use mpi_matching::{
+    ArriveResult, MatchStats, Matcher, MatchingBackend, MsgHandle, PostResult, RecvHandle,
 };
-use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use otm_base::{
+    ArrivalSeq, CommHints, CommId, Envelope, InlineHashes, MatchConfig, MatchError, ReceivePattern,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Matching state drained from an engine for software fallback: the
-/// pending receives (per-communicator post order) and the waiting
-/// unexpected messages (per-communicator arrival order).
-pub type FallbackState = (
-    Vec<(ReceivePattern, RecvHandle)>,
-    Vec<(Envelope, MsgHandle)>,
-);
+pub use mpi_matching::backend::{BlockDelivery as Delivery, FallbackState};
 
-/// Outcome of matching one incoming message in a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Delivery {
-    /// The message matched a posted receive.
-    Matched {
-        /// The message's handle.
-        msg: MsgHandle,
-        /// The matched receive's handle.
-        recv: RecvHandle,
-    },
-    /// No receive matched; the message was stored as unexpected.
-    Unexpected {
-        /// The message's handle.
-        msg: MsgHandle,
-    },
-}
-
-impl Delivery {
-    /// The matched receive handle, if any.
-    pub fn matched(self) -> Option<RecvHandle> {
-        match self {
-            Delivery::Matched { recv, .. } => Some(recv),
-            Delivery::Unexpected { .. } => None,
-        }
-    }
-
-    /// The message handle.
-    pub fn msg(self) -> MsgHandle {
-        match self {
-            Delivery::Matched { msg, .. } | Delivery::Unexpected { msg } => msg,
-        }
-    }
-}
-
-/// Host-side per-communicator state (never touched by workers).
-struct CommHost {
-    shared: Arc<CommShared>,
-    umq: UnexpectedStore,
-    next_label: PostLabel,
-    cur_seq: SeqId,
-    last_pattern: Option<ReceivePattern>,
+/// Coordinator-only state: whatever must be serialized across blocks but
+/// not across posts. Guarded by the engine's coordinator lock, which also
+/// serializes block execution on the single [`BlockShared`] arena.
+struct CoordState {
+    /// Arrival sequence of the next incoming message.
+    next_arrival: ArrivalSeq,
 }
 
 /// The Optimistic Tag Matching engine (see module docs and crate docs).
@@ -87,19 +63,20 @@ pub struct OtmEngine {
     shared: Arc<BlockShared>,
     stats: Arc<OtmStats>,
     metrics: EngineMetrics,
-    comms: HashMap<CommId, CommHost>,
+    shards: ShardMap,
+    queue: CommandQueue,
+    coord: Mutex<CoordState>,
     workers: Vec<JoinHandle<()>>,
-    next_arrival: ArrivalSeq,
-    stopped: bool,
+    stopped: AtomicBool,
 }
 
 impl std::fmt::Debug for OtmEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OtmEngine")
             .field("config", &self.config)
-            .field("comms", &self.comms.len())
+            .field("comms", &self.shards.len())
             .field("workers", &self.workers.len())
-            .field("stopped", &self.stopped)
+            .field("stopped", &self.stopped.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -140,10 +117,13 @@ impl OtmEngine {
             shared,
             stats,
             metrics,
-            comms: HashMap::new(),
+            shards: ShardMap::new(),
+            queue: CommandQueue::new(),
+            coord: Mutex::new(CoordState {
+                next_arrival: ArrivalSeq::ZERO,
+            }),
             workers,
-            next_arrival: ArrivalSeq::ZERO,
-            stopped: false,
+            stopped: AtomicBool::new(false),
         })
     }
 
@@ -183,30 +163,11 @@ impl OtmEngine {
     }
 
     fn check_running(&self) -> Result<(), MatchError> {
-        if self.stopped || self.shared.poisoned.load(Ordering::SeqCst) {
+        if self.stopped.load(Ordering::SeqCst) || self.shared.poisoned.load(Ordering::SeqCst) {
             Err(MatchError::EngineStopped)
         } else {
             Ok(())
         }
-    }
-
-    fn ensure_comm(&mut self, comm: CommId) -> &mut CommHost {
-        self.ensure_comm_with_hints(comm, CommHints::NONE)
-    }
-
-    fn ensure_comm_with_hints(&mut self, comm: CommId, hints: CommHints) -> &mut CommHost {
-        let config = &self.config;
-        self.comms.entry(comm).or_insert_with(|| CommHost {
-            shared: Arc::new(CommShared {
-                table: ReceiveTable::new(config.max_receives),
-                prq: PrqIndexes::new(config.bins),
-                hints,
-            }),
-            umq: UnexpectedStore::new(config.bins, config.max_unexpected),
-            next_label: PostLabel::ZERO,
-            cur_seq: SeqId::ZERO,
-            last_pattern: None,
-        })
     }
 
     /// Declares a communicator with matching hints (§VII): "applications
@@ -216,55 +177,50 @@ impl OtmEngine {
     /// Like the DPA resource allocation, hints are fixed at communicator
     /// creation: calling this after the communicator has been used is an
     /// error.
-    pub fn declare_comm(&mut self, comm: CommId, hints: CommHints) -> Result<(), MatchError> {
+    pub fn declare_comm(&self, comm: CommId, hints: CommHints) -> Result<(), MatchError> {
         self.check_running()?;
-        if self.comms.contains_key(&comm) {
-            return Err(MatchError::InvalidConfig(format!(
-                "hints for {comm} must be declared before the communicator is used"
-            )));
-        }
-        self.ensure_comm_with_hints(comm, hints);
-        Ok(())
+        self.shards.try_declare(comm, &self.config, hints)
     }
 
     /// The hints a communicator was declared with.
     pub fn comm_hints(&self, comm: CommId) -> Option<CommHints> {
-        self.comms.get(&comm).map(|c| c.shared.hints)
+        self.shards.get(comm).map(|s| s.shared.hints)
     }
 
-    /// Posts a receive — the host-to-DPA command path (§IV-E).
+    /// Posts a receive — the host-to-DPA command path (§IV-E) — through
+    /// `&self`: only the target communicator's shard lock is taken, so
+    /// concurrent posters into different communicators never contend.
     ///
     /// The unexpected-message store is searched first (§IV-C); on a miss the
     /// receive is labelled, assigned its sequence id, and indexed in the
     /// structure matching its wildcard class (§III-B).
-    pub fn post(
-        &mut self,
+    pub fn post_shared(
+        &self,
         pattern: ReceivePattern,
         handle: RecvHandle,
     ) -> Result<PostResult, MatchError> {
         self.check_running()?;
-        let stats = Arc::clone(&self.stats);
-        let metrics = self.metrics.clone();
-        let host = self.ensure_comm(pattern.comm);
-        if !host.shared.hints.permits(pattern.wildcard_class()) {
+        let shard = self.shards.get_or_create(pattern.comm, &self.config);
+        if !shard.shared.hints.permits(pattern.wildcard_class()) {
             return Err(MatchError::HintViolation(format!(
                 "receive {pattern} violates the hints declared for {}",
                 pattern.comm
             )));
         }
+        let mut host = shard.host.lock();
         if let Some(m) = host.umq.match_post(&pattern) {
-            stats.matched_on_post.fetch_add(1, Ordering::Relaxed);
-            stats
+            self.stats.matched_on_post.fetch_add(1, Ordering::Relaxed);
+            self.stats
                 .umq_depth_sum
                 .fetch_add(m.depth as u64, Ordering::Relaxed);
-            stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
-            metrics.record_umq_match_depth(m.depth as u64);
+            self.stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
+            self.metrics.record_umq_match_depth(m.depth as u64);
             // The consumed receive is not indexed, so it breaks any ongoing
             // run of compatible receives.
             host.last_pattern = None;
             return Ok(PostResult::Matched(m.handle));
         }
-        stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
+        self.stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
         // Sequence ids (§III-D3a): consecutive compatible posts share one.
         let seq = match &host.last_pattern {
             Some(p) if p.compatible(&pattern) => host.cur_seq,
@@ -274,9 +230,9 @@ impl OtmEngine {
             }
         };
         host.last_pattern = Some(pattern);
-        let home = host.shared.prq.home_of(&pattern);
+        let home = shard.shared.prq.home_of(&pattern);
         let label = host.next_label;
-        let desc = host.shared.table.allocate(Payload {
+        let desc = shard.shared.table.allocate(Payload {
             pattern,
             label,
             seq,
@@ -284,9 +240,126 @@ impl OtmEngine {
             home,
         })?;
         host.next_label = host.next_label.next();
-        host.shared.prq.insert(home, desc);
-        stats.posted.fetch_add(1, Ordering::Relaxed);
+        shard.shared.prq.insert(home, desc);
+        self.stats.posted.fetch_add(1, Ordering::Relaxed);
         Ok(PostResult::Posted)
+    }
+
+    /// Posts a receive. Compatibility wrapper over [`OtmEngine::post_shared`].
+    pub fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        self.post_shared(pattern, handle)
+    }
+
+    /// Enqueues a command into the engine's submission queue (§IV-E's QP
+    /// command path). Callable from any thread; the command takes effect at
+    /// the next [`OtmEngine::drain`].
+    pub fn submit(&self, cmd: Command) -> Result<(), MatchError> {
+        self.check_running()?;
+        self.queue.submit(cmd);
+        Ok(())
+    }
+
+    /// Number of submitted commands not yet drained.
+    pub fn pending_commands(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the command queue, applying every command in submission order
+    /// — the coordinator half of the QP command path. Consecutive arrival
+    /// commands are packed into blocks of up to `block_threads` messages
+    /// and matched in parallel; posts flush any pending arrivals first, so
+    /// submission order is exactly preserved.
+    ///
+    /// On an error the drain stops: outcomes of the commands already
+    /// applied are returned in the report together with the error, and the
+    /// failing command plus everything behind it goes back to the front of
+    /// the queue (ahead of any racing submissions), so a retry after
+    /// remedying the error resumes exactly where this drain stopped.
+    pub fn drain(&self) -> DrainReport {
+        let mut coord = self.coord.lock();
+        let mut cmds = self.queue.take_all();
+        let mut outcomes = Vec::with_capacity(cmds.len());
+        let mut batch: Vec<(Envelope, MsgHandle)> = Vec::new();
+        while let Some(cmd) = cmds.pop_front() {
+            match cmd {
+                Command::Arrival { env, msg } => {
+                    batch.push((env, msg));
+                    if batch.len() == self.config.block_threads {
+                        if let Err(e) = self.flush_batch(&mut coord, &mut batch, &mut outcomes) {
+                            self.requeue_unprocessed(batch, cmds);
+                            return DrainReport {
+                                outcomes,
+                                error: Some(e),
+                            };
+                        }
+                    }
+                }
+                Command::Post { pattern, handle } => {
+                    if let Err(e) = self.flush_batch(&mut coord, &mut batch, &mut outcomes) {
+                        cmds.push_front(cmd);
+                        self.requeue_unprocessed(batch, cmds);
+                        return DrainReport {
+                            outcomes,
+                            error: Some(e),
+                        };
+                    }
+                    match self.post_shared(pattern, handle) {
+                        Ok(r) => outcomes.push(CommandOutcome::Post(r)),
+                        Err(e) => {
+                            cmds.push_front(cmd);
+                            self.requeue_unprocessed(batch, cmds);
+                            return DrainReport {
+                                outcomes,
+                                error: Some(e),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(e) = self.flush_batch(&mut coord, &mut batch, &mut outcomes) {
+            self.requeue_unprocessed(batch, cmds);
+            return DrainReport {
+                outcomes,
+                error: Some(e),
+            };
+        }
+        DrainReport {
+            outcomes,
+            error: None,
+        }
+    }
+
+    /// Matches the pending arrival batch as one block and records its
+    /// deliveries. On error the batch is left intact for re-queueing.
+    fn flush_batch(
+        &self,
+        coord: &mut CoordState,
+        batch: &mut Vec<(Envelope, MsgHandle)>,
+        outcomes: &mut Vec<CommandOutcome>,
+    ) -> Result<(), MatchError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let deliveries = self.process_block_locked(coord, batch)?;
+        outcomes.extend(deliveries.into_iter().map(CommandOutcome::Delivery));
+        batch.clear();
+        Ok(())
+    }
+
+    /// Puts an unapplied arrival batch and the remaining commands back at
+    /// the front of the queue, preserving submission order.
+    fn requeue_unprocessed(&self, batch: Vec<(Envelope, MsgHandle)>, rest: VecDeque<Command>) {
+        let mut q: VecDeque<Command> = batch
+            .into_iter()
+            .map(|(env, msg)| Command::Arrival { env, msg })
+            .collect();
+        q.extend(rest);
+        self.queue.requeue_front(q);
     }
 
     /// Matches one block of up to `N` incoming messages in parallel.
@@ -295,6 +368,21 @@ impl OtmEngine {
     /// message, and the block's deliveries are returned in the same order.
     pub fn process_block(
         &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<Delivery>, MatchError> {
+        let mut coord = self.coord.lock();
+        self.process_block_locked(&mut coord, msgs)
+    }
+
+    /// The block coordinator. Requires the coordinator lock (serializing
+    /// block execution on the one [`BlockShared`] arena) and takes the host
+    /// locks of exactly the shards the block touches, in [`CommId`] order —
+    /// the engine's global lock order. Posters hold at most one shard lock
+    /// and never the coordinator lock, so this cannot deadlock; posts into
+    /// communicators outside the block proceed concurrently with it.
+    fn process_block_locked(
+        &self,
+        coord: &mut CoordState,
         msgs: &[(Envelope, MsgHandle)],
     ) -> Result<Vec<Delivery>, MatchError> {
         self.check_running()?;
@@ -309,31 +397,52 @@ impl OtmEngine {
             )));
         }
 
-        // Pre-resolve every lane's communicator state so the workers never
-        // touch the communicator map, and pre-check the unexpected-store
-        // capacity: in the worst case every message of the block goes
-        // unexpected, and rejecting up front keeps the operation atomic —
-        // the caller can fall back to software matching (§IV-E) with the
-        // engine's state fully intact (see `drain_for_fallback`).
-        for (env, _) in msgs {
-            self.ensure_comm(env.comm);
-        }
+        // Resolve every lane's shard so the workers never touch the shard
+        // map, then lock the involved shards (sorted, deduplicated): while
+        // the block runs, no poster can mutate an involved communicator's
+        // tables.
+        let lane_shards: Vec<Arc<CommShard>> = msgs
+            .iter()
+            .map(|(env, _)| self.shards.get_or_create(env.comm, &self.config))
+            .collect();
+        let mut involved: Vec<(CommId, Arc<CommShard>)> = msgs
+            .iter()
+            .zip(&lane_shards)
+            .map(|((env, _), shard)| (env.comm, Arc::clone(shard)))
+            .collect();
+        involved.sort_by_key(|(id, _)| *id);
+        involved.dedup_by_key(|(id, _)| *id);
+        let mut guards: Vec<_> = involved
+            .iter()
+            .map(|(id, shard)| (*id, shard.host.lock()))
+            .collect();
+
+        // Pre-check the unexpected-store capacity: in the worst case every
+        // message of the block goes unexpected, and rejecting up front
+        // keeps the operation atomic — the caller can fall back to software
+        // matching (§IV-E) with the engine's state fully intact (see
+        // `drain_for_fallback`).
         let mut per_comm: HashMap<CommId, usize> = HashMap::new();
         for (env, _) in msgs {
             *per_comm.entry(env.comm).or_insert(0) += 1;
         }
         for (comm, count) in per_comm {
-            if self.comms[&comm].umq.available() < count {
+            let (_, host) = guards
+                .iter()
+                .find(|(id, _)| *id == comm)
+                .expect("every block communicator is locked");
+            if host.umq.available() < count {
                 return Err(MatchError::UnexpectedStoreFull);
             }
         }
         let lanes: Vec<LaneData> = msgs
             .iter()
-            .map(|&(env, handle)| LaneData {
+            .zip(&lane_shards)
+            .map(|(&(env, handle), shard)| LaneData {
                 env,
                 handle,
                 hashes: InlineHashes::of(&env),
-                comm: Arc::clone(&self.comms[&env.comm].shared),
+                comm: Arc::clone(&shard.shared),
             })
             .collect();
 
@@ -369,7 +478,7 @@ impl OtmEngine {
         }
 
         if self.shared.poisoned.load(Ordering::SeqCst) {
-            self.stopped = true;
+            self.stopped.store(true, Ordering::SeqCst);
             return Err(MatchError::EngineStopped);
         }
 
@@ -380,18 +489,17 @@ impl OtmEngine {
 
         // Block-end cleanup, phase 1: clear the booking bitmaps so they are
         // monotone only within a block.
-        for (booked, (env, _)) in self.shared.booked_desc.iter().zip(msgs) {
+        for (booked, shard) in self.shared.booked_desc.iter().zip(&lane_shards) {
             let desc = booked.load(Ordering::Acquire);
             if desc != u32::MAX {
-                let comm = &self.comms[&env.comm].shared;
-                comm.table.slot(desc).clear_booking();
+                shard.shared.table.slot(desc).clear_booking();
             }
         }
 
         // Phase 2: collect results, unlink and free consumed descriptors,
         // store unexpected messages (in lane = arrival order).
         let epoch = self.shared.epoch.load(Ordering::Acquire);
-        let base_arrival = self.next_arrival;
+        let base_arrival = coord.next_arrival;
         let mut deliveries = Vec::with_capacity(n);
         for (lane, &(env, handle)) in msgs.iter().enumerate() {
             let code = self.shared.results[lane].load(Ordering::Acquire);
@@ -402,14 +510,17 @@ impl OtmEngine {
             );
             if code == crate::block::result_code::UNEXPECTED {
                 self.stats.unexpected.fetch_add(1, Ordering::Relaxed);
-                let host = self.comms.get_mut(&env.comm).expect("comm ensured above");
+                let (_, host) = guards
+                    .iter_mut()
+                    .find(|(id, _)| *id == env.comm)
+                    .expect("every block communicator is locked");
                 host.umq
                     .insert(env, handle, ArrivalSeq(base_arrival.0 + lane as u64))
                     .expect("capacity pre-checked before the block ran");
                 deliveries.push(Delivery::Unexpected { msg: handle });
             } else {
                 let desc = code as DescId;
-                let comm = Arc::clone(&self.comms[&env.comm].shared);
+                let comm = &lane_shards[lane].shared;
                 debug_assert_eq!(comm.table.slot(desc).state(), crate::table::state::CONSUMED);
                 debug_assert_eq!(comm.table.slot(desc).consumed_epoch(), epoch);
                 let payload = comm.table.slot(desc).payload();
@@ -427,7 +538,7 @@ impl OtmEngine {
                 });
             }
         }
-        self.next_arrival = ArrivalSeq(self.next_arrival.0 + n as u64);
+        coord.next_arrival = ArrivalSeq(coord.next_arrival.0 + n as u64);
         Ok(deliveries)
     }
 
@@ -447,9 +558,9 @@ impl OtmEngine {
     /// Non-destructive unexpected-message probe (`MPI_Iprobe` semantics):
     /// the oldest waiting message matching `pattern`, if any.
     pub fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
-        self.comms
-            .get(&pattern.comm)
-            .and_then(|host| host.umq.probe(pattern))
+        self.shards
+            .get(pattern.comm)
+            .and_then(|shard| shard.host.lock().umq.probe(pattern))
     }
 
     /// Drains the complete matching state for migration to software tag
@@ -463,35 +574,42 @@ impl OtmEngine {
     /// communicator-by-communicator into a software matcher preserves MPI
     /// semantics); unexpected messages are in arrival order per
     /// communicator.
-    pub fn drain_for_fallback(mut self) -> FallbackState {
+    ///
+    /// Commands still sitting in the submission queue are *not* part of the
+    /// matching state and are discarded; call [`OtmEngine::drain`] first if
+    /// the queue may be non-empty.
+    pub fn drain_for_fallback(self) -> FallbackState {
         let mut receives = Vec::new();
         let mut unexpected = Vec::new();
-        let mut comms: Vec<(CommId, CommHost)> = self.comms.drain().collect();
-        comms.sort_by_key(|(id, _)| *id);
-        for (_, mut host) in comms {
-            let mut posted = host.shared.table.posted_snapshot();
+        for (_, shard) in self.shards.all_sorted() {
+            let mut posted = shard.shared.table.posted_snapshot();
             posted.sort_by_key(|p| p.label);
             receives.extend(
                 posted
                     .into_iter()
                     .map(|p| (p.pattern, RecvHandle(p.handle))),
             );
-            unexpected.extend(host.umq.drain());
+            unexpected.extend(shard.host.lock().umq.drain());
         }
         (receives, unexpected)
     }
 
     /// Live posted receives across all communicators.
     pub fn prq_len(&self) -> usize {
-        self.comms
-            .values()
-            .map(|c| c.shared.prq.live_count(&c.shared.table))
+        self.shards
+            .all_sorted()
+            .iter()
+            .map(|(_, s)| s.shared.prq.live_count(&s.shared.table))
             .sum()
     }
 
     /// Waiting unexpected messages across all communicators.
     pub fn umq_len(&self) -> usize {
-        self.comms.values().map(|c| c.umq.len()).sum()
+        self.shards
+            .all_sorted()
+            .iter()
+            .map(|(_, s)| s.host.lock().umq.len())
+            .sum()
     }
 }
 
@@ -508,6 +626,81 @@ impl Drop for OtmEngine {
     }
 }
 
+impl MatchingBackend for OtmEngine {
+    fn backend_name(&self) -> &'static str {
+        "Optimistic-DPA"
+    }
+
+    fn block_size(&self) -> usize {
+        self.config.block_threads
+    }
+
+    fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        self.post_shared(pattern, handle)
+    }
+
+    fn arrive_block(
+        &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<Delivery>, MatchError> {
+        self.process_stream(msgs)
+    }
+
+    fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
+        OtmEngine::probe(self, pattern)
+    }
+
+    fn prq_len(&self) -> usize {
+        OtmEngine::prq_len(self)
+    }
+
+    fn umq_len(&self) -> usize {
+        OtmEngine::umq_len(self)
+    }
+
+    /// Translates the engine's device-side counters into host
+    /// [`MatchStats`]: block search depths land in `prq_search`, post-time
+    /// UMQ search depths in `umq_search`. Queue high-water marks are not
+    /// tracked device-side and merge as zero.
+    fn merge_stats(&self, into: &mut MatchStats) {
+        let s = self.stats.snapshot();
+        into.merge(&MatchStats {
+            prq_search: DepthAggregate {
+                count: s.search_count,
+                sum: s.search_depth_sum,
+                max: s.search_depth_max,
+            },
+            umq_search: DepthAggregate {
+                count: s.umq_search_count,
+                sum: s.umq_depth_sum,
+                max: 0,
+            },
+            matched_on_arrival: s.matched,
+            unexpected: s.unexpected,
+            matched_on_post: s.matched_on_post,
+            posted: s.posted,
+            prq_high_water: 0,
+            umq_high_water: 0,
+        });
+    }
+
+    fn wants_offload_fallback(&self) -> bool {
+        true
+    }
+
+    fn drain_for_fallback(self: Box<Self>) -> Result<FallbackState, MatchError> {
+        Ok((*self).drain_for_fallback())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 /// Adapter implementing the sequential [`Matcher`] interface on top of the
 /// parallel engine by processing one-message blocks.
 ///
@@ -516,7 +709,7 @@ impl Drop for OtmEngine {
 /// the oracle-equivalence harness and the Table I strategy comparison.
 pub struct SequentialOtm {
     engine: OtmEngine,
-    stats: mpi_matching::MatchStats,
+    stats: MatchStats,
 }
 
 impl SequentialOtm {
@@ -524,7 +717,7 @@ impl SequentialOtm {
     pub fn new(config: MatchConfig) -> Result<Self, MatchError> {
         Ok(SequentialOtm {
             engine: OtmEngine::new(config)?,
-            stats: mpi_matching::MatchStats::new(),
+            stats: MatchStats::new(),
         })
     }
 
@@ -587,16 +780,74 @@ impl Matcher for SequentialOtm {
         self.engine.probe(pattern)
     }
 
-    fn stats(&self) -> &mpi_matching::MatchStats {
+    fn stats(&self) -> &MatchStats {
         &self.stats
     }
 
     fn reset_stats(&mut self) {
-        self.stats = mpi_matching::MatchStats::new();
+        self.stats = MatchStats::new();
     }
 
     fn strategy_name(&self) -> &'static str {
         "optimistic"
+    }
+}
+
+impl MatchingBackend for SequentialOtm {
+    fn backend_name(&self) -> &'static str {
+        "Optimistic-Seq"
+    }
+
+    fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        Matcher::post(self, pattern, handle)
+    }
+
+    fn arrive_block(
+        &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<Delivery>, MatchError> {
+        msgs.iter()
+            .map(|&(env, msg)| {
+                Ok(match Matcher::arrive(self, env, msg)? {
+                    ArriveResult::Matched(recv) => Delivery::Matched { msg, recv },
+                    ArriveResult::Unexpected => Delivery::Unexpected { msg },
+                })
+            })
+            .collect()
+    }
+
+    fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
+        Matcher::probe(self, pattern)
+    }
+
+    fn prq_len(&self) -> usize {
+        Matcher::prq_len(self)
+    }
+
+    fn umq_len(&self) -> usize {
+        Matcher::umq_len(self)
+    }
+
+    /// The adapter tracks exact per-operation [`MatchStats`] (unlike the
+    /// parallel engine's translated counters), merged verbatim.
+    fn merge_stats(&self, into: &mut MatchStats) {
+        into.merge(&self.stats);
+    }
+
+    fn wants_offload_fallback(&self) -> bool {
+        true
+    }
+
+    fn drain_for_fallback(self: Box<Self>) -> Result<FallbackState, MatchError> {
+        Ok(self.engine.drain_for_fallback())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -949,8 +1200,12 @@ mod tests {
     #[test]
     fn sequential_adapter_tracks_stats() {
         let mut m = SequentialOtm::new(MatchConfig::small()).unwrap();
-        m.post(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))
-            .unwrap();
+        Matcher::post(
+            &mut m,
+            ReceivePattern::exact(Rank(0), Tag(0)),
+            RecvHandle(0),
+        )
+        .unwrap();
         let r = m.arrive(env(0, 0), MsgHandle(0)).unwrap();
         assert_eq!(r, ArriveResult::Matched(RecvHandle(0)));
         assert_eq!(m.stats().matched_on_arrival, 1);
@@ -1009,5 +1264,173 @@ mod tests {
             assert_eq!(del.matched(), Some(RecvHandle(i as u64)), "message {i}");
         }
         assert_eq!(e.prq_len(), 0);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        // The `&self` command path only helps if the engine can actually be
+        // shared; this is a compile-time property, checked here explicitly
+        // since `forbid(unsafe_code)` means it must hold by construction.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OtmEngine>();
+    }
+
+    #[test]
+    fn submitted_commands_apply_in_order_on_drain() {
+        let e = engine();
+        e.submit(Command::Post {
+            pattern: ReceivePattern::exact(Rank(0), Tag(1)),
+            handle: RecvHandle(0),
+        })
+        .unwrap();
+        e.submit(Command::Arrival {
+            env: env(0, 1),
+            msg: MsgHandle(0),
+        })
+        .unwrap();
+        e.submit(Command::Arrival {
+            env: env(4, 4),
+            msg: MsgHandle(1),
+        })
+        .unwrap();
+        assert_eq!(e.pending_commands(), 3);
+        let report = e.drain();
+        assert!(report.error.is_none());
+        assert_eq!(
+            report.outcomes,
+            vec![
+                CommandOutcome::Post(PostResult::Posted),
+                CommandOutcome::Delivery(Delivery::Matched {
+                    msg: MsgHandle(0),
+                    recv: RecvHandle(0)
+                }),
+                CommandOutcome::Delivery(Delivery::Unexpected { msg: MsgHandle(1) }),
+            ]
+        );
+        assert_eq!(e.pending_commands(), 0);
+        assert_eq!(e.umq_len(), 1);
+    }
+
+    #[test]
+    fn drain_batches_consecutive_arrivals_into_blocks() {
+        let e = engine();
+        let n = e.config().block_threads;
+        // 2n+1 arrivals with no posts in between: the drain must pack them
+        // into full blocks (2 full + 1 remainder).
+        for i in 0..(2 * n + 1) {
+            e.submit(Command::Arrival {
+                env: env(0, 0),
+                msg: MsgHandle(i as u64),
+            })
+            .unwrap();
+        }
+        let report = e.drain();
+        assert!(report.error.is_none());
+        assert_eq!(report.outcomes.len(), 2 * n + 1);
+        assert_eq!(e.stats().blocks, 3);
+        assert_eq!(e.umq_len(), 2 * n + 1);
+    }
+
+    #[test]
+    fn failed_drain_requeues_the_unprocessed_tail() {
+        let e = OtmEngine::new(MatchConfig::small().with_max_unexpected(1)).unwrap();
+        // Arrival / post / arrival / post: the posts force one-message
+        // batches. The first arrival fills the store, so the second cannot
+        // be stored; it and the post behind it must stay queued.
+        e.submit(Command::Arrival {
+            env: env(0, 0),
+            msg: MsgHandle(0),
+        })
+        .unwrap();
+        e.submit(Command::Post {
+            pattern: ReceivePattern::exact(Rank(8), Tag(8)),
+            handle: RecvHandle(0),
+        })
+        .unwrap();
+        e.submit(Command::Arrival {
+            env: env(0, 1),
+            msg: MsgHandle(1),
+        })
+        .unwrap();
+        e.submit(Command::Post {
+            pattern: ReceivePattern::exact(Rank(9), Tag(9)),
+            handle: RecvHandle(1),
+        })
+        .unwrap();
+        let report = e.drain();
+        assert_eq!(report.error, Some(MatchError::UnexpectedStoreFull));
+        // The first arrival and the first post were applied; the failed
+        // arrival and the trailing post are back in submission order.
+        assert_eq!(
+            report.outcomes,
+            vec![
+                CommandOutcome::Delivery(Delivery::Unexpected { msg: MsgHandle(0) }),
+                CommandOutcome::Post(PostResult::Posted),
+            ]
+        );
+        assert_eq!(e.pending_commands(), 2);
+        // Remedy the error — consume the stored message to free capacity —
+        // then the retry resumes exactly where the drain stopped.
+        let r = e
+            .post_shared(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(7))
+            .unwrap();
+        assert_eq!(r, PostResult::Matched(MsgHandle(0)));
+        let report = e.drain();
+        assert!(report.error.is_none());
+        assert_eq!(
+            report.outcomes,
+            vec![
+                CommandOutcome::Delivery(Delivery::Unexpected { msg: MsgHandle(1) }),
+                CommandOutcome::Post(PostResult::Posted),
+            ]
+        );
+    }
+
+    #[test]
+    fn concurrent_posts_to_distinct_comms_succeed() {
+        // Smoke test for the sharded `&self` path (the full interleaving
+        // stress test lives in tests/concurrent_shards.rs): two threads
+        // post into two communicators simultaneously.
+        let e = engine();
+        let comm_a = CommId(1);
+        let comm_b = CommId(2);
+        std::thread::scope(|s| {
+            for (t, comm) in [comm_a, comm_b].into_iter().enumerate() {
+                let e = &e;
+                s.spawn(move || {
+                    for i in 0..32u64 {
+                        e.post_shared(
+                            ReceivePattern::new(Rank(0), Tag(i as u32), comm),
+                            RecvHandle(t as u64 * 1000 + i),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(e.prq_len(), 64);
+        assert_eq!(e.stats().posted, 64);
+    }
+
+    #[test]
+    fn backend_trait_drives_the_engine() {
+        let mut boxed: Box<dyn MatchingBackend> = Box::new(engine());
+        assert_eq!(boxed.backend_name(), "Optimistic-DPA");
+        assert!(boxed.wants_offload_fallback());
+        assert_eq!(boxed.block_size(), MatchConfig::small().block_threads);
+        boxed
+            .post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(4))
+            .unwrap();
+        let d = boxed.arrive_block(&[(env(0, 1), MsgHandle(0))]).unwrap();
+        assert_eq!(d[0].matched(), Some(RecvHandle(4)));
+        let mut stats = MatchStats::new();
+        boxed.merge_stats(&mut stats);
+        assert_eq!(stats.posted, 1);
+        assert_eq!(stats.matched_on_arrival, 1);
+        // The observability downcast the service layer relies on.
+        assert!(boxed.as_any().downcast_ref::<OtmEngine>().is_some());
+        let (receives, unexpected) = boxed.drain_for_fallback().unwrap();
+        assert!(receives.is_empty());
+        assert!(unexpected.is_empty());
     }
 }

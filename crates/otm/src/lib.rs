@@ -58,14 +58,17 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod command;
 pub mod engine;
 pub mod index;
 pub mod metrics;
+pub mod shard;
 pub mod stats;
 pub mod table;
 pub mod umq;
 mod worker;
 
-pub use engine::{Delivery, OtmEngine, SequentialOtm};
+pub use command::{Command, CommandOutcome, CommandQueue, DrainReport};
+pub use engine::{Delivery, FallbackState, OtmEngine, SequentialOtm};
 pub use metrics::EngineMetrics;
 pub use stats::{OtmStats, StatsSnapshot};

@@ -1,0 +1,193 @@
+//! Per-communicator shards of the engine's host-facing state.
+//!
+//! The paper's DPA deployment scales by running independent communicators
+//! on independent execution-unit groups (§IV-E): commands for different
+//! communicators never contend. This module mirrors that split on the host
+//! side. Each communicator owns a [`CommShard`] — the worker-visible
+//! [`CommShared`] tables plus a small mutex-protected [`ShardHost`] with
+//! the host-only state (unexpected store, post labels, sequence-id run
+//! tracking). Posting into communicator *A* takes only *A*'s shard lock,
+//! so threads posting into different communicators proceed concurrently;
+//! the block coordinator locks exactly the shards a block touches, in
+//! [`CommId`] order, which keeps the engine deadlock-free (posters ever
+//! hold at most one shard lock).
+
+#![deny(missing_docs)]
+
+use crate::block::CommShared;
+use crate::index::PrqIndexes;
+use crate::table::ReceiveTable;
+use crate::umq::UnexpectedStore;
+use otm_base::{CommHints, CommId, MatchConfig, MatchError, PostLabel, ReceivePattern, SeqId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Host-only per-communicator state, touched under the shard lock and
+/// never by block workers.
+pub struct ShardHost {
+    /// The communicator's unexpected-message store (§IV-C).
+    pub(crate) umq: UnexpectedStore,
+    /// Next post label (monotone per communicator).
+    pub(crate) next_label: PostLabel,
+    /// Current sequence id (§III-D3a).
+    pub(crate) cur_seq: SeqId,
+    /// The previous post's pattern, for sequence-run detection.
+    pub(crate) last_pattern: Option<ReceivePattern>,
+}
+
+/// One communicator's complete matching state: the lock-free tables the
+/// block workers search ([`CommShared`]) plus the mutex-protected host
+/// side ([`ShardHost`]).
+pub struct CommShard {
+    /// Worker-visible tables (receive table, PRQ indexes, hints). These are
+    /// internally synchronized (atomics); the `Arc` is cloned into block
+    /// lane data.
+    pub(crate) shared: Arc<CommShared>,
+    /// Host-only state, guarded by the shard lock.
+    pub(crate) host: Mutex<ShardHost>,
+}
+
+impl CommShard {
+    fn new(config: &MatchConfig, hints: CommHints) -> Self {
+        CommShard {
+            shared: Arc::new(CommShared {
+                table: ReceiveTable::new(config.max_receives),
+                prq: PrqIndexes::new(config.bins),
+                hints,
+            }),
+            host: Mutex::new(ShardHost {
+                umq: UnexpectedStore::new(config.bins, config.max_unexpected),
+                next_label: PostLabel::ZERO,
+                cur_seq: SeqId::ZERO,
+                last_pattern: None,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for CommShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommShard").finish_non_exhaustive()
+    }
+}
+
+/// The engine's communicator → shard directory.
+///
+/// The map itself is behind a read-write lock that is only write-locked to
+/// insert a *new* communicator; steady-state lookups take the read lock,
+/// clone the `Arc`, and release it before touching the shard — the map
+/// lock is never held across shard work, so it cannot participate in a
+/// deadlock cycle.
+#[derive(Debug, Default)]
+pub struct ShardMap {
+    shards: RwLock<HashMap<CommId, Arc<CommShard>>>,
+}
+
+impl ShardMap {
+    /// An empty directory.
+    pub fn new() -> Self {
+        ShardMap::default()
+    }
+
+    /// The shard for `comm`, if the communicator has been used.
+    pub fn get(&self, comm: CommId) -> Option<Arc<CommShard>> {
+        self.shards.read().get(&comm).cloned()
+    }
+
+    /// The shard for `comm`, creating it (with no hints) on first use.
+    pub fn get_or_create(&self, comm: CommId, config: &MatchConfig) -> Arc<CommShard> {
+        if let Some(shard) = self.get(comm) {
+            return shard;
+        }
+        let mut map = self.shards.write();
+        Arc::clone(
+            map.entry(comm)
+                .or_insert_with(|| Arc::new(CommShard::new(config, CommHints::NONE))),
+        )
+    }
+
+    /// Declares `comm` with `hints`; fails if the communicator already
+    /// exists (hints are fixed at communicator creation, like the DPA's
+    /// resource allocation).
+    pub fn try_declare(
+        &self,
+        comm: CommId,
+        config: &MatchConfig,
+        hints: CommHints,
+    ) -> Result<(), MatchError> {
+        let mut map = self.shards.write();
+        if map.contains_key(&comm) {
+            return Err(MatchError::InvalidConfig(format!(
+                "hints for {comm} must be declared before the communicator is used"
+            )));
+        }
+        map.insert(comm, Arc::new(CommShard::new(config, hints)));
+        Ok(())
+    }
+
+    /// Every shard, sorted by communicator id (the global lock order).
+    pub fn all_sorted(&self) -> Vec<(CommId, Arc<CommShard>)> {
+        let mut all: Vec<_> = self
+            .shards
+            .read()
+            .iter()
+            .map(|(id, s)| (*id, Arc::clone(s)))
+            .collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Number of communicators seen so far.
+    pub fn len(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// Whether no communicator has been used yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let map = ShardMap::new();
+        let config = MatchConfig::small();
+        let a = map.get_or_create(CommId(1), &config);
+        let b = map.get_or_create(CommId(1), &config);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn declare_after_use_is_rejected() {
+        let map = ShardMap::new();
+        let config = MatchConfig::small();
+        map.get_or_create(CommId(2), &config);
+        assert!(map
+            .try_declare(CommId(2), &config, CommHints::no_wildcards())
+            .is_err());
+        assert!(map
+            .try_declare(CommId(3), &config, CommHints::no_wildcards())
+            .is_ok());
+        assert_eq!(
+            map.get(CommId(3)).unwrap().shared.hints,
+            CommHints::no_wildcards()
+        );
+    }
+
+    #[test]
+    fn all_sorted_is_in_comm_id_order() {
+        let map = ShardMap::new();
+        let config = MatchConfig::small();
+        for id in [5u16, 1, 3] {
+            map.get_or_create(CommId(id), &config);
+        }
+        let ids: Vec<_> = map.all_sorted().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![CommId(1), CommId(3), CommId(5)]);
+    }
+}

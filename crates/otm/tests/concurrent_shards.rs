@@ -1,0 +1,215 @@
+//! Concurrent-shard stress tests (no loom, plain `std::thread`): poster
+//! threads drive distinct communicator shards of one shared engine through
+//! the `&self` posting path and the arrival command queue while the main
+//! thread drains blocks, and the resulting per-communicator match sets must
+//! be identical to the serialized oracle.
+//!
+//! Matching is deterministic in the per-communicator post order and the
+//! arrival order (C1 + C2), and matching is communicator-local. Each
+//! communicator here is owned by exactly one poster thread, so its post
+//! *and* arrival orders are that thread's program order regardless of how
+//! the threads interleave — the concurrent run must therefore reproduce the
+//! oracle's assignment for every communicator, on every execution.
+
+use mpi_matching::oracle::{MatchEvent, Oracle};
+use mpi_matching::{Assignment, MsgHandle, PostResult, RecvHandle};
+use otm::{Command, CommandOutcome, Delivery, OtmEngine};
+use otm_base::envelope::{SourceSel, TagSel};
+use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle-space stride separating communicators, so a delivery's handle
+/// identifies its shard.
+const BASE: u64 = 1_000_000;
+
+/// A random single-communicator event stream over a small (rank, tag) space
+/// (small so duplicates and wildcards collide often).
+fn comm_events(rng: &mut SmallRng, comm: CommId, n: usize) -> Vec<MatchEvent> {
+    (0..n)
+        .map(|_| {
+            let src = Rank(rng.gen_range(0..3));
+            let tag = Tag(rng.gen_range(0..3));
+            match rng.gen_range(0..10) {
+                0..=3 => MatchEvent::Arrive(Envelope::new(src, tag, comm)),
+                4..=6 => MatchEvent::Post(ReceivePattern::new(src, tag, comm)),
+                7 => MatchEvent::Post(ReceivePattern::new(SourceSel::Any, tag, comm)),
+                8 => MatchEvent::Post(ReceivePattern::new(src, TagSel::Any, comm)),
+                _ => MatchEvent::Post(ReceivePattern::new(SourceSel::Any, TagSel::Any, comm)),
+            }
+        })
+        .collect()
+}
+
+/// The oracle's dense-handle assignment, translated into the shard's global
+/// handle range.
+fn oracle_on(events: &[MatchEvent], base: u64) -> Assignment {
+    let dense = Oracle::run(events);
+    let mut asg = Assignment::default();
+    for (r, m) in dense.recv_to_msg {
+        asg.recv_to_msg
+            .insert(RecvHandle(r.0 + base), m.map(|m| MsgHandle(m.0 + base)));
+    }
+    for (m, r) in dense.msg_to_recv {
+        asg.msg_to_recv
+            .insert(MsgHandle(m.0 + base), r.map(|r| RecvHandle(r.0 + base)));
+    }
+    asg
+}
+
+/// Runs `per_comm` event streams concurrently — one poster thread per
+/// communicator, posts through `post_shared`, arrivals through the command
+/// queue, the main thread draining — and asserts every communicator's match
+/// set equals its serialized oracle.
+fn run_concurrent(per_comm: &[Vec<MatchEvent>]) {
+    let comms = per_comm.len();
+    let total_posts: usize = per_comm
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, MatchEvent::Post(_)))
+        .count();
+    let total_arrivals: usize = per_comm.iter().map(Vec::len).sum::<usize>() - total_posts;
+
+    let config = MatchConfig::default()
+        .with_max_receives((total_posts + 1).next_power_of_two())
+        .with_max_unexpected((total_arrivals + 1).next_power_of_two())
+        .with_bins(32)
+        .with_block_threads(4);
+    let engine = OtmEngine::new(config).expect("stress configuration");
+
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut post_results: Vec<Vec<PostResult>> = Vec::new();
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let posters: Vec<_> = per_comm
+            .iter()
+            .enumerate()
+            .map(|(c, events)| {
+                s.spawn(move || {
+                    let base = c as u64 * BASE;
+                    let (mut next_recv, mut next_msg) = (0u64, 0u64);
+                    let mut results = Vec::new();
+                    for ev in events {
+                        match *ev {
+                            MatchEvent::Post(pattern) => {
+                                let h = RecvHandle(base + next_recv);
+                                next_recv += 1;
+                                results.push(
+                                    engine
+                                        .post_shared(pattern, h)
+                                        .expect("table sized for the workload"),
+                                );
+                            }
+                            MatchEvent::Arrive(env) => {
+                                let msg = MsgHandle(base + next_msg);
+                                next_msg += 1;
+                                engine
+                                    .submit(Command::Arrival { env, msg })
+                                    .expect("engine running");
+                            }
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+
+        while deliveries.len() < total_arrivals {
+            let report = engine.drain();
+            if let Some(e) = report.error {
+                panic!("drain failed mid-stress: {e:?}");
+            }
+            for outcome in report.outcomes {
+                if let CommandOutcome::Delivery(d) = outcome {
+                    deliveries.push(d);
+                }
+            }
+            if deliveries.len() < total_arrivals {
+                std::thread::yield_now();
+            }
+        }
+        for p in posters {
+            post_results.push(p.join().expect("poster thread"));
+        }
+    });
+
+    // Rebuild each communicator's observed assignment from the post results
+    // (the posting thread's program order maps post i to handle base + i)
+    // and the drained deliveries (handles carry their shard).
+    let mut observed: Vec<Assignment> = (0..comms).map(|_| Assignment::default()).collect();
+    for (c, results) in post_results.iter().enumerate() {
+        let base = c as u64 * BASE;
+        for (i, r) in results.iter().enumerate() {
+            let h = RecvHandle(base + i as u64);
+            match *r {
+                PostResult::Matched(m) => {
+                    observed[c].recv_to_msg.insert(h, Some(m));
+                    observed[c].msg_to_recv.insert(m, Some(h));
+                }
+                PostResult::Posted => {
+                    observed[c].recv_to_msg.entry(h).or_insert(None);
+                }
+            }
+        }
+    }
+    for d in deliveries {
+        match d {
+            Delivery::Matched { msg, recv } => {
+                let c = (msg.0 / BASE) as usize;
+                observed[c].msg_to_recv.insert(msg, Some(recv));
+                observed[c].recv_to_msg.insert(recv, Some(msg));
+            }
+            Delivery::Unexpected { msg } => {
+                let c = (msg.0 / BASE) as usize;
+                observed[c].msg_to_recv.entry(msg).or_insert(None);
+            }
+        }
+    }
+
+    for (c, events) in per_comm.iter().enumerate() {
+        let expect = oracle_on(events, c as u64 * BASE);
+        assert!(observed[c].is_consistent());
+        assert_eq!(
+            observed[c], expect,
+            "communicator {c} diverged from its serialized oracle"
+        );
+    }
+    assert_eq!(engine.pending_commands(), 0);
+}
+
+/// The acceptance-criteria shape: two poster threads on two communicators,
+/// repeated across seeds so thread interleavings vary.
+#[test]
+fn two_threads_two_comms_match_the_serialized_oracle() {
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+        let per_comm: Vec<Vec<MatchEvent>> = (0..2)
+            .map(|c| comm_events(&mut rng, CommId(c as u16 + 1), 200))
+            .collect();
+        run_concurrent(&per_comm);
+    }
+}
+
+/// Wider fan-out: four poster threads on four communicator shards.
+#[test]
+fn four_threads_four_comms_match_the_serialized_oracle() {
+    for seed in 0..4u64 {
+        let mut rng = SmallRng::seed_from_u64(0xBEEF ^ seed);
+        let per_comm: Vec<Vec<MatchEvent>> = (0..4)
+            .map(|c| comm_events(&mut rng, CommId(c as u16 + 1), 150))
+            .collect();
+        run_concurrent(&per_comm);
+    }
+}
+
+/// Lopsided shards — one busy communicator, one nearly idle — still match
+/// their oracles (exercises drains that straddle shard activity).
+#[test]
+fn lopsided_shards_match_the_serialized_oracle() {
+    let mut rng = SmallRng::seed_from_u64(0xD15C0);
+    let per_comm = vec![
+        comm_events(&mut rng, CommId(1), 400),
+        comm_events(&mut rng, CommId(2), 10),
+    ];
+    run_concurrent(&per_comm);
+}

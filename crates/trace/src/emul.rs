@@ -382,6 +382,56 @@ impl Matcher for FourIndexMatcher {
     }
 }
 
+impl mpi_matching::MatchingBackend for FourIndexMatcher {
+    fn backend_name(&self) -> &'static str {
+        "FourIndex-CPU"
+    }
+
+    fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        Matcher::post(self, pattern, handle)
+    }
+
+    fn arrive_block(
+        &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<mpi_matching::BlockDelivery>, MatchError> {
+        msgs.iter()
+            .map(|&(env, msg)| {
+                Ok(match Matcher::arrive(self, env, msg)? {
+                    ArriveResult::Matched(recv) => {
+                        mpi_matching::BlockDelivery::Matched { msg, recv }
+                    }
+                    ArriveResult::Unexpected => mpi_matching::BlockDelivery::Unexpected { msg },
+                })
+            })
+            .collect()
+    }
+
+    fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
+        Matcher::probe(self, pattern)
+    }
+
+    fn prq_len(&self) -> usize {
+        Matcher::prq_len(self)
+    }
+
+    fn umq_len(&self) -> usize {
+        Matcher::umq_len(self)
+    }
+
+    fn merge_stats(&self, into: &mut MatchStats) {
+        into.merge(Matcher::stats(self));
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

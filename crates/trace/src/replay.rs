@@ -10,7 +10,7 @@
 
 use crate::emul::FourIndexMatcher;
 use crate::model::{AppTrace, CallKind, MpiOp, TimedOp};
-use mpi_matching::{MatchStats, Matcher, MsgHandle, RecvHandle};
+use mpi_matching::{MatchStats, MatchingBackend, MsgHandle, RecvHandle};
 use otm_base::{Envelope, ReceivePattern};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -126,8 +126,12 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
         .map(|r| r.rank.0 as usize + 1)
         .max()
         .unwrap_or(0);
-    let mut matchers: Vec<FourIndexMatcher> =
-        (0..n).map(|_| FourIndexMatcher::new(config.bins)).collect();
+    // Each rank's matcher is selected through the backend trait — the same
+    // interface the simulator's service layer uses — with the bin-occupancy
+    // sampling reached through the observability downcast.
+    let mut matchers: Vec<Box<dyn MatchingBackend>> = (0..n)
+        .map(|_| Box::new(FourIndexMatcher::new(config.bins)) as Box<dyn MatchingBackend>)
+        .collect();
     let mut dist = CallDistribution::default();
     let mut tags: HashSet<u32> = HashSet::new();
     let mut src_tag_pairs: HashSet<(u32, u32)> = HashSet::new();
@@ -179,14 +183,18 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
                 next_msg += 1;
                 if (dest.0 as usize) < matchers.len() {
                     matchers[dest.0 as usize]
-                        .arrive(env, handle)
+                        .arrive_block(&[(env, handle)])
                         .expect("four-index matcher is unbounded");
                 }
             }
             MpiOp::Wait { .. } | MpiOp::Waitall { .. } => {
                 // Progress point: snapshot the data-structure state (§V-A).
                 metrics.count_progress_point();
-                empty_bin_sum += matchers[rank.0 as usize].prq_empty_bin_fraction();
+                empty_bin_sum += matchers[rank.0 as usize]
+                    .as_any()
+                    .downcast_ref::<FourIndexMatcher>()
+                    .expect("replay runs on the four-index emulation")
+                    .prq_empty_bin_fraction();
                 datapoints += 1;
             }
             MpiOp::Collective { .. } | MpiOp::OneSided { .. } => {}
@@ -197,7 +205,7 @@ pub fn replay(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
     let mut final_prq = 0usize;
     let mut final_umq = 0usize;
     for m in &matchers {
-        merged.merge(m.stats());
+        m.merge_stats(&mut merged);
         final_prq += m.prq_len();
         final_umq += m.umq_len();
     }
@@ -318,8 +326,11 @@ pub fn replay_engine(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
             .with_block_threads(1)
             .with_max_receives(1 << 14)
             .with_max_unexpected(1 << 14);
-        let mut engine =
-            otm::SequentialOtm::new(engine_config).expect("engine replay configuration");
+        // Constructed through the same backend trait the simulator's
+        // service layer uses, so this path exercises the real trait-object
+        // dispatch end to end.
+        let mut engine: Box<dyn MatchingBackend> =
+            Box::new(otm::SequentialOtm::new(engine_config).expect("engine replay configuration"));
         for &ev in events {
             match ev {
                 Ev::Post(pattern) => {
@@ -332,13 +343,13 @@ pub fn replay_engine(trace: &AppTrace, config: &ReplayConfig) -> AppReport {
                 Ev::Arrive(env) => {
                     metrics.count_arrive();
                     engine
-                        .arrive(env, MsgHandle(next_msg))
+                        .arrive_block(&[(env, MsgHandle(next_msg))])
                         .expect("replay within engine capacity");
                     next_msg += 1;
                 }
             }
         }
-        merged.merge(engine.stats());
+        engine.merge_stats(&mut merged);
         final_prq += engine.prq_len();
         final_umq += engine.umq_len();
     }

@@ -6,8 +6,9 @@ use mpi_matching::oracle::{MatchEvent, Oracle};
 use mpi_matching::rank_based::RankBasedMatcher;
 use mpi_matching::traditional::TraditionalMatcher;
 use mpi_matching::Matcher;
-use otm::OtmEngine;
-use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+use otm::{Command, CommandOutcome, OtmEngine};
+use otm_base::envelope::{SourceSel, TagSel};
+use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
 use otm_trace::emul::FourIndexMatcher;
 use proptest::prelude::*;
 
@@ -25,6 +26,25 @@ fn event_strategy() -> impl Strategy<Value = MatchEvent> {
         1 => src.prop_map(|s| MatchEvent::Post(ReceivePattern::any_tag(Rank(s)))),
         1 => Just(MatchEvent::Post(ReceivePattern::any_any())),
     ]
+}
+
+/// Strategy: one event tagged with its communicator shard — an interleaved
+/// multi-communicator stream for the command-queue property.
+fn comm_event_strategy() -> impl Strategy<Value = (u16, MatchEvent)> {
+    let comm = 0u16..3;
+    let src = 0u32..3;
+    let tag = 0u32..3;
+    (comm, src, tag, 0u8..10).prop_map(|(c, s, t, kind)| {
+        let comm = CommId(c + 1);
+        let ev = match kind {
+            0..=3 => MatchEvent::Arrive(Envelope::new(Rank(s), Tag(t), comm)),
+            4..=6 => MatchEvent::Post(ReceivePattern::new(Rank(s), Tag(t), comm)),
+            7 => MatchEvent::Post(ReceivePattern::new(SourceSel::Any, Tag(t), comm)),
+            8 => MatchEvent::Post(ReceivePattern::new(Rank(s), TagSel::Any, comm)),
+            _ => MatchEvent::Post(ReceivePattern::new(SourceSel::Any, TagSel::Any, comm)),
+        };
+        (c, ev)
+    })
 }
 
 proptest! {
@@ -124,6 +144,101 @@ proptest! {
         prop_assert_eq!(m.umq_len(), arrivals - pairs);
         let stats = m.stats();
         prop_assert_eq!(stats.matched_on_arrival + stats.matched_on_post, pairs as u64);
+    }
+
+    /// Interleaved multi-communicator posts and arrivals pushed through the
+    /// engine's command queue and drained in blocks produce, for every
+    /// communicator, exactly the serialized oracle's match set: matching is
+    /// communicator-local and the queue preserves per-communicator order.
+    #[test]
+    fn command_queue_interleavings_equal_serialized_oracle(
+        events in prop::collection::vec(comm_event_strategy(), 0..160),
+    ) {
+        use mpi_matching::{Assignment, MsgHandle, PostResult, RecvHandle};
+        const COMMS: usize = 3;
+        const BASE: u64 = 1_000_000;
+        let config = MatchConfig::default()
+            .with_block_threads(4)
+            .with_max_receives(1024)
+            .with_max_unexpected(1024)
+            .with_bins(16);
+        let engine = OtmEngine::new(config).unwrap();
+
+        // Submit everything in the generated global interleaving.
+        let mut next_recv = [0u64; COMMS];
+        let mut next_msg = [0u64; COMMS];
+        let mut submitted: Vec<(u16, Command)> = Vec::new();
+        for &(c, ev) in &events {
+            let base = c as u64 * BASE;
+            let cmd = match ev {
+                MatchEvent::Post(pattern) => {
+                    let handle = RecvHandle(base + next_recv[c as usize]);
+                    next_recv[c as usize] += 1;
+                    Command::Post { pattern, handle }
+                }
+                MatchEvent::Arrive(env) => {
+                    let msg = MsgHandle(base + next_msg[c as usize]);
+                    next_msg[c as usize] += 1;
+                    Command::Arrival { env, msg }
+                }
+            };
+            engine.submit(cmd).unwrap();
+            submitted.push((c, cmd));
+        }
+        let report = engine.drain();
+        prop_assert!(report.error.is_none(), "drain failed: {:?}", report.error);
+        prop_assert_eq!(report.outcomes.len(), submitted.len());
+
+        // Outcomes come back in submission order; rebuild each
+        // communicator's observed assignment from the pairing.
+        let mut observed: Vec<Assignment> = (0..COMMS).map(|_| Assignment::default()).collect();
+        for (&(c, cmd), outcome) in submitted.iter().zip(&report.outcomes) {
+            let asg = &mut observed[c as usize];
+            match (cmd, outcome) {
+                (Command::Post { handle, .. }, CommandOutcome::Post(PostResult::Matched(m))) => {
+                    asg.recv_to_msg.insert(handle, Some(*m));
+                    asg.msg_to_recv.insert(*m, Some(handle));
+                }
+                (Command::Post { handle, .. }, CommandOutcome::Post(PostResult::Posted)) => {
+                    asg.recv_to_msg.entry(handle).or_insert(None);
+                }
+                (Command::Arrival { msg, .. }, CommandOutcome::Delivery(d)) => match *d {
+                    otm::Delivery::Matched { recv, .. } => {
+                        asg.msg_to_recv.insert(msg, Some(recv));
+                        asg.recv_to_msg.insert(recv, Some(msg));
+                    }
+                    otm::Delivery::Unexpected { .. } => {
+                        asg.msg_to_recv.entry(msg).or_insert(None);
+                    }
+                },
+                _ => prop_assert!(false, "outcome kind does not match its command"),
+            }
+        }
+
+        // Per communicator, the serialized oracle over that communicator's
+        // subsequence (translated into its handle range) must agree.
+        for c in 0..COMMS {
+            let sub: Vec<MatchEvent> = events
+                .iter()
+                .filter(|&&(cc, _)| cc as usize == c)
+                .map(|&(_, ev)| ev)
+                .collect();
+            let dense = Oracle::run(&sub);
+            let base = c as u64 * BASE;
+            let mut expect = Assignment::default();
+            for (r, m) in dense.recv_to_msg {
+                expect
+                    .recv_to_msg
+                    .insert(RecvHandle(r.0 + base), m.map(|m| MsgHandle(m.0 + base)));
+            }
+            for (m, r) in dense.msg_to_recv {
+                expect
+                    .msg_to_recv
+                    .insert(MsgHandle(m.0 + base), r.map(|r| RecvHandle(r.0 + base)));
+            }
+            prop_assert!(observed[c].is_consistent());
+            prop_assert_eq!(&observed[c], &expect, "communicator {} diverged", c);
+        }
     }
 
     /// The analyzer's four-index matcher records depth samples for every
