@@ -35,6 +35,32 @@ pub enum MatchError {
     EngineStopped,
 }
 
+impl MatchError {
+    /// Whether the error is retryable resource exhaustion: the operation
+    /// can succeed later once the caller frees capacity (consumes queued
+    /// receives or unexpected messages, or releases device memory). The
+    /// engine's command-queue drain requeues the failing command on these
+    /// errors so a retry resumes exactly where it stopped.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            MatchError::ReceiveTableFull
+                | MatchError::UnexpectedStoreFull
+                | MatchError::OutOfDeviceMemory { .. }
+        )
+    }
+
+    /// Whether the error is terminal for a command-queue drain: retrying
+    /// the same command can never succeed, either because the engine is
+    /// dead ([`MatchError::EngineStopped`]) or because the command itself
+    /// is invalid ([`MatchError::HintViolation`] and friends). Terminal
+    /// errors surface the unapplied commands to the caller instead of
+    /// requeueing them — requeueing would spin a retry loop forever.
+    pub fn is_terminal(&self) -> bool {
+        !self.is_retryable()
+    }
+}
+
 impl std::fmt::Display for MatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -90,6 +116,21 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("1024"));
         assert!(s.contains("512"));
+    }
+
+    #[test]
+    fn resource_exhaustion_is_retryable_everything_else_terminal() {
+        assert!(MatchError::ReceiveTableFull.is_retryable());
+        assert!(MatchError::UnexpectedStoreFull.is_retryable());
+        assert!(MatchError::OutOfDeviceMemory {
+            requested: 1,
+            available: 0
+        }
+        .is_retryable());
+        assert!(MatchError::EngineStopped.is_terminal());
+        assert!(MatchError::InvalidConfig("x".into()).is_terminal());
+        assert!(MatchError::UnknownCommunicator(3).is_terminal());
+        assert!(MatchError::HintViolation("x".into()).is_terminal());
     }
 
     #[test]

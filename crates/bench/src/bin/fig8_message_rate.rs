@@ -16,10 +16,13 @@
 //! rates differ from the paper's BlueField-3 testbed — the "DPA" here is a
 //! simulated device on host threads.
 //!
-//! A seventh section exercises the concurrent command-queue API: `--shards`
-//! communicator shards of one engine are driven by `--threads` poster
-//! threads (defaults 4 and one-per-shard) while the coordinator drains
-//! arrival blocks; the report carries aggregate and per-shard throughput.
+//! A seventh section exercises the concurrent command-queue API end to end:
+//! `--shards` communicator shards (defaults 4), each terminating its own
+//! queue pair on one receive NIC, are blasted by `--threads` sender threads
+//! (default one-per-shard) while the main thread pumps the matching
+//! service — poll, bounce-buffer staging, command-queue submit, pipelined
+//! drain, and the eager protocol copy all on the measured path. The report
+//! carries aggregate and per-shard throughput.
 //!
 //! Run with: `cargo run --release -p otm-bench --bin fig8_message_rate`
 //! (`--quick` shrinks the repeat count for smoke testing; `--messages N`
@@ -32,9 +35,11 @@
 //! per-path resolution counters (NC / WC-FP / WC-SP), the search-depth and
 //! block-latency histogram quantiles, and the dpa-sim queue-depth gauges.
 
-use dpa_sim::{MatchMode, PingPongConfig, PingPongResult, Scenario};
-use mpi_matching::{MsgHandle, RecvHandle};
-use otm::{Command, CommandOutcome, Delivery, OtmEngine};
+use dpa_sim::bounce::BouncePool;
+use dpa_sim::nic::RecvNic;
+use dpa_sim::rdma::{connected_pair, eager_packet, QueuePair, RdmaDomain};
+use dpa_sim::{MatchMode, MatchingService, PingPongConfig, PingPongResult, Scenario};
+use otm::OtmEngine;
 use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
 use otm_bench::{header, observability_value, write_report, BenchReport, CommonArgs};
 use serde::Serialize;
@@ -52,24 +57,27 @@ struct Fig8Results {
 }
 
 /// Aggregate + per-shard throughput of the concurrent command-queue run:
-/// `--threads` poster threads drive `--shards` communicator shards of one
-/// shared [`OtmEngine`] through `post_shared` and the arrival command queue
-/// while the main thread drains blocks.
+/// `--threads` sender threads blast eager packets at `--shards` communicator
+/// shards — one queue pair per shard on one receive NIC — while the main
+/// thread pumps the [`MatchingService`] over a sharded [`OtmEngine`] with
+/// the command queue enabled, so staging, submit, the pipelined drain and
+/// the eager protocol copy are all on the measured path.
 #[derive(Debug, Serialize)]
 struct ShardedReport {
-    /// Number of communicator shards driven concurrently.
+    /// Number of communicator shards (= queue pairs) driven concurrently.
     shards: usize,
-    /// Number of poster threads feeding them.
+    /// Number of sender threads feeding them.
     threads: usize,
-    /// Total messages matched across all shards.
+    /// Total receives completed across all shards.
     messages: u64,
-    /// Wall-clock for the whole run (posting + draining overlap).
+    /// Wall-clock for the whole run (sending + service progress overlap).
     elapsed_secs: f64,
-    /// Aggregate matched-message rate over the wall-clock above.
+    /// Aggregate completed-receive rate over the wall-clock above.
     msgs_per_sec: f64,
-    /// Per-shard submission throughput, one row per communicator.
+    /// Per-shard throughput, one row per communicator.
     per_shard: Vec<ShardRow>,
-    /// Set when a drain stopped early; the counts above are then partial.
+    /// Set when the service stopped early; the counts above are then
+    /// partial.
     error: Option<String>,
 }
 
@@ -78,11 +86,11 @@ struct ShardedReport {
 struct ShardRow {
     /// The communicator id backing this shard.
     comm: u16,
-    /// Receives posted (== arrivals submitted) on this shard.
+    /// Receives pre-posted (== packets sent) on this shard.
     posts: u64,
-    /// Messages the drain loop delivered back for this shard.
+    /// Receives the service completed for this shard.
     delivered: u64,
-    /// Post+submit throughput seen by the shard's poster thread.
+    /// Wire throughput seen by the shard's sender thread.
     posts_per_sec: f64,
 }
 
@@ -165,28 +173,69 @@ fn main() {
     finish(&args, quick, results, sharded, observability);
 }
 
-/// Drives one shared [`OtmEngine`] from multiple poster threads: shard `i`
-/// is the communicator `CommId(i + 1)`, each poster owns the shards
-/// `t, t + threads, ...`, posts receives through the lock-per-shard
-/// `post_shared` path and submits the matching arrivals to the command
-/// queue, while the main thread concurrently drains arrivals into blocks.
-/// Every arrival is posted-then-submitted by the same thread, so the strict
-/// FIFO queue guarantees each message matches (never lands unexpected).
+/// Drives the full receive path from multiple sender threads: shard `i` is
+/// the communicator `CommId(i + 1)` terminating its own queue pair on one
+/// receive NIC; its receives are pre-posted through the service (handle
+/// range `[i * per_shard, (i + 1) * per_shard)`, so completions bin back by
+/// handle). Each sender thread owns the shards `t, t + threads, ...` and
+/// blasts their eager packets while the main thread pumps
+/// [`MatchingService::progress`] — staging into bounce buffers, submitting
+/// arrivals to the engine's command queue, and the pipelined drain all run
+/// concurrently with the senders. Per-shard wire order is per-QP FIFO, so
+/// every message finds its pre-posted receive.
 fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
     let shards = args.shards.unwrap_or(4).max(1);
     let threads = args.threads.unwrap_or(shards).clamp(1, shards);
     let per_shard = (budget / shards).max(1);
-    let total = (per_shard * shards) as u64;
+    let total = per_shard * shards;
 
-    // Worst case every receive is outstanding at once (posting outruns the
-    // drain), so the table must hold the full budget.
+    // Worst case every receive is outstanding at once (sending outruns the
+    // service), so the table — and the bounce pool — must hold the full
+    // budget.
     let config = MatchConfig::default()
-        .with_max_receives(per_shard * shards)
-        .with_bins((2 * per_shard * shards).next_power_of_two());
+        .with_max_receives(total)
+        .with_bins((2 * total).next_power_of_two());
     let engine = OtmEngine::new(config).expect("sharded bench configuration");
 
+    let domain = RdmaDomain::new();
+    let mut senders: Vec<Option<QueuePair>> = Vec::with_capacity(shards);
+    let mut nic: Option<RecvNic> = None;
+    for _ in 0..shards {
+        let (tx, rx) = connected_pair();
+        match nic.as_mut() {
+            None => nic = Some(RecvNic::new(rx, BouncePool::new(total, 64))),
+            Some(n) => n.add_qp(rx),
+        }
+        senders.push(Some(tx));
+    }
+    let mut svc = MatchingService::with_backend(
+        nic.expect("at least one shard"),
+        domain,
+        Box::new(engine),
+    );
+    svc.enable_command_queue()
+        .expect("the offloaded engine has a command queue");
+
+    // Pre-post every receive, shard-major: the service hands out handles in
+    // post order, so shard `s` owns `[s * per_shard, (s + 1) * per_shard)`.
+    for shard in 0..shards {
+        let comm = CommId(shard as u16 + 1);
+        for i in 0..per_shard {
+            let (src, tag) = (Rank(i as u32 % 8), Tag(i as u32 % 64));
+            svc.post_recv(ReceivePattern::new(src, tag, comm))
+                .expect("table sized for the full budget");
+        }
+    }
+
+    // Partition the sender endpoints across the threads (QueuePair is not
+    // Sync: each endpoint moves into exactly one thread).
+    let mut plans: Vec<Vec<(usize, QueuePair)>> = (0..threads).map(|_| Vec::new()).collect();
+    for shard in 0..shards {
+        plans[shard % threads].push((shard, senders[shard].take().expect("unclaimed endpoint")));
+    }
+
     println!(
-        "\nSharded command queue: {shards} shards x {per_shard} msgs, {threads} poster threads"
+        "\nSharded command queue: {shards} shards x {per_shard} msgs, {threads} sender threads"
     );
 
     let mut delivered = vec![0u64; shards];
@@ -194,58 +243,49 @@ fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
     let mut timings: Vec<(usize, f64)> = Vec::new();
     let start = Instant::now();
     std::thread::scope(|s| {
-        let engine = &engine;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
                 s.spawn(move || {
                     let mut rows = Vec::new();
-                    for shard in (t..shards).step_by(threads) {
+                    let mut endpoints = Vec::new();
+                    for (shard, qp) in plan {
                         let comm = CommId(shard as u16 + 1);
-                        let base = (shard * per_shard) as u64;
                         let begin = Instant::now();
                         for i in 0..per_shard {
                             let (src, tag) = (Rank(i as u32 % 8), Tag(i as u32 % 64));
-                            engine
-                                .post_shared(
-                                    ReceivePattern::new(src, tag, comm),
-                                    RecvHandle(base + i as u64),
-                                )
-                                .expect("table sized for the full budget");
-                            engine
-                                .submit(Command::Arrival {
-                                    env: Envelope::new(src, tag, comm),
-                                    msg: MsgHandle(base + i as u64),
-                                })
-                                .expect("engine running");
+                            qp.send(eager_packet(Envelope::new(src, tag, comm), vec![i as u8]))
+                                .expect("receive NIC alive");
                         }
                         rows.push((shard, begin.elapsed().as_secs_f64()));
+                        // The endpoint must outlive the drain below: dropping
+                        // it would tear the queue pair down under the NIC.
+                        endpoints.push(qp);
                     }
-                    rows
+                    (rows, endpoints)
                 })
             })
             .collect();
 
-        // Drain concurrently with the posters until every submitted arrival
-        // came back (or a drain reported an error).
-        let mut seen = 0u64;
+        // The receive side runs here, concurrently with the senders: poll,
+        // stage, submit, pipelined drain, eager copy — until every message
+        // completed its receive (or the service reported an error).
+        let mut seen = 0usize;
         while seen < total && error.is_none() {
-            let report = engine.drain();
-            for outcome in &report.outcomes {
-                if let CommandOutcome::Delivery(d) = outcome {
-                    seen += 1;
-                    if let Delivery::Matched { recv, .. } = d {
-                        delivered[recv.0 as usize / per_shard] += 1;
+            match svc.progress() {
+                Ok(0) => std::thread::yield_now(),
+                Ok(_) => {
+                    for done in svc.take_completed() {
+                        seen += 1;
+                        delivered[done.recv.0 as usize / per_shard] += 1;
                     }
                 }
-            }
-            if let Some(e) = report.error {
-                error = Some(e.to_string());
-            } else if seen < total {
-                std::thread::yield_now();
+                Err(e) => error = Some(e.to_string()),
             }
         }
         for h in handles {
-            timings.extend(h.join().expect("poster thread"));
+            let (rows, _endpoints) = h.join().expect("sender thread");
+            timings.extend(rows);
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
@@ -278,7 +318,7 @@ fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
         );
     }
     println!(
-        "  aggregate: {} msgs in {:.3}s = {:.0} msgs/s ({} shards, {} poster threads)",
+        "  aggregate: {} msgs in {:.3}s = {:.0} msgs/s ({} shards, {} sender threads)",
         report.messages, report.elapsed_secs, report.msgs_per_sec, report.shards, report.threads
     );
     if let Some(e) = &report.error {

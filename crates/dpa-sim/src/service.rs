@@ -27,7 +27,9 @@ use crate::obs::{service_trace_event, ServiceMetrics};
 use crate::rdma::{PayloadKind, RdmaDomain, RdmaError};
 use mpi_matching::protocol::{Action, EagerTransfer, ProtocolStateError, RendezvousTransfer, Rts};
 use mpi_matching::traditional::TraditionalMatcher;
-use mpi_matching::{MatchingBackend, MsgHandle, PostResult, RdmaNoOp, RecvHandle};
+use mpi_matching::{
+    CommandOutcome, MatchingBackend, MsgHandle, PendingCommand, PostResult, RdmaNoOp, RecvHandle,
+};
 use otm::{Delivery, OtmEngine};
 use otm_base::memory::Footprint;
 use otm_base::{Envelope, MatchConfig, MatchError, ReceivePattern};
@@ -55,6 +57,11 @@ pub enum ServiceError {
     Rdma(RdmaError),
     /// Protocol state machine violation (a bug, surfaced loudly).
     Protocol(ProtocolStateError),
+    /// The software-fallback replay violated a migration invariant (e.g. a
+    /// drained receive or message matched while the snapshot was being
+    /// replayed). The service stays poisoned: running on after a spurious
+    /// match would silently corrupt the MPI matching order.
+    FallbackReplay(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -64,6 +71,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Match(e) => write!(f, "match: {e}"),
             ServiceError::Rdma(e) => write!(f, "rdma: {e}"),
             ServiceError::Protocol(e) => write!(f, "protocol: {e}"),
+            ServiceError::FallbackReplay(msg) => write!(f, "fallback replay: {msg}"),
         }
     }
 }
@@ -154,6 +162,14 @@ pub struct MatchingService {
     next_recv: u64,
     completed: Vec<CompletedReceive>,
     unexpected: HashMap<MsgHandle, StoredMessage>,
+    /// Payloads of arrivals submitted into the backend's command queue but
+    /// not yet applied by a drain. Staging host-side releases the bounce
+    /// buffer at submit time (§IV-C) and lets a fallback replay the queued
+    /// arrival with its payload intact.
+    inflight: HashMap<MsgHandle, StoredMessage>,
+    /// Whether [`MatchingService::progress`] routes arrivals through the
+    /// backend's command queue instead of matching blocks synchronously.
+    use_queue: bool,
     fellback: bool,
     metrics: ServiceMetrics,
 }
@@ -174,9 +190,28 @@ impl MatchingService {
             next_recv: 0,
             completed: Vec::new(),
             unexpected: HashMap::new(),
+            inflight: HashMap::new(),
+            use_queue: false,
             fellback: false,
             metrics: ServiceMetrics::new(),
         }
+    }
+
+    /// Routes arrivals through the backend's asynchronous command queue
+    /// (§IV-E's QP command path): each completion's payload is staged
+    /// host-side (releasing its bounce buffer immediately, §IV-C), the
+    /// arrival is submitted, and a drain at the end of each
+    /// [`MatchingService::progress`] call applies the queue in submission
+    /// order. Refused if the backend has no command queue.
+    pub fn enable_command_queue(&mut self) -> Result<(), ServiceError> {
+        if !self.backend.supports_command_queue() {
+            return Err(ServiceError::Match(MatchError::InvalidConfig(format!(
+                "the {} backend has no command queue",
+                self.backend.backend_name()
+            ))));
+        }
+        self.use_queue = true;
+        Ok(())
     }
 
     /// Creates the offloaded service, charging the communicator's matching
@@ -284,7 +319,7 @@ impl MatchingService {
             Ok(PostResult::Matched(msg)) => Some(msg),
             Ok(PostResult::Posted) => None,
             Err(MatchError::ReceiveTableFull) if self.backend.wants_offload_fallback() => {
-                self.fall_back_to_software()?;
+                self.fall_back_to_software(Vec::new())?;
                 match self.backend.post(pattern, handle)? {
                     PostResult::Matched(msg) => Some(msg),
                     PostResult::Posted => None,
@@ -304,38 +339,106 @@ impl MatchingService {
     }
 
     /// Migrates all matching state from the offloaded backend to a host
-    /// software matcher (§III-B/§IV-E fallback). Pending receives and
-    /// waiting unexpected messages are mutually non-matching by
-    /// construction (each was checked against the other side when it was
-    /// recorded), so the replay cannot create spurious matches.
+    /// software matcher (§III-B/§IV-E fallback), in two phases:
+    ///
+    /// 1. **State replay.** The drained unexpected messages, then the
+    ///    drained receives. Both sides are mutually non-matching by
+    ///    construction (each was checked against the other side when it was
+    ///    recorded), so a match here means the snapshot is corrupt — the
+    ///    replay aborts with [`ServiceError::FallbackReplay`] and the
+    ///    poison stays installed.
+    /// 2. **Pending replay.** The commands the backend accepted into its
+    ///    submission queue but never applied: `extra_pending` first (what a
+    ///    terminal [`mpi_matching::DrainReport`] surfaced — those commands
+    ///    were popped before the snapshot was taken), then the snapshot's
+    ///    own pending tail, in submission order. These are younger than the
+    ///    state and *may* legitimately match during replay; any pair formed
+    ///    runs its protocol with the payload staged in the in-flight stash
+    ///    or the unexpected store.
     ///
     /// The migration is transactional: a [`PoisonedBackend`] holds the slot
     /// while the offloaded backend drains, and the software matcher is
-    /// installed only once the full state has been replayed. If the drain
-    /// fails, the poison stays — subsequent operations report
-    /// [`MatchError::EngineStopped`] rather than silently matching against
-    /// a partial state.
-    fn fall_back_to_software(&mut self) -> Result<(), ServiceError> {
+    /// installed only once the full state AND every pending command have
+    /// been replayed. If the drain or the replay fails, the poison stays —
+    /// subsequent operations report [`MatchError::EngineStopped`] rather
+    /// than silently matching against a partial state.
+    fn fall_back_to_software(
+        &mut self,
+        extra_pending: Vec<PendingCommand>,
+    ) -> Result<(), ServiceError> {
         let offloaded = std::mem::replace(
             &mut self.backend,
             Box::new(PoisonedBackend) as Box<dyn MatchingBackend>,
         );
-        let (receives, unexpected) = offloaded.drain_for_fallback()?;
+        let state = offloaded.drain_for_fallback()?;
         let mut matcher: Box<dyn MatchingBackend> = Box::new(TraditionalMatcher::new());
-        for (env, msg) in unexpected {
+        for (env, msg) in state.unexpected {
             let d = matcher
                 .arrive_block(&[(env, msg)])
                 .expect("software matcher is unbounded");
-            debug_assert!(
-                matches!(d[0], Delivery::Unexpected { .. }),
-                "replay must not create matches"
-            );
+            if !matches!(d[0], Delivery::Unexpected { .. }) {
+                return Err(ServiceError::FallbackReplay(format!(
+                    "drained unexpected message {msg:?} ({env}) matched during state replay"
+                )));
+            }
         }
-        for (pattern, recv) in receives {
+        for (pattern, recv) in state.receives {
             let r = matcher
                 .post(pattern, recv)
                 .expect("software matcher is unbounded");
-            debug_assert_eq!(r, PostResult::Posted, "replay must not create matches");
+            if r != PostResult::Posted {
+                return Err(ServiceError::FallbackReplay(format!(
+                    "drained receive {recv:?} ({pattern}) matched during state replay"
+                )));
+            }
+        }
+        // Phase 2: replay the undrained commands. Pairs they form complete
+        // through the normal protocol path; arrivals that stay unexpected
+        // move their staged payloads into the unexpected store.
+        let mut matched_pairs: Vec<(RecvHandle, MsgHandle)> = Vec::new();
+        let mut still_unexpected: Vec<MsgHandle> = Vec::new();
+        for cmd in extra_pending.into_iter().chain(state.pending) {
+            match cmd {
+                PendingCommand::Post { pattern, handle } => {
+                    match matcher
+                        .post(pattern, handle)
+                        .expect("software matcher is unbounded")
+                    {
+                        PostResult::Matched(msg) => matched_pairs.push((handle, msg)),
+                        PostResult::Posted => {}
+                    }
+                }
+                PendingCommand::Arrival { env, msg } => {
+                    let d = matcher
+                        .arrive_block(&[(env, msg)])
+                        .expect("software matcher is unbounded");
+                    match d[0] {
+                        Delivery::Matched { recv, .. } => matched_pairs.push((recv, msg)),
+                        Delivery::Unexpected { .. } => still_unexpected.push(msg),
+                    }
+                }
+            }
+        }
+        for (recv, msg) in matched_pairs {
+            let stored = self
+                .inflight
+                .remove(&msg)
+                .or_else(|| self.unexpected.remove(&msg))
+                .ok_or_else(|| {
+                    ServiceError::FallbackReplay(format!(
+                        "message {msg:?} matched during pending replay but has no stored payload"
+                    ))
+                })?;
+            let done = self.run_protocol_from_store(recv, stored)?;
+            self.completed.push(done);
+        }
+        for msg in still_unexpected {
+            let stored = self.inflight.remove(&msg).ok_or_else(|| {
+                ServiceError::FallbackReplay(format!(
+                    "queued arrival {msg:?} has no staged payload"
+                ))
+            })?;
+            self.unexpected.insert(msg, stored);
         }
         self.backend = matcher;
         self.fellback = true;
@@ -362,12 +465,16 @@ impl MatchingService {
         // Backlog at its largest: everything arrived, nothing matched yet.
         self.observe_queues();
         let before = self.completed.len();
-        loop {
-            let block = self.nic.take_block(self.backend.block_size());
-            if block.is_empty() {
-                break;
+        if self.use_queue && self.backend.supports_command_queue() {
+            self.progress_queued()?;
+        } else {
+            loop {
+                let block = self.nic.take_block(self.backend.block_size());
+                if block.is_empty() {
+                    break;
+                }
+                self.match_block(block)?;
             }
-            self.match_block(block)?;
         }
         // Post-drain view: the CQ is empty, the unexpected store and any
         // still-staged bounce buffers reflect what matching left behind.
@@ -375,6 +482,80 @@ impl MatchingService {
         let done = self.completed.len() - before;
         self.metrics.add_completions(done as u64);
         Ok(done)
+    }
+
+    /// The command-queue arrival path: stage every completion's payload
+    /// host-side (releasing its bounce buffer, §IV-C), submit the arrival
+    /// into the backend's queue, then drain and apply the outcomes.
+    ///
+    /// A drain stopped by resource exhaustion or a dead engine migrates to
+    /// software matching — loss-free: the commands the drain could not
+    /// apply (requeued for retryable errors, surfaced in the report for
+    /// terminal ones) replay into the software matcher together with the
+    /// drained state.
+    fn progress_queued(&mut self) -> Result<(), ServiceError> {
+        loop {
+            let block = self.nic.take_block(self.backend.block_size());
+            if block.is_empty() {
+                break;
+            }
+            for completion in &block {
+                let msg = completion.msg;
+                Self::stash_unexpected(&mut self.nic, &mut self.inflight, msg, completion);
+                self.backend
+                    .submit_command(PendingCommand::Arrival {
+                        env: completion.header.env,
+                        msg,
+                    })
+                    .map_err(ServiceError::Match)?;
+            }
+        }
+        let report = self.backend.drain_commands();
+        for outcome in report.outcomes {
+            self.apply_queue_outcome(outcome)?;
+        }
+        match report.error {
+            None => Ok(()),
+            Some(e)
+                if self.backend.wants_offload_fallback()
+                    && (e.is_retryable() || e == MatchError::EngineStopped) =>
+            {
+                // Retryable exhaustion requeued the unapplied commands (the
+                // fallback snapshot folds them in); a terminal EngineStopped
+                // surfaced them in the report — hand those over explicitly.
+                self.fall_back_to_software(report.unapplied)
+            }
+            Some(e) => Err(e.into()),
+        }
+    }
+
+    /// Applies one drained command outcome: matched arrivals complete
+    /// through the protocol with their staged payload, unexpected arrivals
+    /// move from the in-flight stash into the unexpected store.
+    fn apply_queue_outcome(&mut self, outcome: CommandOutcome) -> Result<(), ServiceError> {
+        match outcome {
+            // The service submits only arrivals (posts keep their
+            // synchronous contract), but a backend is free to report post
+            // outcomes — they need no payload handling.
+            CommandOutcome::Post(_) => Ok(()),
+            CommandOutcome::Delivery(Delivery::Matched { msg, recv }) => {
+                let stored = self
+                    .inflight
+                    .remove(&msg)
+                    .expect("queued arrival has a staged payload");
+                let done = self.run_protocol_from_store(recv, stored)?;
+                self.completed.push(done);
+                Ok(())
+            }
+            CommandOutcome::Delivery(Delivery::Unexpected { msg }) => {
+                let stored = self
+                    .inflight
+                    .remove(&msg)
+                    .expect("queued arrival has a staged payload");
+                self.unexpected.insert(msg, stored);
+                Ok(())
+            }
+        }
     }
 
     /// Samples the three queue-depth gauges (and their peaks).
@@ -396,7 +577,7 @@ impl MatchingService {
                 // untouched and no bounce buffer was consumed yet): migrate
                 // to software matching and reprocess the very same block
                 // there (§IV-E).
-                self.fall_back_to_software()?;
+                self.fall_back_to_software(Vec::new())?;
                 return self.match_block(block);
             }
             Err(e) => return Err(e.into()),
@@ -964,6 +1145,169 @@ mod tests {
         assert_eq!(snap.counters["dpa_fallbacks_total"], 1);
         let json = svc.observability_json().expect("metrics enabled");
         assert!(json.contains("dpa_cq_depth_peak"));
+    }
+
+    #[test]
+    fn command_queue_path_matches_like_the_direct_path() {
+        // Same traffic, queued arrival path: payloads still land on the
+        // right receives, in order.
+        let (tx, _domain, mut svc) = setup("otm");
+        svc.enable_command_queue().unwrap();
+        let n = 8usize;
+        let mut posted = Vec::new();
+        for i in 0..n {
+            posted.push(
+                svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i as u32)))
+                    .unwrap(),
+            );
+        }
+        for i in 0..n {
+            tx.send(eager_packet(env(0, i as u32), vec![i as u8]))
+                .unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), n);
+        let done = svc.take_completed();
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i]);
+            assert_eq!(d.data, vec![i as u8]);
+        }
+        // Unexpected messages survive the queue path too: payload staged at
+        // submit time, moved to the store at drain time.
+        tx.send(eager_packet(env(7, 7), vec![77])).unwrap();
+        assert_eq!(svc.progress().unwrap(), 0);
+        assert_eq!(svc.unexpected_len(), 1);
+        let late = svc
+            .post_recv(ReceivePattern::exact(Rank(7), Tag(7)))
+            .unwrap();
+        let done = svc.take_completed();
+        assert_eq!(done[0].recv, late);
+        assert_eq!(done[0].data, vec![77]);
+    }
+
+    #[test]
+    fn command_queue_is_refused_by_synchronous_backends() {
+        let (_tx, _domain, mut svc) = setup("cpu");
+        assert!(matches!(
+            svc.enable_command_queue(),
+            Err(ServiceError::Match(MatchError::InvalidConfig(_)))
+        ));
+    }
+
+    #[test]
+    fn queued_arrivals_survive_fallback_under_store_pressure() {
+        // The lost-arrival bug, end to end: arrivals are sitting in the
+        // engine's submission queue when store pressure forces the software
+        // fallback. Before the loss-free snapshot, those queued arrivals
+        // were silently discarded; now every payload must be delivered.
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let mut budget = DeviceMemory::bluefield3_l3();
+        let config = MatchConfig::small()
+            .with_max_unexpected(2)
+            .with_block_threads(2);
+        let mut svc = MatchingService::offloaded(nic, domain, config, &mut budget).unwrap();
+        svc.enable_command_queue().unwrap();
+
+        // Five unmatched messages against a 2-slot device store: the first
+        // block fills it, the next one trips UnexpectedStoreFull mid-drain
+        // with the rest still queued.
+        for i in 0..5u32 {
+            tx.send(eager_packet(env(1, i), vec![i as u8])).unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), 0);
+        assert!(svc.fell_back(), "store pressure must trigger the fallback");
+        assert_eq!(svc.backend_name(), "MPI-CPU");
+        assert_eq!(
+            svc.unexpected_len(),
+            5,
+            "every queued arrival must survive the migration"
+        );
+
+        // All five payloads are intact and match in arrival order.
+        let mut posted = Vec::new();
+        for _ in 0..5 {
+            posted.push(svc.post_recv(ReceivePattern::any_tag(Rank(1))).unwrap());
+        }
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 5);
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i], "C1/C2 across the migration");
+            assert_eq!(d.data, vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn fallback_replay_violation_is_a_real_error_and_keeps_the_poison() {
+        /// A backend whose snapshot is corrupt: it hands back a receive and
+        /// an unexpected message that match each other — the replay must
+        /// refuse to install the software matcher.
+        struct CorruptBackend;
+        impl MatchingBackend for CorruptBackend {
+            fn backend_name(&self) -> &'static str {
+                "Corrupt"
+            }
+            fn post(&mut self, _: ReceivePattern, _: RecvHandle) -> Result<PostResult, MatchError> {
+                Err(MatchError::ReceiveTableFull)
+            }
+            fn arrive_block(
+                &mut self,
+                _: &[(Envelope, MsgHandle)],
+            ) -> Result<Vec<Delivery>, MatchError> {
+                Err(MatchError::UnexpectedStoreFull)
+            }
+            fn probe(&self, _: &ReceivePattern) -> Option<MsgHandle> {
+                None
+            }
+            fn prq_len(&self) -> usize {
+                1
+            }
+            fn umq_len(&self) -> usize {
+                1
+            }
+            fn merge_stats(&self, _: &mut mpi_matching::MatchStats) {}
+            fn wants_offload_fallback(&self) -> bool {
+                true
+            }
+            fn drain_for_fallback(
+                self: Box<Self>,
+            ) -> Result<mpi_matching::FallbackState, MatchError> {
+                Ok(mpi_matching::FallbackState {
+                    receives: vec![(
+                        ReceivePattern::exact(Rank(0), Tag(0)),
+                        RecvHandle(0),
+                    )],
+                    unexpected: vec![(Envelope::world(Rank(0), Tag(0)), MsgHandle(0))],
+                    pending: Vec::new(),
+                })
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let mut svc = MatchingService::with_backend(nic, domain, Box::new(CorruptBackend));
+        let err = svc
+            .post_recv(ReceivePattern::exact(Rank(9), Tag(9)))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::FallbackReplay(_)),
+            "got {err:?}"
+        );
+        assert_eq!(svc.backend_name(), "Poisoned");
+        assert!(!svc.fell_back());
+        // Still poisoned afterwards — no silent half-migrated matching.
+        let err = svc
+            .post_recv(ReceivePattern::exact(Rank(9), Tag(8)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Match(MatchError::EngineStopped)
+        ));
+        drop(tx);
     }
 
     #[test]

@@ -53,17 +53,122 @@ use crate::traditional::TraditionalMatcher;
 use otm_base::{Envelope, MatchError, ReceivePattern};
 use std::any::Any;
 
+/// One host-to-backend command, mirroring the DPA QP command set (§IV-E).
+///
+/// Backends with an internal submission queue (the offloaded engine) accept
+/// these through [`MatchingBackend::submit_command`] and apply them at
+/// [`MatchingBackend::drain_commands`]; a fallback snapshot carries the
+/// commands a backend accepted but never applied, so the offload→software
+/// migration is loss-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingCommand {
+    /// Post a receive (the `post` command path).
+    Post {
+        /// The receive's matching pattern.
+        pattern: ReceivePattern,
+        /// The caller's handle for the receive.
+        handle: RecvHandle,
+    },
+    /// Deliver one incoming message (the arrival path; queue-draining
+    /// backends batch consecutive arrivals into blocks).
+    Arrival {
+        /// The message's envelope.
+        env: Envelope,
+        /// The caller's handle for the message.
+        msg: MsgHandle,
+    },
+}
+
+/// The result of applying one [`PendingCommand`], in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandOutcome {
+    /// Outcome of a [`PendingCommand::Post`].
+    Post(PostResult),
+    /// Outcome of a [`PendingCommand::Arrival`].
+    Delivery(BlockDelivery),
+}
+
+/// Everything one [`MatchingBackend::drain_commands`] call accomplished.
+///
+/// A drain is not all-or-nothing: commands apply one by one (arrivals in
+/// blocks), and an error stops the drain mid-queue. The outcomes of the
+/// commands that *did* apply are always reported — dropping them would lose
+/// deliveries the caller must act on.
+#[derive(Debug, Default)]
+pub struct DrainReport {
+    /// Outcome of every applied command, in submission order.
+    pub outcomes: Vec<CommandOutcome>,
+    /// The error that stopped the drain early, if any. On a *retryable*
+    /// error ([`MatchError::is_retryable`]: resource exhaustion) the
+    /// failing command and everything queued behind it went back to the
+    /// front of the queue, so a retry after remedying the error resumes
+    /// exactly where this drain stopped. On a *terminal* error
+    /// ([`MatchError::is_terminal`]: the engine is dead, or the command can
+    /// never apply) nothing is requeued — the unapplied commands are
+    /// surfaced in [`DrainReport::unapplied`] instead, so a retry loop
+    /// terminates rather than spinning on the same error forever.
+    pub error: Option<MatchError>,
+    /// On a terminal error: the failing command and every command behind
+    /// it (including commands still sitting in the queue), in submission
+    /// order. Empty on success and on retryable errors. The caller owns
+    /// these — typically by replaying them into a software matcher after a
+    /// fallback migration.
+    pub unapplied: Vec<PendingCommand>,
+}
+
+impl DrainReport {
+    /// Whether the drain stopped on a terminal error (see
+    /// [`DrainReport::error`]).
+    pub fn is_terminal(&self) -> bool {
+        self.error.as_ref().is_some_and(|e| e.is_terminal())
+    }
+}
+
 /// Matching state drained from a backend for software fallback: the pending
-/// receives (per-communicator post order) and the waiting unexpected
-/// messages (per-communicator arrival order).
+/// receives (per-communicator post order), the waiting unexpected messages
+/// (per-communicator arrival order), and the commands the backend accepted
+/// into its submission queue but never applied (global submission order).
 ///
 /// C1 only constrains order *within* a communicator, so replaying the
 /// receives communicator-by-communicator into a software matcher preserves
-/// MPI semantics.
-pub type FallbackState = (
-    Vec<(ReceivePattern, RecvHandle)>,
-    Vec<(Envelope, MsgHandle)>,
-);
+/// MPI semantics. The `pending` commands replay *after* the drained state
+/// (they are strictly younger than everything the backend applied), and —
+/// unlike the state, which is mutually non-matching by construction — they
+/// may legitimately produce matches during the replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FallbackState {
+    /// Pending receives, per-communicator post order.
+    pub receives: Vec<(ReceivePattern, RecvHandle)>,
+    /// Waiting unexpected messages, per-communicator arrival order.
+    pub unexpected: Vec<(Envelope, MsgHandle)>,
+    /// Commands accepted but not yet applied, in submission order.
+    pub pending: Vec<PendingCommand>,
+}
+
+impl FallbackState {
+    /// A snapshot of applied matching state only, with no pending commands
+    /// (the shape of backends that apply every operation synchronously).
+    pub fn from_state(
+        receives: Vec<(ReceivePattern, RecvHandle)>,
+        unexpected: Vec<(Envelope, MsgHandle)>,
+    ) -> Self {
+        FallbackState {
+            receives,
+            unexpected,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Total entries the snapshot carries (receives, messages, commands).
+    pub fn len(&self) -> usize {
+        self.receives.len() + self.unexpected.len() + self.pending.len()
+    }
+
+    /// Whether the snapshot carries nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Outcome of matching one incoming message in a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,9 +263,51 @@ pub trait MatchingBackend: Send {
         false
     }
 
-    /// Drains the complete matching state for migration to software tag
-    /// matching, consuming the backend (the device resources are being
-    /// given up).
+    /// Whether this backend accepts asynchronous commands through
+    /// [`MatchingBackend::submit_command`] (the DPA command-queue path,
+    /// §IV-E). Synchronous host backends do not.
+    fn supports_command_queue(&self) -> bool {
+        false
+    }
+
+    /// Enqueues one command for a later [`MatchingBackend::drain_commands`].
+    ///
+    /// The default refuses: only queue-capable backends
+    /// ([`MatchingBackend::supports_command_queue`]) accept submissions.
+    fn submit_command(&mut self, cmd: PendingCommand) -> Result<(), MatchError> {
+        let _ = cmd;
+        Err(MatchError::InvalidConfig(format!(
+            "the {} backend has no command queue",
+            self.backend_name()
+        )))
+    }
+
+    /// Applies queued commands in submission order and reports their
+    /// outcomes (see [`DrainReport`] for the partial-failure contract).
+    ///
+    /// The default refuses, mirroring [`MatchingBackend::submit_command`].
+    fn drain_commands(&mut self) -> DrainReport {
+        DrainReport {
+            outcomes: Vec::new(),
+            error: Some(MatchError::InvalidConfig(format!(
+                "the {} backend has no command queue",
+                self.backend_name()
+            ))),
+            unapplied: Vec::new(),
+        }
+    }
+
+    /// Commands currently sitting in the submission queue. Zero for
+    /// synchronous backends.
+    fn pending_commands(&self) -> usize {
+        0
+    }
+
+    /// Drains the complete matching state — applied receives and unexpected
+    /// messages *plus* any commands still sitting in the submission queue —
+    /// for migration to software tag matching, consuming the backend (the
+    /// device resources are being given up). Nothing the backend ever
+    /// accepted may be dropped: a fallback under load must be loss-free.
     ///
     /// The default refuses: only offload-capable backends support the
     /// drain, and the service never invokes it unless
@@ -435,15 +582,16 @@ mod tests {
             .unwrap();
         b.arrive_block(&[(env(5, 5), MsgHandle(0)), (env(6, 6), MsgHandle(1))])
             .unwrap();
-        let (receives, unexpected) = b.drain_for_fallback().unwrap();
+        let state = b.drain_for_fallback().unwrap();
         assert_eq!(
-            receives.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
+            state.receives.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
             vec![RecvHandle(0), RecvHandle(1)]
         );
         assert_eq!(
-            unexpected.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
+            state.unexpected.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
             vec![MsgHandle(0), MsgHandle(1)]
         );
+        assert!(state.pending.is_empty());
     }
 
     #[test]
@@ -466,15 +614,34 @@ mod tests {
         .unwrap();
         b.arrive_block(&[(env(7, 7), MsgHandle(0)), (env(8, 8), MsgHandle(1))])
             .unwrap();
-        let (receives, unexpected) = Box::new(b).drain_for_fallback().unwrap();
+        let state = Box::new(b).drain_for_fallback().unwrap();
         assert_eq!(
-            receives.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
+            state.receives.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
             vec![RecvHandle(0), RecvHandle(1), RecvHandle(2)]
         );
         assert_eq!(
-            unexpected.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
+            state.unexpected.iter().map(|&(_, h)| h).collect::<Vec<_>>(),
             vec![MsgHandle(0), MsgHandle(1)]
         );
+        assert!(state.pending.is_empty());
+    }
+
+    #[test]
+    fn synchronous_backends_refuse_command_submission() {
+        let mut b: Box<dyn MatchingBackend> = Box::new(TraditionalMatcher::new());
+        assert!(!b.supports_command_queue());
+        assert_eq!(b.pending_commands(), 0);
+        assert!(matches!(
+            b.submit_command(PendingCommand::Post {
+                pattern: ReceivePattern::any_any(),
+                handle: RecvHandle(0),
+            }),
+            Err(MatchError::InvalidConfig(_))
+        ));
+        let report = b.drain_commands();
+        assert!(report.outcomes.is_empty());
+        assert!(report.is_terminal());
+        assert!(report.unapplied.is_empty());
     }
 
     #[test]

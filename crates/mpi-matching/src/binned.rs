@@ -127,7 +127,7 @@ impl BinnedMatcher {
                 (e.gen == r.gen && e.alive).then_some((e.env, e.handle))
             })
             .collect();
-        (receives, unexpected)
+        crate::backend::FallbackState::from_state(receives, unexpected)
     }
 
     fn bin_for_env(&self, env: &Envelope) -> usize {

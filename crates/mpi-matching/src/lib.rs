@@ -39,7 +39,10 @@ pub mod rank_based;
 pub mod stats;
 pub mod traditional;
 
-pub use backend::{BlockDelivery, FallbackState, MatchingBackend, RdmaNoOp};
+pub use backend::{
+    BlockDelivery, CommandOutcome, DrainReport, FallbackState, MatchingBackend, PendingCommand,
+    RdmaNoOp,
+};
 pub use matcher::{ArriveResult, Matcher, MsgHandle, PostResult, RecvHandle};
 pub use oracle::{Assignment, MatchEvent, Oracle};
 pub use stats::MatchStats;

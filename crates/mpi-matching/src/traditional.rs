@@ -160,7 +160,7 @@ impl TraditionalMatcher {
     /// [`FallbackState`](crate::backend::FallbackState) shape the backend
     /// trait's drain hands to a replacement matcher.
     pub fn snapshot_state(&self) -> crate::backend::FallbackState {
-        (
+        crate::backend::FallbackState::from_state(
             self.prq.iter().copied().collect(),
             self.umq.iter().copied().collect(),
         )

@@ -6,68 +6,28 @@
 //! queue on the host side — a `&self` (interior-mutability) FIFO that any
 //! number of threads can [`CommandQueue::submit`] into concurrently, with
 //! [`crate::OtmEngine::drain`] playing the coordinator: it pops commands
-//! in order, applies posts through the per-communicator shards, and packs
-//! consecutive arrivals into parallel matching blocks.
+//! in bounded chunks, applies posts through the per-communicator shards,
+//! and packs consecutive arrivals into parallel matching blocks. Between
+//! chunks the queue lock is free, so submissions pipeline against block
+//! execution (the paper's CQ pipelining, §IV-E).
 //!
-//! Because the queue is a strict FIFO, the engine's matching outcome over
-//! the drained commands is the same deterministic function of submission
-//! order that a fully serialized engine computes — MPI matching depends
-//! only on per-communicator post order and global arrival order, both of
-//! which the queue preserves.
+//! Because the queue is a strict FIFO and drains are serialized, the
+//! engine's matching outcome over the drained commands is the same
+//! deterministic function of submission order that a fully serialized
+//! engine computes — MPI matching depends only on per-communicator post
+//! order and global arrival order, both of which the queue preserves.
+//!
+//! The command vocabulary ([`Command`], [`CommandOutcome`], [`DrainReport`])
+//! lives in `mpi_matching::backend` so every
+//! [`MatchingBackend`](mpi_matching::MatchingBackend) speaks it; this
+//! module re-exports the types under their engine-side names.
 
 #![deny(missing_docs)]
 
-use crate::engine::Delivery;
-use mpi_matching::{MsgHandle, PostResult, RecvHandle};
-use otm_base::{Envelope, MatchError, ReceivePattern};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 
-/// One host-to-engine command, mirroring the DPA QP command set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Command {
-    /// Post a receive (the `post` command path).
-    Post {
-        /// The receive's matching pattern.
-        pattern: ReceivePattern,
-        /// The caller's handle for the receive.
-        handle: RecvHandle,
-    },
-    /// Deliver one incoming message (the arrival path; the coordinator
-    /// batches consecutive arrivals into blocks).
-    Arrival {
-        /// The message's envelope.
-        env: Envelope,
-        /// The caller's handle for the message.
-        msg: MsgHandle,
-    },
-}
-
-/// The result of applying one [`Command`], in submission order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CommandOutcome {
-    /// Outcome of a [`Command::Post`].
-    Post(PostResult),
-    /// Outcome of a [`Command::Arrival`].
-    Delivery(Delivery),
-}
-
-/// Everything one [`crate::OtmEngine::drain`] call accomplished.
-///
-/// A drain is not all-or-nothing: commands apply one by one (arrivals in
-/// blocks), and an error stops the drain mid-queue. The outcomes of the
-/// commands that *did* apply are always reported — dropping them would lose
-/// deliveries the caller must act on.
-#[derive(Debug)]
-pub struct DrainReport {
-    /// Outcome of every applied command, in submission order.
-    pub outcomes: Vec<CommandOutcome>,
-    /// The error that stopped the drain early, if any. The failing command
-    /// and everything queued behind it were put back at the front of the
-    /// queue, so a retry after remedying the error (e.g. freeing
-    /// unexpected-store capacity) resumes exactly where this drain stopped.
-    pub error: Option<MatchError>,
-}
+pub use mpi_matching::backend::{CommandOutcome, DrainReport, PendingCommand as Command};
 
 /// A multi-producer command FIFO (see module docs).
 #[derive(Debug, Default)]
@@ -102,6 +62,20 @@ impl CommandQueue {
         std::mem::take(&mut *self.inner.lock())
     }
 
+    /// Takes up to `max` commands from the head, oldest first. The queue
+    /// lock is held only for the pop, so concurrent submitters pipeline
+    /// against whatever the caller does with the chunk.
+    pub(crate) fn take_chunk(&self, max: usize) -> VecDeque<Command> {
+        let mut inner = self.inner.lock();
+        if max == 0 || inner.is_empty() {
+            return VecDeque::new();
+        }
+        if inner.len() <= max {
+            return std::mem::take(&mut *inner);
+        }
+        inner.drain(..max).collect()
+    }
+
     /// Puts unprocessed commands back at the *front* of the queue (in their
     /// original order), ahead of anything submitted since the take.
     pub(crate) fn requeue_front(&self, cmds: VecDeque<Command>) {
@@ -115,7 +89,8 @@ impl CommandQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use otm_base::{Rank, Tag};
+    use mpi_matching::MsgHandle;
+    use otm_base::{Envelope, Rank, Tag};
 
     fn arrival(i: u64) -> Command {
         Command::Arrival {
@@ -147,5 +122,21 @@ mod tests {
         q.requeue_front(taken);
         let order: Vec<_> = q.take_all().into_iter().collect();
         assert_eq!(order, vec![arrival(1), arrival(2)]);
+    }
+
+    #[test]
+    fn take_chunk_pops_bounded_prefixes_in_order() {
+        let q = CommandQueue::new();
+        for i in 0..5 {
+            q.submit(arrival(i));
+        }
+        let first: Vec<_> = q.take_chunk(2).into_iter().collect();
+        assert_eq!(first, vec![arrival(0), arrival(1)]);
+        assert_eq!(q.len(), 3);
+        // Oversized chunk takes whatever is left; zero takes nothing.
+        assert_eq!(q.take_chunk(0).len(), 0);
+        let rest: Vec<_> = q.take_chunk(99).into_iter().collect();
+        assert_eq!(rest, vec![arrival(2), arrival(3), arrival(4)]);
+        assert!(q.is_empty());
     }
 }

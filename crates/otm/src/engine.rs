@@ -66,6 +66,12 @@ pub struct OtmEngine {
     shards: ShardMap,
     queue: CommandQueue,
     coord: Mutex<CoordState>,
+    /// Serializes whole [`OtmEngine::drain`] calls. Distinct from `coord`
+    /// (which serializes individual blocks) so a drain can release the
+    /// block arena between chunks — pipelining racing `submit`s and direct
+    /// `process_block` calls against queue pops — while concurrent drains
+    /// still cannot interleave their pops and break FIFO order.
+    drain_gate: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
     stopped: AtomicBool,
 }
@@ -122,6 +128,7 @@ impl OtmEngine {
             coord: Mutex::new(CoordState {
                 next_arrival: ArrivalSeq::ZERO,
             }),
+            drain_gate: Mutex::new(()),
             workers,
             stopped: AtomicBool::new(false),
         })
@@ -274,92 +281,139 @@ impl OtmEngine {
     /// and matched in parallel; posts flush any pending arrivals first, so
     /// submission order is exactly preserved.
     ///
+    /// The drain is *pipelined* (the paper's CQ pipelining, §IV-E): it pops
+    /// commands in bounded chunks and takes the queue and coordinator locks
+    /// only briefly per chunk/block, so racing `submit`s and direct
+    /// `process_block` calls overlap with block execution instead of
+    /// stalling behind the whole drain. Whole drains are still serialized
+    /// against each other, and only commands already queued when the drain
+    /// started are processed — submissions racing in mid-drain wait for the
+    /// next drain, so a busy submitter cannot pin the coordinator forever.
+    ///
     /// On an error the drain stops: outcomes of the commands already
-    /// applied are returned in the report together with the error, and the
-    /// failing command plus everything behind it goes back to the front of
-    /// the queue (ahead of any racing submissions), so a retry after
-    /// remedying the error resumes exactly where this drain stopped.
+    /// applied are returned in the report together with the error. What
+    /// happens to the failing command and everything behind it depends on
+    /// the error class (see [`DrainReport::error`]): *retryable* resource
+    /// exhaustion requeues them at the front of the queue (ahead of racing
+    /// submissions) so a retry resumes exactly where this drain stopped;
+    /// a *terminal* error (the engine is stopped or poisoned, a command is
+    /// invalid) surfaces them in [`DrainReport::unapplied`] instead, so a
+    /// retry loop terminates rather than spinning forever on a dead engine.
     pub fn drain(&self) -> DrainReport {
-        let mut coord = self.coord.lock();
-        let mut cmds = self.queue.take_all();
-        let mut outcomes = Vec::with_capacity(cmds.len());
+        let _gate = self.drain_gate.lock();
+        // Chunk size: a few blocks' worth of commands per pop keeps the
+        // queue-lock hold times short without paying the lock once per
+        // command.
+        let chunk = self.config.block_threads.saturating_mul(4).max(16);
+        // Bound the drain to what was queued at entry (racing submissions
+        // land behind this count and belong to the next drain).
+        let mut remaining = self.queue.len();
+        let mut outcomes = Vec::with_capacity(remaining);
         let mut batch: Vec<(Envelope, MsgHandle)> = Vec::new();
-        while let Some(cmd) = cmds.pop_front() {
-            match cmd {
-                Command::Arrival { env, msg } => {
-                    batch.push((env, msg));
-                    if batch.len() == self.config.block_threads {
-                        if let Err(e) = self.flush_batch(&mut coord, &mut batch, &mut outcomes) {
-                            self.requeue_unprocessed(batch, cmds);
-                            return DrainReport {
-                                outcomes,
-                                error: Some(e),
-                            };
+        while remaining > 0 {
+            let mut cmds = self.queue.take_chunk(chunk.min(remaining));
+            if cmds.is_empty() {
+                // A concurrent drain_for_fallback emptied the queue.
+                break;
+            }
+            remaining -= cmds.len();
+            while let Some(cmd) = cmds.pop_front() {
+                match cmd {
+                    Command::Arrival { env, msg } => {
+                        batch.push((env, msg));
+                        if batch.len() == self.config.block_threads {
+                            if let Err(e) = self.flush_batch(&mut batch, &mut outcomes) {
+                                return self.fail_drain(e, batch, cmds, outcomes);
+                            }
                         }
                     }
-                }
-                Command::Post { pattern, handle } => {
-                    if let Err(e) = self.flush_batch(&mut coord, &mut batch, &mut outcomes) {
-                        cmds.push_front(cmd);
-                        self.requeue_unprocessed(batch, cmds);
-                        return DrainReport {
-                            outcomes,
-                            error: Some(e),
-                        };
-                    }
-                    match self.post_shared(pattern, handle) {
-                        Ok(r) => outcomes.push(CommandOutcome::Post(r)),
-                        Err(e) => {
+                    Command::Post { pattern, handle } => {
+                        if let Err(e) = self.flush_batch(&mut batch, &mut outcomes) {
                             cmds.push_front(cmd);
-                            self.requeue_unprocessed(batch, cmds);
-                            return DrainReport {
-                                outcomes,
-                                error: Some(e),
-                            };
+                            return self.fail_drain(e, batch, cmds, outcomes);
+                        }
+                        match self.post_shared(pattern, handle) {
+                            Ok(r) => outcomes.push(CommandOutcome::Post(r)),
+                            Err(e) => {
+                                cmds.push_front(cmd);
+                                return self.fail_drain(e, batch, cmds, outcomes);
+                            }
                         }
                     }
                 }
             }
         }
-        if let Err(e) = self.flush_batch(&mut coord, &mut batch, &mut outcomes) {
-            self.requeue_unprocessed(batch, cmds);
-            return DrainReport {
-                outcomes,
-                error: Some(e),
-            };
+        if let Err(e) = self.flush_batch(&mut batch, &mut outcomes) {
+            return self.fail_drain(e, batch, VecDeque::new(), outcomes);
         }
         DrainReport {
             outcomes,
             error: None,
+            unapplied: Vec::new(),
         }
     }
 
     /// Matches the pending arrival batch as one block and records its
-    /// deliveries. On error the batch is left intact for re-queueing.
+    /// deliveries. Takes the coordinator lock only for the block itself, so
+    /// direct `process_block` calls interleave between a drain's batches.
+    /// On error the batch is left intact for re-queueing.
     fn flush_batch(
         &self,
-        coord: &mut CoordState,
         batch: &mut Vec<(Envelope, MsgHandle)>,
         outcomes: &mut Vec<CommandOutcome>,
     ) -> Result<(), MatchError> {
         if batch.is_empty() {
             return Ok(());
         }
-        let deliveries = self.process_block_locked(coord, batch)?;
+        let mut coord = self.coord.lock();
+        let deliveries = self.process_block_locked(&mut coord, batch)?;
         outcomes.extend(deliveries.into_iter().map(CommandOutcome::Delivery));
         batch.clear();
         Ok(())
     }
 
-    /// Puts an unapplied arrival batch and the remaining commands back at
-    /// the front of the queue, preserving submission order.
-    fn requeue_unprocessed(&self, batch: Vec<(Envelope, MsgHandle)>, rest: VecDeque<Command>) {
-        let mut q: VecDeque<Command> = batch
+    /// Finishes a drain that stopped on `error`, deciding the fate of the
+    /// unapplied commands: the in-flight arrival `batch` plus the popped
+    /// `rest`, in submission order. Retryable errors requeue them at the
+    /// queue front; terminal errors pull *everything* (including commands
+    /// still queued) out and surface it in the report, so retry loops
+    /// terminate and a subsequent fallback can replay the commands.
+    fn fail_drain(
+        &self,
+        error: MatchError,
+        batch: Vec<(Envelope, MsgHandle)>,
+        rest: VecDeque<Command>,
+        outcomes: Vec<CommandOutcome>,
+    ) -> DrainReport {
+        let mut unprocessed: VecDeque<Command> = batch
             .into_iter()
             .map(|(env, msg)| Command::Arrival { env, msg })
             .collect();
-        q.extend(rest);
-        self.queue.requeue_front(q);
+        unprocessed.extend(rest);
+        if error.is_retryable() {
+            self.queue.requeue_front(unprocessed);
+            DrainReport {
+                outcomes,
+                error: Some(error),
+                unapplied: Vec::new(),
+            }
+        } else {
+            let mut unapplied: Vec<Command> = unprocessed.into_iter().collect();
+            unapplied.extend(self.queue.take_all());
+            DrainReport {
+                outcomes,
+                error: Some(error),
+                unapplied,
+            }
+        }
+    }
+
+    /// Stops the engine: every subsequent post, submit, block, or drain
+    /// reports [`MatchError::EngineStopped`]. Commands already in the
+    /// submission queue stay there — [`OtmEngine::drain_for_fallback`]
+    /// still surfaces them, so shutdown loses nothing.
+    pub fn shutdown(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
     }
 
     /// Matches one block of up to `N` incoming messages in parallel.
@@ -568,17 +622,19 @@ impl OtmEngine {
     /// out (§III-B, §IV-E). Consumes the engine (the device resources are
     /// being given up).
     ///
-    /// Returns the pending receives and the waiting unexpected messages.
-    /// Receives are ordered per communicator by post label (C1 only
-    /// constrains order *within* a communicator, so replaying
-    /// communicator-by-communicator into a software matcher preserves MPI
-    /// semantics); unexpected messages are in arrival order per
-    /// communicator.
-    ///
-    /// Commands still sitting in the submission queue are *not* part of the
-    /// matching state and are discarded; call [`OtmEngine::drain`] first if
-    /// the queue may be non-empty.
+    /// Returns the pending receives, the waiting unexpected messages, *and*
+    /// every command still sitting in the submission queue. Receives are
+    /// ordered per communicator by post label (C1 only constrains order
+    /// *within* a communicator, so replaying communicator-by-communicator
+    /// into a software matcher preserves MPI semantics); unexpected
+    /// messages are in arrival order per communicator; pending commands are
+    /// in global submission order (including any batch a failed retryable
+    /// drain put back at the queue front). Nothing the engine ever accepted
+    /// is dropped — the fallback is loss-free even with a non-empty queue.
     pub fn drain_for_fallback(self) -> FallbackState {
+        // Take the queue first: it holds the youngest accepted work, and
+        // consuming `self` guarantees no submitter can race in behind us.
+        let pending: Vec<Command> = self.queue.take_all().into_iter().collect();
         let mut receives = Vec::new();
         let mut unexpected = Vec::new();
         for (_, shard) in self.shards.all_sorted() {
@@ -591,7 +647,11 @@ impl OtmEngine {
             );
             unexpected.extend(shard.host.lock().umq.drain());
         }
-        (receives, unexpected)
+        FallbackState {
+            receives,
+            unexpected,
+            pending,
+        }
     }
 
     /// Live posted receives across all communicators.
@@ -690,6 +750,22 @@ impl MatchingBackend for OtmEngine {
 
     fn wants_offload_fallback(&self) -> bool {
         true
+    }
+
+    fn supports_command_queue(&self) -> bool {
+        true
+    }
+
+    fn submit_command(&mut self, cmd: Command) -> Result<(), MatchError> {
+        OtmEngine::submit(self, cmd)
+    }
+
+    fn drain_commands(&mut self) -> DrainReport {
+        OtmEngine::drain(self)
+    }
+
+    fn pending_commands(&self) -> usize {
+        OtmEngine::pending_commands(self)
     }
 
     fn drain_for_fallback(self: Box<Self>) -> Result<FallbackState, MatchError> {
@@ -1105,13 +1181,14 @@ mod tests {
             .process_block(&[(env(5, 5), MsgHandle(1)), (env(0, 1), MsgHandle(2))])
             .unwrap_err();
         assert_eq!(err, MatchError::UnexpectedStoreFull);
-        let (receives, unexpected) = e.drain_for_fallback();
+        let state = e.drain_for_fallback();
         assert_eq!(
-            receives,
+            state.receives,
             vec![(ReceivePattern::exact(Rank(5), Tag(5)), RecvHandle(9))]
         );
-        assert_eq!(unexpected.len(), 1);
-        assert_eq!(unexpected[0].1, MsgHandle(0));
+        assert_eq!(state.unexpected.len(), 1);
+        assert_eq!(state.unexpected[0].1, MsgHandle(0));
+        assert!(state.pending.is_empty());
     }
 
     #[test]
@@ -1429,8 +1506,179 @@ mod tests {
         assert_eq!(stats.matched_on_arrival, 1);
         // The observability downcast the service layer relies on.
         assert!(boxed.as_any().downcast_ref::<OtmEngine>().is_some());
-        let (receives, unexpected) = boxed.drain_for_fallback().unwrap();
-        assert!(receives.is_empty());
-        assert!(unexpected.is_empty());
+        // The command-queue half of the trait.
+        assert!(boxed.supports_command_queue());
+        boxed
+            .submit_command(Command::Arrival {
+                env: env(9, 9),
+                msg: MsgHandle(1),
+            })
+            .unwrap();
+        assert_eq!(boxed.pending_commands(), 1);
+        let report = boxed.drain_commands();
+        assert!(report.error.is_none());
+        assert_eq!(
+            report.outcomes,
+            vec![CommandOutcome::Delivery(Delivery::Unexpected {
+                msg: MsgHandle(1)
+            })]
+        );
+        let state = boxed.drain_for_fallback().unwrap();
+        assert!(state.receives.is_empty());
+        assert_eq!(state.unexpected.len(), 1);
+        assert!(state.pending.is_empty());
+    }
+
+    #[test]
+    fn fallback_snapshot_carries_the_undrained_queue() {
+        // The lost-receive/lost-arrival bug: commands accepted into the
+        // submission queue but never drained MUST survive the fallback
+        // migration inside the snapshot's `pending`, in submission order.
+        let e = engine();
+        e.post_shared(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))
+            .unwrap();
+        e.submit(Command::Post {
+            pattern: ReceivePattern::exact(Rank(1), Tag(1)),
+            handle: RecvHandle(1),
+        })
+        .unwrap();
+        e.submit(Command::Arrival {
+            env: env(2, 2),
+            msg: MsgHandle(0),
+        })
+        .unwrap();
+        let state = e.drain_for_fallback();
+        assert_eq!(
+            state.receives,
+            vec![(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))]
+        );
+        assert_eq!(
+            state.pending,
+            vec![
+                Command::Post {
+                    pattern: ReceivePattern::exact(Rank(1), Tag(1)),
+                    handle: RecvHandle(1),
+                },
+                Command::Arrival {
+                    env: env(2, 2),
+                    msg: MsgHandle(0),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn drain_on_stopped_engine_surfaces_commands_terminally() {
+        // A retry loop on a dead engine must terminate: the drain reports
+        // EngineStopped as terminal and hands the commands over instead of
+        // requeueing them forever.
+        let e = engine();
+        e.submit(Command::Arrival {
+            env: env(0, 0),
+            msg: MsgHandle(0),
+        })
+        .unwrap();
+        e.submit(Command::Post {
+            pattern: ReceivePattern::exact(Rank(1), Tag(1)),
+            handle: RecvHandle(1),
+        })
+        .unwrap();
+        e.shutdown();
+        let report = e.drain();
+        assert_eq!(report.error, Some(MatchError::EngineStopped));
+        assert!(report.is_terminal());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.unapplied.len(), 2);
+        assert!(matches!(report.unapplied[0], Command::Arrival { .. }));
+        assert!(matches!(report.unapplied[1], Command::Post { .. }));
+        // The queue is empty now — a second drain is a clean no-op, not an
+        // infinite EngineStopped spin.
+        assert_eq!(e.pending_commands(), 0);
+        let again = e.drain();
+        assert!(again.error.is_none());
+        assert!(again.unapplied.is_empty());
+        // Submitting to a stopped engine is refused outright.
+        assert_eq!(
+            e.submit(Command::Arrival {
+                env: env(0, 0),
+                msg: MsgHandle(9),
+            }),
+            Err(MatchError::EngineStopped)
+        );
+    }
+
+    #[test]
+    fn retryable_drain_error_still_requeues() {
+        // Single-lane engine: each arrival is its own block, so the first
+        // one fills the 1-slot unexpected store and the second block is
+        // rejected by the capacity pre-check.
+        let e = OtmEngine::new(
+            MatchConfig::small()
+                .with_block_threads(1)
+                .with_max_unexpected(1),
+        )
+        .unwrap();
+        for i in 0..2u64 {
+            e.submit(Command::Arrival {
+                env: env(0, i as u32),
+                msg: MsgHandle(i),
+            })
+            .unwrap();
+        }
+        // A retryable error: the failing command goes back to the queue
+        // front and nothing is surfaced.
+        let report = e.drain();
+        assert_eq!(report.error, Some(MatchError::UnexpectedStoreFull));
+        assert!(!report.is_terminal());
+        assert!(report.unapplied.is_empty());
+        assert_eq!(e.pending_commands(), 1);
+        // Free capacity, retry: the drain resumes where it stopped.
+        assert_eq!(
+            e.post_shared(ReceivePattern::any_any(), RecvHandle(0))
+                .unwrap(),
+            PostResult::Matched(MsgHandle(0))
+        );
+        let retry = e.drain();
+        assert!(retry.error.is_none());
+        assert_eq!(retry.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn pipelined_drain_interleaves_with_racing_submitters() {
+        // Submissions racing with an in-flight drain must neither deadlock
+        // nor get lost: whatever the first drain's entry snapshot missed is
+        // picked up by a follow-up drain.
+        let e = OtmEngine::new(
+            MatchConfig::small()
+                .with_max_receives(4096)
+                .with_max_unexpected(4096),
+        )
+        .unwrap();
+        const PER_THREAD: u64 = 200;
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let e = &e;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        e.submit(Command::Arrival {
+                            env: env(t as u32, (i % 7) as u32),
+                            msg: MsgHandle(t * PER_THREAD + i),
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            let e = &e;
+            s.spawn(move || {
+                let mut applied = 0usize;
+                while applied < (2 * PER_THREAD) as usize {
+                    let report = e.drain();
+                    assert!(report.error.is_none(), "drain failed: {:?}", report.error);
+                    applied += report.outcomes.len();
+                }
+            });
+        });
+        assert_eq!(e.pending_commands(), 0);
+        assert_eq!(e.umq_len(), 2 * PER_THREAD as usize);
     }
 }

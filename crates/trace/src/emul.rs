@@ -427,6 +427,34 @@ impl mpi_matching::MatchingBackend for FourIndexMatcher {
         into.merge(Matcher::stats(self));
     }
 
+    fn drain_for_fallback(
+        self: Box<Self>,
+    ) -> Result<mpi_matching::FallbackState, MatchError> {
+        // Re-serialize the four PRQ structures into global post order by
+        // label; the UMQ order list is already in arrival order (skip the
+        // stale refs left by consumed messages).
+        let mut posted: Vec<PostedRecv> = self
+            .prq_no_wild
+            .iter()
+            .flatten()
+            .chain(self.prq_src_wild.iter().flatten())
+            .chain(self.prq_tag_wild.iter().flatten())
+            .chain(self.prq_both_wild.iter())
+            .copied()
+            .collect();
+        posted.sort_by_key(|r| r.label);
+        let receives = posted.into_iter().map(|r| (r.pattern, r.handle)).collect();
+        let unexpected = self
+            .umq_order
+            .iter()
+            .filter_map(|r| {
+                let e = &self.umq_slab[r.slot as usize];
+                (e.gen == r.gen && e.alive).then_some((e.env, e.handle))
+            })
+            .collect();
+        Ok(mpi_matching::FallbackState::from_state(receives, unexpected))
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

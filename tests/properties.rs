@@ -1,16 +1,19 @@
 //! Property-based tests (proptest): randomized workloads over every engine,
 //! asserting oracle equivalence and structural invariants.
 
+mod support;
+
 use mpi_matching::binned::BinnedMatcher;
 use mpi_matching::oracle::{MatchEvent, Oracle};
 use mpi_matching::rank_based::RankBasedMatcher;
 use mpi_matching::traditional::TraditionalMatcher;
-use mpi_matching::Matcher;
-use otm::{Command, CommandOutcome, OtmEngine};
+use mpi_matching::{Matcher, MatchingBackend};
+use otm::{Command, CommandOutcome, OtmEngine, SequentialOtm};
 use otm_base::envelope::{SourceSel, TagSel};
 use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
 use otm_trace::emul::FourIndexMatcher;
 use proptest::prelude::*;
+use support::{drain_then_fallback, fallback_oracle_config, fallback_with_queue};
 
 /// Strategy: one matching event over a small (rank, tag) space — small so
 /// wildcards and duplicates collide often.
@@ -238,6 +241,39 @@ proptest! {
             }
             prop_assert!(observed[c].is_consistent());
             prop_assert_eq!(&observed[c], &expect, "communicator {} diverged", c);
+        }
+    }
+
+    /// The loss-free fallback oracle: for every drainable backend, falling
+    /// back with commands still sitting in the submission queue is
+    /// equivalent to draining the queue first and falling back afterwards.
+    /// Both paths replay their [`FallbackState`] into a fresh software
+    /// matcher the way the service migrates (state first — which must not
+    /// match — then pending commands, which may); the resulting match
+    /// assignment and residual queues must be identical. Synchronous
+    /// backends take the same path with an empty pending tail, pinning the
+    /// snapshot-totality contract across the whole fleet.
+    #[test]
+    fn fallback_with_pending_queue_equals_drain_then_fallback(
+        events in prop::collection::vec(event_strategy(), 1..80),
+        cut_pct in 0usize..100,
+    ) {
+        let cut = events.len() * cut_pct / 100;
+        let factories: Vec<(&'static str, fn() -> Box<dyn MatchingBackend>)> = vec![
+            ("traditional", || Box::new(TraditionalMatcher::new())),
+            ("binned", || Box::new(BinnedMatcher::new(16))),
+            ("four-index", || Box::new(FourIndexMatcher::new(16))),
+            ("optimistic-seq", || {
+                Box::new(SequentialOtm::new(fallback_oracle_config()).unwrap())
+            }),
+            ("optimistic-dpa", || {
+                Box::new(OtmEngine::new(fallback_oracle_config()).unwrap())
+            }),
+        ];
+        for (name, make) in factories {
+            let queued = fallback_with_queue(make(), &events, cut);
+            let drained = drain_then_fallback(make(), &events, cut);
+            prop_assert_eq!(queued, drained, "{} diverged", name);
         }
     }
 

@@ -1,0 +1,232 @@
+//! Shared harness for the loss-free fallback oracle, used by both the
+//! proptest property (`tests/properties.rs`) and its seeded deterministic
+//! companion (`tests/fallback_total.rs`).
+//!
+//! The oracle: for every drainable backend, *falling back with commands
+//! still sitting in the submission queue* must be equivalent to *draining
+//! the queue first and falling back afterwards*. Both paths replay their
+//! [`FallbackState`] into a fresh software matcher exactly the way the
+//! service migrates — applied state first (which must not match), then the
+//! pending commands in submission order (which may) — and must end with the
+//! same match assignment and the same residual queues.
+
+#![allow(dead_code)]
+
+use mpi_matching::oracle::MatchEvent;
+use mpi_matching::traditional::TraditionalMatcher;
+use mpi_matching::{
+    ArriveResult, Assignment, FallbackState, Matcher, MatchingBackend, MsgHandle, PendingCommand,
+    PostResult, RecvHandle,
+};
+use otm::CommandOutcome;
+use otm_base::MatchConfig;
+
+/// An engine configuration for the fallback oracle: parallel blocks, tables
+/// big enough that the oracle never trips resource exhaustion.
+pub fn fallback_oracle_config() -> MatchConfig {
+    MatchConfig::default()
+        .with_block_threads(4)
+        .with_max_receives(1024)
+        .with_max_unexpected(1024)
+        .with_bins(16)
+}
+
+/// What a fallback path leaves behind: the match assignment accumulated
+/// across the run plus the replayed software matcher's residual queues.
+pub type FallbackOutcome = (Assignment, Vec<RecvHandle>, Vec<MsgHandle>);
+
+/// Applies one event synchronously through the backend trait, recording the
+/// outcome into `asg`.
+pub fn apply_event(
+    b: &mut dyn MatchingBackend,
+    ev: &MatchEvent,
+    next_recv: &mut u64,
+    next_msg: &mut u64,
+    asg: &mut Assignment,
+) {
+    match *ev {
+        MatchEvent::Post(pattern) => {
+            let handle = RecvHandle(*next_recv);
+            *next_recv += 1;
+            match b.post(pattern, handle).expect("tables sized for the run") {
+                PostResult::Matched(m) => {
+                    asg.recv_to_msg.insert(handle, Some(m));
+                    asg.msg_to_recv.insert(m, Some(handle));
+                }
+                PostResult::Posted => {
+                    asg.recv_to_msg.insert(handle, None);
+                }
+            }
+        }
+        MatchEvent::Arrive(env) => {
+            let msg = MsgHandle(*next_msg);
+            *next_msg += 1;
+            match b.arrive_block(&[(env, msg)]).expect("tables sized for the run")[0] {
+                otm::Delivery::Matched { recv, .. } => {
+                    asg.msg_to_recv.insert(msg, Some(recv));
+                    asg.recv_to_msg.insert(recv, Some(msg));
+                }
+                otm::Delivery::Unexpected { .. } => {
+                    asg.msg_to_recv.insert(msg, None);
+                }
+            }
+        }
+    }
+}
+
+/// Translates one event into the command it would be submitted as.
+pub fn to_command(ev: &MatchEvent, next_recv: &mut u64, next_msg: &mut u64) -> PendingCommand {
+    match *ev {
+        MatchEvent::Post(pattern) => {
+            let handle = RecvHandle(*next_recv);
+            *next_recv += 1;
+            PendingCommand::Post { pattern, handle }
+        }
+        MatchEvent::Arrive(env) => {
+            let msg = MsgHandle(*next_msg);
+            *next_msg += 1;
+            PendingCommand::Arrival { env, msg }
+        }
+    }
+}
+
+/// Records one drained command outcome into `asg`.
+pub fn record_outcome(cmd: &PendingCommand, outcome: &CommandOutcome, asg: &mut Assignment) {
+    match (*cmd, outcome) {
+        (PendingCommand::Post { handle, .. }, CommandOutcome::Post(PostResult::Matched(m))) => {
+            asg.recv_to_msg.insert(handle, Some(*m));
+            asg.msg_to_recv.insert(*m, Some(handle));
+        }
+        (PendingCommand::Post { handle, .. }, CommandOutcome::Post(PostResult::Posted)) => {
+            asg.recv_to_msg.insert(handle, None);
+        }
+        (PendingCommand::Arrival { msg, .. }, CommandOutcome::Delivery(d)) => match *d {
+            otm::Delivery::Matched { recv, .. } => {
+                asg.msg_to_recv.insert(msg, Some(recv));
+                asg.recv_to_msg.insert(recv, Some(msg));
+            }
+            otm::Delivery::Unexpected { .. } => {
+                asg.msg_to_recv.insert(msg, None);
+            }
+        },
+        _ => panic!("outcome kind does not match its command"),
+    }
+}
+
+/// Replays a fallback snapshot into a fresh software matcher exactly as the
+/// service migrates: unexpected messages and receives first (both must
+/// replay without matching — they were mutually checked when recorded),
+/// then the pending commands in submission order (which may legitimately
+/// match). Newly formed pairs land in `asg`.
+pub fn replay_snapshot(state: FallbackState, asg: &mut Assignment) -> TraditionalMatcher {
+    let mut m = TraditionalMatcher::new();
+    for (env, msg) in state.unexpected {
+        assert_eq!(
+            Matcher::arrive(&mut m, env, msg).expect("software matcher is unbounded"),
+            ArriveResult::Unexpected,
+            "drained message {msg:?} matched during state replay"
+        );
+    }
+    for (pattern, recv) in state.receives {
+        assert_eq!(
+            Matcher::post(&mut m, pattern, recv).expect("software matcher is unbounded"),
+            PostResult::Posted,
+            "drained receive {recv:?} matched during state replay"
+        );
+    }
+    for cmd in state.pending {
+        match cmd {
+            PendingCommand::Post { pattern, handle } => {
+                match Matcher::post(&mut m, pattern, handle).expect("unbounded") {
+                    PostResult::Matched(msg) => {
+                        asg.recv_to_msg.insert(handle, Some(msg));
+                        asg.msg_to_recv.insert(msg, Some(handle));
+                    }
+                    PostResult::Posted => {
+                        asg.recv_to_msg.insert(handle, None);
+                    }
+                }
+            }
+            PendingCommand::Arrival { env, msg } => {
+                match Matcher::arrive(&mut m, env, msg).expect("unbounded") {
+                    ArriveResult::Matched(recv) => {
+                        asg.msg_to_recv.insert(msg, Some(recv));
+                        asg.recv_to_msg.insert(recv, Some(msg));
+                    }
+                    ArriveResult::Unexpected => {
+                        asg.msg_to_recv.insert(msg, None);
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Path A of the fallback oracle: apply the prefix, leave the suffix in the
+/// submission queue (queue-capable backends) or apply it synchronously,
+/// then fall back directly — the snapshot must carry the queue.
+pub fn fallback_with_queue(
+    mut b: Box<dyn MatchingBackend>,
+    events: &[MatchEvent],
+    cut: usize,
+) -> FallbackOutcome {
+    let mut asg = Assignment::default();
+    let (mut next_recv, mut next_msg) = (0u64, 0u64);
+    for ev in &events[..cut] {
+        apply_event(b.as_mut(), ev, &mut next_recv, &mut next_msg, &mut asg);
+    }
+    let queued = b.supports_command_queue();
+    for ev in &events[cut..] {
+        if queued {
+            let cmd = to_command(ev, &mut next_recv, &mut next_msg);
+            b.submit_command(cmd).expect("engine running");
+        } else {
+            apply_event(b.as_mut(), ev, &mut next_recv, &mut next_msg, &mut asg);
+        }
+    }
+    let state = b.drain_for_fallback().expect("drainable backend");
+    let m = replay_snapshot(state, &mut asg);
+    (asg, m.pending_receives(), m.waiting_messages())
+}
+
+/// Path B of the fallback oracle: same prefix and suffix, but the queue is
+/// drained (outcomes applied) before the fallback — the snapshot's pending
+/// tail must then be empty.
+pub fn drain_then_fallback(
+    mut b: Box<dyn MatchingBackend>,
+    events: &[MatchEvent],
+    cut: usize,
+) -> FallbackOutcome {
+    let mut asg = Assignment::default();
+    let (mut next_recv, mut next_msg) = (0u64, 0u64);
+    for ev in &events[..cut] {
+        apply_event(b.as_mut(), ev, &mut next_recv, &mut next_msg, &mut asg);
+    }
+    if b.supports_command_queue() {
+        let mut cmds = Vec::new();
+        for ev in &events[cut..] {
+            let cmd = to_command(ev, &mut next_recv, &mut next_msg);
+            b.submit_command(cmd).expect("engine running");
+            cmds.push(cmd);
+        }
+        let report = b.drain_commands();
+        assert!(report.error.is_none(), "drain failed: {:?}", report.error);
+        assert!(report.unapplied.is_empty());
+        assert_eq!(report.outcomes.len(), cmds.len());
+        for (cmd, outcome) in cmds.iter().zip(&report.outcomes) {
+            record_outcome(cmd, outcome, &mut asg);
+        }
+    } else {
+        for ev in &events[cut..] {
+            apply_event(b.as_mut(), ev, &mut next_recv, &mut next_msg, &mut asg);
+        }
+    }
+    let state = b.drain_for_fallback().expect("drainable backend");
+    assert!(
+        state.pending.is_empty(),
+        "a drained backend has no pending commands left"
+    );
+    let m = replay_snapshot(state, &mut asg);
+    (asg, m.pending_receives(), m.waiting_messages())
+}
