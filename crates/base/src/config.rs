@@ -13,6 +13,26 @@ use serde::{Deserialize, Serialize};
 /// Bounded by the width of the booking bitmap (one bit per thread).
 pub const MAX_BLOCK_THREADS: usize = 64;
 
+/// How the drain coordinator packs queued arrivals into optimistic blocks.
+///
+/// MPI only constrains matching order *within* a communicator, so commands on
+/// different communicators may be reordered freely without changing any
+/// observable match outcome. The packing policy decides whether the drain
+/// exploits that freedom (§IV-E execution-group scheduling).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackingPolicy {
+    /// Pack only *consecutive* arrivals from the global submission order.
+    /// Any interleaved post — or an arrival on another communicator followed
+    /// by a post — cuts the block short, degrading mixed traffic toward
+    /// one-message blocks.
+    Consecutive,
+    /// Reorder across communicators: assemble blocks from the FIFO heads of
+    /// per-communicator lanes, hoisting posts ahead of other communicators'
+    /// arrivals. Per-communicator order is still strictly preserved.
+    #[default]
+    CrossComm,
+}
+
 /// Tunable parameters of the optimistic matching engine and of the bin-based
 /// baseline matcher.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +60,10 @@ pub struct MatchConfig {
     /// Enable lazy removal of consumed receives from bin chains (§IV-D).
     /// When disabled, the consuming thread eagerly unlinks under the bin lock.
     pub lazy_removal: bool,
+    /// How the command-queue drain packs arrivals into blocks (defaults to
+    /// cross-communicator reordering; see [`PackingPolicy`]).
+    #[serde(default)]
+    pub packing: PackingPolicy,
 }
 
 impl Default for MatchConfig {
@@ -55,6 +79,7 @@ impl Default for MatchConfig {
             fast_path: true,
             early_booking_check: false,
             lazy_removal: true,
+            packing: PackingPolicy::CrossComm,
         }
     }
 }
@@ -121,6 +146,13 @@ impl MatchConfig {
         self
     }
 
+    /// Selects the drain's block-packing policy.
+    #[must_use]
+    pub fn with_packing(mut self, packing: PackingPolicy) -> Self {
+        self.packing = packing;
+        self
+    }
+
     /// Validates the configuration, returning a descriptive error for any
     /// parameter outside its legal range.
     pub fn validate(&self) -> Result<(), MatchError> {
@@ -175,7 +207,8 @@ mod tests {
             .with_block_threads(8)
             .with_fast_path(false)
             .with_early_booking_check(true)
-            .with_lazy_removal(false);
+            .with_lazy_removal(false)
+            .with_packing(PackingPolicy::Consecutive);
         assert_eq!(c.bins, 64);
         assert_eq!(c.max_receives, 128);
         assert_eq!(c.max_unexpected, 256);
@@ -183,7 +216,18 @@ mod tests {
         assert!(!c.fast_path);
         assert!(c.early_booking_check);
         assert!(!c.lazy_removal);
+        assert_eq!(c.packing, PackingPolicy::Consecutive);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn packing_defaults_to_cross_comm() {
+        // `#[serde(default)]` on the field makes configs serialized before
+        // the field existed load with this same default, so the enum default
+        // and the struct default must agree.
+        assert_eq!(PackingPolicy::default(), PackingPolicy::CrossComm);
+        assert_eq!(MatchConfig::default().packing, PackingPolicy::CrossComm);
+        assert_eq!(MatchConfig::small().packing, PackingPolicy::CrossComm);
     }
 
     #[test]

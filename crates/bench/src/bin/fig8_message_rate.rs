@@ -24,10 +24,22 @@
 //! drain, and the eager protocol copy all on the measured path. The report
 //! carries aggregate and per-shard throughput.
 //!
+//! An eighth section compares the drain's block-packing policies under
+//! *mixed* traffic: sender threads interleave posts into each
+//! communicator's arrival stream (`--post-mix` percent posts, default 30),
+//! and the same workload is drained once per policy (`--packing` restricts
+//! to one). Under the consecutive policy every interleaved post cuts the
+//! arrival block short; the cross-communicator scheduler hoists posts and
+//! refills blocks from the other lanes' FIFO heads, so blocks stay full.
+//! The rows report blocks executed and mean block occupancy next to
+//! throughput, and the same numbers land in a dependency-free
+//! `fig8_mixed.json` artifact.
+//!
 //! Run with: `cargo run --release -p otm-bench --bin fig8_message_rate`
 //! (`--quick` shrinks the repeat count for smoke testing; `--messages N`
 //! budgets ~N messages per series; `--repeats N` sets the count directly;
-//! `--shards N` / `--threads N` size the sharded section; `--out PATH`
+//! `--shards N` / `--threads N` size the sharded section; `--packing P` /
+//! `--post-mix PCT` steer the mixed-traffic comparison; `--out PATH`
 //! redirects the JSON report).
 //!
 //! The JSON report is a [`BenchReport`] whose `observability` object maps
@@ -39,9 +51,12 @@ use dpa_sim::bounce::BouncePool;
 use dpa_sim::nic::RecvNic;
 use dpa_sim::rdma::{connected_pair, eager_packet, QueuePair, RdmaDomain};
 use dpa_sim::{MatchMode, MatchingService, PingPongConfig, PingPongResult, Scenario};
-use otm::OtmEngine;
-use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
-use otm_bench::{header, observability_value, write_report, BenchReport, CommonArgs};
+use mpi_matching::{MsgHandle, RecvHandle};
+use otm::{Command, OtmEngine};
+use otm_base::{CommId, Envelope, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag};
+use otm_bench::{
+    experiments_dir, header, observability_value, write_report, BenchReport, CommonArgs,
+};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -54,6 +69,8 @@ struct Fig8Results {
     series: Vec<PingPongResult>,
     /// Throughput of concurrent posting through the sharded engine.
     sharded: ShardedReport,
+    /// The mixed-traffic packing-policy comparison (one row per policy).
+    mixed: Vec<MixedRow>,
 }
 
 /// Aggregate + per-shard throughput of the concurrent command-queue run:
@@ -92,6 +109,58 @@ struct ShardRow {
     delivered: u64,
     /// Wire throughput seen by the shard's sender thread.
     posts_per_sec: f64,
+}
+
+/// One packing policy's run of the mixed-traffic drain comparison: the same
+/// interleaved post/arrival workload, drained under `packing`.
+#[derive(Debug, Clone, Serialize)]
+struct MixedRow {
+    /// The drain packing policy (`consecutive` or `cross-comm`).
+    packing: String,
+    /// Percentage of posts interleaved into each communicator's stream.
+    post_mix_pct: u32,
+    /// Number of communicator lanes fed concurrently.
+    shards: usize,
+    /// Number of submitter threads feeding them.
+    threads: usize,
+    /// Arrival commands drained (every one produces a delivery).
+    messages: u64,
+    /// Post commands drained.
+    posts: u64,
+    /// Wall-clock for the whole run (submission + drain overlap).
+    elapsed_secs: f64,
+    /// Deliveries per second over the wall-clock above.
+    msgs_per_sec: f64,
+    /// Parallel matching blocks the drain executed.
+    blocks_executed: u64,
+    /// Mean arrivals per block (`messages / blocks_executed`) — the number
+    /// the packing policy exists to maximize.
+    mean_block_occupancy: f64,
+}
+
+impl MixedRow {
+    /// Serializes the row by hand so the artifact stays dependency-free
+    /// (mirrors `otm-metrics`' zero-dependency JSON exposition).
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"packing\":\"{}\",\"post_mix_pct\":{},\"shards\":{},",
+                "\"threads\":{},\"messages\":{},\"posts\":{},",
+                "\"elapsed_secs\":{:.6},\"msgs_per_sec\":{:.1},",
+                "\"blocks_executed\":{},\"mean_block_occupancy\":{:.3}}}"
+            ),
+            self.packing,
+            self.post_mix_pct,
+            self.shards,
+            self.threads,
+            self.messages,
+            self.posts,
+            self.elapsed_secs,
+            self.msgs_per_sec,
+            self.blocks_executed,
+            self.mean_block_occupancy,
+        )
+    }
 }
 
 fn main() {
@@ -170,7 +239,175 @@ fn main() {
     }
 
     let sharded = run_sharded(&args, k * repeats);
-    finish(&args, quick, results, sharded, observability);
+    let mixed = run_mixed(&args, k * repeats, &mut observability);
+    finish(&args, quick, results, sharded, mixed, observability);
+}
+
+/// True when command `i` of a lane's stream is a post under a `pct`-percent
+/// mix: posts are spread uniformly through the stream (Bresenham-style), so
+/// under the consecutive policy every post cuts an arrival run short.
+fn is_post(i: usize, pct: u32) -> bool {
+    let (i, pct) = (i as u64, pct as u64);
+    (i + 1) * pct / 100 > i * pct / 100
+}
+
+/// Drives the drain's packing-policy comparison: `--threads` submitter
+/// threads interleave posts into `--shards` communicators' arrival streams
+/// (`--post-mix` percent posts each, spread uniformly) while the main
+/// thread drains — submission pipelines against block execution, exactly
+/// the engine-level path under the sharded service run above. The same
+/// deterministic workload is replayed once per packing policy so the only
+/// variable is how the drain packs blocks.
+fn run_mixed(
+    args: &CommonArgs,
+    budget: usize,
+    observability: &mut BTreeMap<String, serde_json::Value>,
+) -> Vec<(MixedRow, String)> {
+    let shards = args.shards.unwrap_or(4).max(1);
+    let threads = args.threads.unwrap_or(shards).clamp(1, shards);
+    let post_mix = args.post_mix.unwrap_or(30).min(90);
+    let per_lane = (budget / shards).max(1);
+    let total = per_lane * shards;
+    let posts_per_lane = (0..per_lane).filter(|&i| is_post(i, post_mix)).count();
+    let arrivals_per_lane = per_lane - posts_per_lane;
+
+    let policies: Vec<(PackingPolicy, &str)> = match args.packing.as_deref() {
+        Some("consecutive") => vec![(PackingPolicy::Consecutive, "consecutive")],
+        Some("cross-comm") => vec![(PackingPolicy::CrossComm, "cross-comm")],
+        _ => vec![
+            (PackingPolicy::Consecutive, "consecutive"),
+            (PackingPolicy::CrossComm, "cross-comm"),
+        ],
+    };
+
+    println!(
+        "\nMixed-traffic packing: {shards} lanes x {per_lane} cmds, {post_mix}% posts, \
+         {threads} submitter threads"
+    );
+
+    let mut rows = Vec::new();
+    for (policy, name) in policies {
+        let config = MatchConfig::default()
+            .with_packing(policy)
+            .with_max_receives((posts_per_lane * shards).max(1))
+            .with_max_unexpected((arrivals_per_lane * shards).max(1))
+            .with_bins((2 * total).next_power_of_two());
+        let engine = OtmEngine::new(config).expect("mixed bench configuration");
+
+        let mut drained = 0usize;
+        let mut error: Option<String> = None;
+        let barrier = std::sync::Barrier::new(threads + 1);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let engine = &engine;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for lane in (t..shards).step_by(threads) {
+                        let comm = CommId(lane as u16 + 1);
+                        let base = (lane * per_lane) as u64;
+                        let (mut next_recv, mut next_arr) = (0u64, 0u64);
+                        for i in 0..per_lane {
+                            // Unique tags pair post j with arrival j, so
+                            // every command applies whichever side lands
+                            // first (PRQ hit or UMQ hit) and the tables
+                            // sized above never overflow.
+                            let cmd = if is_post(i, post_mix) {
+                                let handle = RecvHandle(base + next_recv);
+                                let tag = Tag(next_recv as u32);
+                                next_recv += 1;
+                                Command::Post {
+                                    pattern: ReceivePattern::new(Rank(0), tag, comm),
+                                    handle,
+                                }
+                            } else {
+                                let msg = MsgHandle(base + next_arr);
+                                let tag = Tag(next_arr as u32);
+                                next_arr += 1;
+                                Command::Arrival {
+                                    env: Envelope::new(Rank(0), tag, comm),
+                                    msg,
+                                }
+                            };
+                            engine.submit(cmd).expect("engine running");
+                            // Submission is orders of magnitude cheaper than
+                            // matching, so on few-core hosts an unyielding
+                            // submitter timeslice would enqueue its whole
+                            // lane as one segment; yielding between short
+                            // bursts interleaves the lanes' streams the way
+                            // concurrent wire traffic would.
+                            if i % 8 == 7 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+            // Drain concurrently with the submitters until every command
+            // has been applied.
+            barrier.wait();
+            while drained < total && error.is_none() {
+                let report = engine.drain();
+                if let Some(e) = report.error {
+                    error = Some(e.to_string());
+                    break;
+                }
+                if report.outcomes.is_empty() {
+                    std::thread::yield_now();
+                }
+                drained += report.outcomes.len();
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+
+        let stats = engine.stats();
+        let messages = (arrivals_per_lane * shards) as u64;
+        let row = MixedRow {
+            packing: name.to_string(),
+            post_mix_pct: post_mix,
+            shards,
+            threads,
+            messages,
+            posts: (posts_per_lane * shards) as u64,
+            elapsed_secs: elapsed,
+            msgs_per_sec: messages as f64 / elapsed.max(f64::EPSILON),
+            blocks_executed: stats.blocks,
+            mean_block_occupancy: stats.messages as f64 / (stats.blocks as f64).max(1.0),
+        };
+        println!(
+            "  {:<12} {:>12.0} msgs/s   blocks {:>8}   mean occupancy {:>6.2}",
+            row.packing, row.msgs_per_sec, row.blocks_executed, row.mean_block_occupancy
+        );
+        if let Some(e) = error {
+            println!("  WARNING: {name} drain stopped early: {e}");
+        }
+        let snapshot_json = engine.metrics_snapshot().to_json();
+        if let Some(v) = observability_value(Some(&snapshot_json)) {
+            observability.insert(format!("mixed {name}"), v);
+        }
+        rows.push((row, snapshot_json));
+    }
+    rows
+}
+
+/// Writes the mixed-traffic comparison to `fig8_mixed.json` next to the
+/// main artifact, serialized by hand (no serde_json on this path) with the
+/// engines' registry-snapshot JSON embedded verbatim.
+fn write_mixed_artifact(rows: &[(MixedRow, String)]) -> std::path::PathBuf {
+    let row_objs: Vec<String> = rows.iter().map(|(row, _)| row.to_json()).collect();
+    let snapshots: Vec<String> = rows
+        .iter()
+        .map(|(row, snap)| format!("\"{}\":{}", row.packing, snap))
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"fig8_mixed\",\"rows\":[{}],\"observability\":{{{}}}}}\n",
+        row_objs.join(","),
+        snapshots.join(",")
+    );
+    let path = experiments_dir().join("fig8_mixed.json");
+    std::fs::write(&path, json).expect("write mixed-traffic artifact");
+    path
 }
 
 /// Drives the full receive path from multiple sender threads: shard `i` is
@@ -352,11 +589,14 @@ fn finish(
     quick: bool,
     results: Vec<PingPongResult>,
     sharded: ShardedReport,
+    mixed: Vec<(MixedRow, String)>,
     observability: BTreeMap<String, serde_json::Value>,
 ) {
+    let mixed_path = write_mixed_artifact(&mixed);
     let results = Fig8Results {
         series: results,
         sharded,
+        mixed: mixed.into_iter().map(|(row, _)| row).collect(),
     };
     // Shape checks mirrored from the paper's discussion of Fig. 8.
     let rate = |label: &str| {
@@ -385,6 +625,19 @@ fn finish(
         "shape: sharded drain delivered every message: {}",
         results.sharded.error.is_none() && results.sharded.messages == submitted
     );
+    let occupancy = |name: &str| {
+        results
+            .mixed
+            .iter()
+            .find(|r| r.packing == name)
+            .map(|r| r.mean_block_occupancy)
+    };
+    if let (Some(consec), Some(cross)) = (occupancy("consecutive"), occupancy("cross-comm")) {
+        println!(
+            "shape: cross-comm packing refills blocks posts cut short: {}",
+            cross >= 2.0 * consec
+        );
+    }
 
     let report = BenchReport::with_observability(
         "fig8_message_rate",
@@ -398,4 +651,5 @@ fn finish(
     );
     let path = write_report(args, &report);
     println!("\nJSON artifact: {}", path.display());
+    println!("mixed-traffic artifact: {}", mixed_path.display());
 }

@@ -44,6 +44,12 @@ pub struct CommonArgs {
     /// `--threads N`: poster threads feeding the shards; defaults to one
     /// thread per shard.
     pub threads: Option<usize>,
+    /// `--packing {consecutive,cross-comm}`: restrict the fig8 mixed-traffic
+    /// comparison to one drain packing policy (default: run both).
+    pub packing: Option<String>,
+    /// `--post-mix PCT`: percentage of posts interleaved into the mixed
+    /// command stream (fig8; default 30).
+    pub post_mix: Option<u32>,
 }
 
 impl CommonArgs {
@@ -66,6 +72,8 @@ impl CommonArgs {
                 "--out" => args.out = it.next().map(PathBuf::from),
                 "--shards" => args.shards = it.next().and_then(|v| v.parse().ok()),
                 "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()),
+                "--packing" => args.packing = it.next(),
+                "--post-mix" => args.post_mix = it.next().and_then(|v| v.parse().ok()),
                 _ => {}
             }
         }
@@ -239,6 +247,22 @@ mod tests {
         assert_eq!(args.threads, Some(4));
         let bad = CommonArgs::from_iter(["--shards", "zero"].into_iter().map(String::from));
         assert_eq!(bad.shards, None);
+    }
+
+    #[test]
+    fn common_args_parse_packing_and_post_mix() {
+        let args = CommonArgs::from_iter(
+            ["--packing", "cross-comm", "--post-mix", "30"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.packing.as_deref(), Some("cross-comm"));
+        assert_eq!(args.post_mix, Some(30));
+        let default = CommonArgs::from_iter(std::iter::empty());
+        assert_eq!(default.packing, None);
+        assert_eq!(default.post_mix, None);
+        let bad = CommonArgs::from_iter(["--post-mix", "lots"].into_iter().map(String::from));
+        assert_eq!(bad.post_mix, None);
     }
 
     #[test]

@@ -338,6 +338,29 @@ impl MatchingService {
         Ok(handle)
     }
 
+    /// Posts a receive through the backend's command queue (§IV-E's
+    /// asynchronous post command path): the post is enqueued and takes
+    /// effect — possibly completing against a waiting unexpected message —
+    /// at the next [`MatchingService::progress`] drain. Falls back to the
+    /// synchronous [`MatchingService::post_recv`] when the command queue is
+    /// not enabled or the backend has none, so callers can use this
+    /// unconditionally.
+    ///
+    /// Queued posts interleave with queued arrivals in one submission
+    /// stream, which is what lets the drain's packing scheduler reorder
+    /// across communicators under mixed traffic.
+    pub fn post_recv_queued(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
+        if !(self.use_queue && self.backend.supports_command_queue()) {
+            return self.post_recv(pattern);
+        }
+        let handle = RecvHandle(self.next_recv);
+        self.next_recv += 1;
+        self.backend
+            .submit_command(PendingCommand::Post { pattern, handle })
+            .map_err(ServiceError::Match)?;
+        Ok(handle)
+    }
+
     /// Migrates all matching state from the offloaded backend to a host
     /// software matcher (§III-B/§IV-E fallback), in two phases:
     ///
@@ -531,13 +554,33 @@ impl MatchingService {
 
     /// Applies one drained command outcome: matched arrivals complete
     /// through the protocol with their staged payload, unexpected arrivals
-    /// move from the in-flight stash into the unexpected store.
+    /// move from the in-flight stash into the unexpected store, and a
+    /// queued post that matched completes against the waiting message's
+    /// payload.
     fn apply_queue_outcome(&mut self, outcome: CommandOutcome) -> Result<(), ServiceError> {
         match outcome {
-            // The service submits only arrivals (posts keep their
-            // synchronous contract), but a backend is free to report post
-            // outcomes — they need no payload handling.
-            CommandOutcome::Post(_) => Ok(()),
+            CommandOutcome::Post {
+                result: PostResult::Posted,
+                ..
+            } => Ok(()),
+            CommandOutcome::Post {
+                handle,
+                result: PostResult::Matched(msg),
+            } => {
+                // A queued post matched a message already waiting in the
+                // engine's UMQ. Its payload sits in the unexpected store —
+                // outcomes apply in submission order, so the matching
+                // arrival's own outcome (which staged the payload there)
+                // has already been applied.
+                let stored = self
+                    .unexpected
+                    .remove(&msg)
+                    .or_else(|| self.inflight.remove(&msg))
+                    .expect("matched message has a stored payload");
+                let done = self.run_protocol_from_store(handle, stored)?;
+                self.completed.push(done);
+                Ok(())
+            }
             CommandOutcome::Delivery(Delivery::Matched { msg, recv }) => {
                 let stored = self
                     .inflight
@@ -1182,6 +1225,52 @@ mod tests {
         let done = svc.take_completed();
         assert_eq!(done[0].recv, late);
         assert_eq!(done[0].data, vec![77]);
+    }
+
+    #[test]
+    fn queued_posts_complete_against_waiting_and_future_messages() {
+        // Posts submitted through the command queue interleave with queued
+        // arrivals in one submission stream and complete at drain time —
+        // both when the message is already waiting in the device store and
+        // when it arrives afterwards.
+        let (tx, _domain, mut svc) = setup("otm");
+        svc.enable_command_queue().unwrap();
+
+        // Message first: arrival drains to the store, then the queued post
+        // matches it on the next drain.
+        tx.send(eager_packet(env(0, 1), vec![11])).unwrap();
+        assert_eq!(svc.progress().unwrap(), 0);
+        assert_eq!(svc.unexpected_len(), 1);
+        let first = svc
+            .post_recv_queued(ReceivePattern::exact(Rank(0), Tag(1)))
+            .unwrap();
+        assert_eq!(svc.progress().unwrap(), 1);
+        let done = svc.take_completed();
+        assert_eq!(done[0].recv, first);
+        assert_eq!(done[0].data, vec![11]);
+
+        // Post first: the queued post applies in the same drain as the
+        // arrival behind it.
+        let second = svc
+            .post_recv_queued(ReceivePattern::any_source(Tag(2)))
+            .unwrap();
+        tx.send(eager_packet(env(3, 2), vec![22])).unwrap();
+        assert_eq!(svc.progress().unwrap(), 1);
+        let done = svc.take_completed();
+        assert_eq!(done[0].recv, second);
+        assert_eq!(done[0].data, vec![22]);
+
+        // Without the queue enabled the call degrades to the synchronous
+        // path and still works.
+        let (tx2, _d2, mut sync_svc) = setup("otm");
+        tx2.send(eager_packet(env(4, 4), vec![44])).unwrap();
+        sync_svc.progress().unwrap();
+        let h = sync_svc
+            .post_recv_queued(ReceivePattern::exact(Rank(4), Tag(4)))
+            .unwrap();
+        let done = sync_svc.take_completed();
+        assert_eq!(done[0].recv, h);
+        assert_eq!(done[0].data, vec![44]);
     }
 
     #[test]

@@ -82,8 +82,17 @@ pub enum PendingCommand {
 /// The result of applying one [`PendingCommand`], in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommandOutcome {
-    /// Outcome of a [`PendingCommand::Post`].
-    Post(PostResult),
+    /// Outcome of a [`PendingCommand::Post`]. Carries the submitted receive
+    /// handle so callers can attribute the result without replaying the
+    /// submission order — under cross-communicator packing the applied set
+    /// is not necessarily a prefix of the submitted sequence when a drain
+    /// stops early.
+    Post {
+        /// The handle the receive was submitted under.
+        handle: RecvHandle,
+        /// What posting it did (matched immediately or parked in the PRQ).
+        result: PostResult,
+    },
     /// Outcome of a [`PendingCommand::Arrival`].
     Delivery(BlockDelivery),
 }

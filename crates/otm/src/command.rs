@@ -6,16 +6,19 @@
 //! queue on the host side — a `&self` (interior-mutability) FIFO that any
 //! number of threads can [`CommandQueue::submit`] into concurrently, with
 //! [`crate::OtmEngine::drain`] playing the coordinator: it pops commands
-//! in bounded chunks, applies posts through the per-communicator shards,
-//! and packs consecutive arrivals into parallel matching blocks. Between
-//! chunks the queue lock is free, so submissions pipeline against block
-//! execution (the paper's CQ pipelining, §IV-E).
+//! in bounded chunks, stages them in a [`crate::scheduler::PackingScheduler`],
+//! applies posts through the per-communicator shards, and assembles arrivals
+//! into parallel matching blocks. Between chunks the queue lock is free, so
+//! submissions pipeline against block execution (the paper's CQ pipelining,
+//! §IV-E).
 //!
 //! Because the queue is a strict FIFO and drains are serialized, the
 //! engine's matching outcome over the drained commands is the same
 //! deterministic function of submission order that a fully serialized
-//! engine computes — MPI matching depends only on per-communicator post
-//! order and global arrival order, both of which the queue preserves.
+//! engine computes — MPI matching depends only on *per-communicator*
+//! command order, which the queue preserves and which the scheduler never
+//! violates even when its cross-communicator policy reorders commands from
+//! different communicators to fill blocks (§IV-E execution groups).
 //!
 //! The command vocabulary ([`Command`], [`CommandOutcome`], [`DrainReport`])
 //! lives in `mpi_matching::backend` so every

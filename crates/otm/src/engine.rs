@@ -18,10 +18,13 @@
 //!   shards the block touches.
 //! * **The command queue.** Any thread may [`OtmEngine::submit`] post and
 //!   arrival commands into the engine's FIFO [`CommandQueue`]; a drainer
-//!   thread calls [`OtmEngine::drain`] to apply them in submission order,
-//!   packing consecutive arrivals into parallel blocks. Because the queue
-//!   preserves per-communicator post order and global arrival order, the
-//!   resulting match set is identical to a fully serialized engine's.
+//!   thread calls [`OtmEngine::drain`] to apply them, staging a bounded
+//!   window in a packing scheduler that assembles arrivals into parallel
+//!   blocks — by default reordering across communicators to keep blocks
+//!   full under mixed post/arrival traffic. Because matching outcomes
+//!   depend only on per-communicator command order, which the scheduler
+//!   strictly preserves, the per-communicator match set is identical to a
+//!   fully serialized engine's.
 //!
 //! The historical `&mut self` methods ([`OtmEngine::post`],
 //! [`OtmEngine::process_block`]) remain as thin compatibility wrappers over
@@ -30,6 +33,7 @@
 use crate::block::{BlockShared, LaneData};
 use crate::command::{Command, CommandOutcome, CommandQueue, DrainReport};
 use crate::metrics::{trace_event, EngineMetrics};
+use crate::scheduler::{PackingScheduler, PackingStep};
 use crate::shard::{CommShard, ShardMap};
 use crate::stats::{OtmStats, StatsSnapshot};
 use crate::table::{DescId, Payload};
@@ -275,11 +279,18 @@ impl OtmEngine {
         self.queue.len()
     }
 
-    /// Drains the command queue, applying every command in submission order
-    /// — the coordinator half of the QP command path. Consecutive arrival
-    /// commands are packed into blocks of up to `block_threads` messages
-    /// and matched in parallel; posts flush any pending arrivals first, so
-    /// submission order is exactly preserved.
+    /// Drains the command queue — the coordinator half of the QP command
+    /// path. Commands are staged into a [`PackingScheduler`] window and
+    /// carved into steps: single posts, and arrival blocks of up to
+    /// `block_threads` messages matched in parallel. Under the default
+    /// [`PackingPolicy::CrossComm`](otm_base::PackingPolicy) policy blocks
+    /// are assembled *across* communicators (§IV-E execution-group
+    /// scheduling): posts at lane heads are hoisted ahead of other
+    /// communicators' arrivals and the arrival runs of every lane are fused,
+    /// so mixed post/arrival traffic still fills blocks. Per-communicator
+    /// command order — the only order MPI matching can observe — is strictly
+    /// preserved; [`PackingPolicy::Consecutive`](otm_base::PackingPolicy)
+    /// restores the old strict-FIFO packing for A/B comparison.
     ///
     /// The drain is *pipelined* (the paper's CQ pipelining, §IV-E): it pops
     /// commands in bounded chunks and takes the queue and coordinator locks
@@ -291,10 +302,11 @@ impl OtmEngine {
     /// next drain, so a busy submitter cannot pin the coordinator forever.
     ///
     /// On an error the drain stops: outcomes of the commands already
-    /// applied are returned in the report together with the error. What
-    /// happens to the failing command and everything behind it depends on
-    /// the error class (see [`DrainReport::error`]): *retryable* resource
-    /// exhaustion requeues them at the front of the queue (ahead of racing
+    /// applied are returned in the report (in submission order) together
+    /// with the error. What happens to the failing command and everything
+    /// unapplied behind it depends on the error class (see
+    /// [`DrainReport::error`]): *retryable* resource exhaustion requeues
+    /// them at the front of the queue in submission order (ahead of racing
     /// submissions) so a retry resumes exactly where this drain stopped;
     /// a *terminal* error (the engine is stopped or poisoned, a command is
     /// invalid) surfaces them in [`DrainReport::unapplied`] instead, so a
@@ -303,93 +315,100 @@ impl OtmEngine {
         let _gate = self.drain_gate.lock();
         // Chunk size: a few blocks' worth of commands per pop keeps the
         // queue-lock hold times short without paying the lock once per
-        // command.
+        // command. The staging window is a couple of chunks deep — enough
+        // lookahead to fuse arrival runs across lanes without hoarding
+        // commands that a racing fallback drain would have to wait for.
         let chunk = self.config.block_threads.saturating_mul(4).max(16);
+        let window = self.config.block_threads.saturating_mul(8).max(32);
         // Bound the drain to what was queued at entry (racing submissions
         // land behind this count and belong to the next drain).
         let mut remaining = self.queue.len();
-        let mut outcomes = Vec::with_capacity(remaining);
-        let mut batch: Vec<(Envelope, MsgHandle)> = Vec::new();
-        while remaining > 0 {
-            let mut cmds = self.queue.take_chunk(chunk.min(remaining));
-            if cmds.is_empty() {
-                // A concurrent drain_for_fallback emptied the queue.
-                break;
+        let mut sched = PackingScheduler::new(self.config.packing, self.config.block_threads);
+        let mut outcomes: Vec<(u64, CommandOutcome)> = Vec::with_capacity(remaining);
+        loop {
+            // Refill the window before every step so blocks are assembled
+            // from the fullest lanes we are entitled to see.
+            while remaining > 0 && sched.staged() < window {
+                let take = chunk.min(remaining).min(window - sched.staged());
+                let cmds = self.queue.take_chunk(take);
+                if cmds.is_empty() {
+                    // A concurrent drain_for_fallback emptied the queue.
+                    remaining = 0;
+                    break;
+                }
+                remaining -= cmds.len();
+                sched.admit(cmds);
             }
-            remaining -= cmds.len();
-            while let Some(cmd) = cmds.pop_front() {
-                match cmd {
-                    Command::Arrival { env, msg } => {
-                        batch.push((env, msg));
-                        if batch.len() == self.config.block_threads {
-                            if let Err(e) = self.flush_batch(&mut batch, &mut outcomes) {
-                                return self.fail_drain(e, batch, cmds, outcomes);
-                            }
-                        }
+            for (comm, depth) in sched.lane_depths() {
+                self.metrics.record_lane_depth(comm.0, depth as u64);
+            }
+            let Some(step) = sched.next_step() else { break };
+            match step {
+                PackingStep::Post {
+                    idx,
+                    pattern,
+                    handle,
+                } => match self.post_shared(pattern, handle) {
+                    Ok(result) => outcomes.push((idx, CommandOutcome::Post { handle, result })),
+                    Err(e) => {
+                        let failed = vec![(idx, Command::Post { pattern, handle })];
+                        return self.fail_drain(e, failed, sched, outcomes);
                     }
-                    Command::Post { pattern, handle } => {
-                        if let Err(e) = self.flush_batch(&mut batch, &mut outcomes) {
-                            cmds.push_front(cmd);
-                            return self.fail_drain(e, batch, cmds, outcomes);
-                        }
-                        match self.post_shared(pattern, handle) {
-                            Ok(r) => outcomes.push(CommandOutcome::Post(r)),
-                            Err(e) => {
-                                cmds.push_front(cmd);
-                                return self.fail_drain(e, batch, cmds, outcomes);
-                            }
+                },
+                PackingStep::Block { msgs } => {
+                    let block: Vec<(Envelope, MsgHandle)> =
+                        msgs.iter().map(|&(_, env, msg)| (env, msg)).collect();
+                    let result = {
+                        let mut coord = self.coord.lock();
+                        self.process_block_locked(&mut coord, &block)
+                    };
+                    match result {
+                        Ok(deliveries) => outcomes.extend(
+                            msgs.iter()
+                                .zip(deliveries)
+                                .map(|(&(idx, _, _), d)| (idx, CommandOutcome::Delivery(d))),
+                        ),
+                        Err(e) => {
+                            let failed = msgs
+                                .into_iter()
+                                .map(|(idx, env, msg)| (idx, Command::Arrival { env, msg }))
+                                .collect();
+                            return self.fail_drain(e, failed, sched, outcomes);
                         }
                     }
                 }
             }
         }
-        if let Err(e) = self.flush_batch(&mut batch, &mut outcomes) {
-            return self.fail_drain(e, batch, VecDeque::new(), outcomes);
-        }
+        outcomes.sort_unstable_by_key(|&(idx, _)| idx);
         DrainReport {
-            outcomes,
+            outcomes: outcomes.into_iter().map(|(_, o)| o).collect(),
             error: None,
             unapplied: Vec::new(),
         }
     }
 
-    /// Matches the pending arrival batch as one block and records its
-    /// deliveries. Takes the coordinator lock only for the block itself, so
-    /// direct `process_block` calls interleave between a drain's batches.
-    /// On error the batch is left intact for re-queueing.
-    fn flush_batch(
-        &self,
-        batch: &mut Vec<(Envelope, MsgHandle)>,
-        outcomes: &mut Vec<CommandOutcome>,
-    ) -> Result<(), MatchError> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        let mut coord = self.coord.lock();
-        let deliveries = self.process_block_locked(&mut coord, batch)?;
-        outcomes.extend(deliveries.into_iter().map(CommandOutcome::Delivery));
-        batch.clear();
-        Ok(())
-    }
-
     /// Finishes a drain that stopped on `error`, deciding the fate of the
-    /// unapplied commands: the in-flight arrival `batch` plus the popped
-    /// `rest`, in submission order. Retryable errors requeue them at the
-    /// queue front; terminal errors pull *everything* (including commands
-    /// still queued) out and surface it in the report, so retry loops
-    /// terminate and a subsequent fallback can replay the commands.
+    /// unapplied commands: the `failed` step plus everything still staged
+    /// in the scheduler, restored to submission order (every staged command
+    /// is older than anything left in the queue, so putting the sorted set
+    /// back at the queue front reconstructs the global order exactly).
+    /// Retryable errors requeue them at the queue front; terminal errors
+    /// pull *everything* (including commands still queued) out and surface
+    /// it in the report, so retry loops terminate and a subsequent fallback
+    /// can replay the commands.
     fn fail_drain(
         &self,
         error: MatchError,
-        batch: Vec<(Envelope, MsgHandle)>,
-        rest: VecDeque<Command>,
-        outcomes: Vec<CommandOutcome>,
+        failed: Vec<(u64, Command)>,
+        sched: PackingScheduler,
+        mut outcomes: Vec<(u64, CommandOutcome)>,
     ) -> DrainReport {
-        let mut unprocessed: VecDeque<Command> = batch
-            .into_iter()
-            .map(|(env, msg)| Command::Arrival { env, msg })
-            .collect();
-        unprocessed.extend(rest);
+        let mut unprocessed: Vec<(u64, Command)> = failed;
+        unprocessed.extend(sched.into_unapplied());
+        unprocessed.sort_unstable_by_key(|&(idx, _)| idx);
+        outcomes.sort_unstable_by_key(|&(idx, _)| idx);
+        let outcomes = outcomes.into_iter().map(|(_, o)| o).collect();
+        let unprocessed: VecDeque<Command> = unprocessed.into_iter().map(|(_, c)| c).collect();
         if error.is_retryable() {
             self.queue.requeue_front(unprocessed);
             DrainReport {
@@ -537,6 +556,7 @@ impl OtmEngine {
         }
 
         self.metrics.observe_block(block_timer);
+        self.metrics.record_block_occupancy(n as u64);
         trace_event!(self.metrics, 0u32, BlockEnd);
         self.stats.blocks.fetch_add(1, Ordering::Relaxed);
         self.stats.messages.fetch_add(n as u64, Ordering::Relaxed);
@@ -1376,7 +1396,10 @@ mod tests {
         assert_eq!(
             report.outcomes,
             vec![
-                CommandOutcome::Post(PostResult::Posted),
+                CommandOutcome::Post {
+                    handle: RecvHandle(0),
+                    result: PostResult::Posted
+                },
                 CommandOutcome::Delivery(Delivery::Matched {
                     msg: MsgHandle(0),
                     recv: RecvHandle(0)
@@ -1442,7 +1465,10 @@ mod tests {
             report.outcomes,
             vec![
                 CommandOutcome::Delivery(Delivery::Unexpected { msg: MsgHandle(0) }),
-                CommandOutcome::Post(PostResult::Posted),
+                CommandOutcome::Post {
+                    handle: RecvHandle(0),
+                    result: PostResult::Posted
+                },
             ]
         );
         assert_eq!(e.pending_commands(), 2);
@@ -1458,7 +1484,10 @@ mod tests {
             report.outcomes,
             vec![
                 CommandOutcome::Delivery(Delivery::Unexpected { msg: MsgHandle(1) }),
-                CommandOutcome::Post(PostResult::Posted),
+                CommandOutcome::Post {
+                    handle: RecvHandle(1),
+                    result: PostResult::Posted
+                },
             ]
         );
     }

@@ -28,6 +28,7 @@ mod imp {
         registry: Registry,
         search_depth: Arc<Histogram>,
         block_latency_ns: Arc<Histogram>,
+        block_occupancy: Arc<Histogram>,
         umq_match_depth: Arc<Histogram>,
         no_conflict: Arc<Counter>,
         fast_path: Arc<Counter>,
@@ -50,6 +51,7 @@ mod imp {
             Self {
                 search_depth: registry.histogram("otm_search_depth"),
                 block_latency_ns: registry.histogram("otm_block_latency_ns"),
+                block_occupancy: registry.histogram("otm_block_occupancy"),
                 umq_match_depth: registry.histogram("otm_umq_match_depth"),
                 no_conflict: registry
                     .counter_with("otm_resolutions_total", vec![("path", "nc".into())]),
@@ -111,6 +113,23 @@ mod imp {
         pub fn observe_block(&self, timer: BlockTimer) {
             self.block_latency_ns
                 .record(timer.0.elapsed().as_nanos() as u64);
+        }
+
+        /// Records how many arrivals an executed block carried — the direct
+        /// evidence of how well the drain's packing fills blocks.
+        #[inline]
+        pub fn record_block_occupancy(&self, arrivals: u64) {
+            self.block_occupancy.record(arrivals);
+        }
+
+        /// Records a per-communicator staged-lane depth observed during a
+        /// drain; the gauge keeps the high-water mark. Resolves the labeled
+        /// gauge through the registry — called once per drain refill, not
+        /// per message, so the lookup is off the hot path.
+        pub fn record_lane_depth(&self, comm: u16, depth: u64) {
+            self.registry
+                .gauge_with("otm_drain_lane_depth_peak", vec![("comm", comm.to_string())])
+                .set_max(depth as i64);
         }
 
         /// The underlying registry (for embedding into a larger exporter).
@@ -193,6 +212,14 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn observe_block(&self, _timer: BlockTimer) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_block_occupancy(&self, _arrivals: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_lane_depth(&self, _comm: u16, _depth: u64) {}
     }
 }
 
@@ -244,9 +271,15 @@ mod tests {
         m.count_conflict();
         let t = m.timer();
         m.observe_block(t);
+        m.record_block_occupancy(4);
+        m.record_lane_depth(1, 7);
+        m.record_lane_depth(1, 3); // peak gauge keeps the high-water mark
         let snap = m.snapshot();
         assert_eq!(snap.hists["otm_search_depth"].count, 1);
         assert_eq!(snap.hists["otm_block_latency_ns"].count, 1);
+        assert_eq!(snap.hists["otm_block_occupancy"].count, 1);
+        assert_eq!(snap.hists["otm_block_occupancy"].sum, 4);
+        assert_eq!(snap.gauges["otm_drain_lane_depth_peak{comm=\"1\"}"], 7);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"nc\"}"], 1);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_fp\"}"], 1);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_sp\"}"], 1);

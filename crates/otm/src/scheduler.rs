@@ -1,0 +1,361 @@
+//! The drain's block-packing scheduler (§IV-E execution-group scheduling).
+//!
+//! MPI matching is communicator-local: the outcome of every command is a
+//! deterministic function of its *communicator's* command order, and commands
+//! on different communicators are independent. The scheduler exploits that
+//! freedom to keep optimistic blocks full under mixed traffic: a bounded
+//! window of queued commands is staged into per-communicator FIFO *lanes*,
+//! posts at lane heads are emitted first (a post can never be hoisted over
+//! an earlier command of its own communicator), and then arrivals are pulled
+//! from lane heads *across* communicators into one block of up to
+//! `block_threads` messages.
+//!
+//! With [`PackingPolicy::Consecutive`] the scheduler degrades to the
+//! pre-reordering behaviour — a single global FIFO where any post (or the
+//! window edge) cuts the arrival run short — which is what the fig8 A/B
+//! comparison measures.
+//!
+//! Every staged command keeps its global submission index, so the drain can
+//! report outcomes in submission order and, on error, requeue the unapplied
+//! tail exactly as the strict-FIFO drain did.
+
+use mpi_matching::{MsgHandle, RecvHandle};
+use otm_base::config::PackingPolicy;
+use otm_base::{CommId, Envelope, ReceivePattern};
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::command::Command;
+
+/// One unit of work the scheduler hands the drain: a single post, or a block
+/// of arrivals ready to match in parallel. Each element carries its global
+/// submission index.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PackingStep {
+    /// Apply one posted receive.
+    Post {
+        /// Global submission index of the post command.
+        idx: u64,
+        /// The receive's matching pattern.
+        pattern: ReceivePattern,
+        /// The caller's handle for the receive.
+        handle: RecvHandle,
+    },
+    /// Match these arrivals as one optimistic block (at most `block_threads`
+    /// of them, in a FIFO-safe order).
+    Block {
+        /// `(submission index, envelope, message)` per lane.
+        msgs: Vec<(u64, Envelope, MsgHandle)>,
+    },
+}
+
+/// Stages a window of queued commands and carves it into [`PackingStep`]s.
+///
+/// Invariants:
+/// * commands of one communicator leave in their admission (= submission)
+///   order — the per-communicator FIFO oracle;
+/// * every `next_step` call consumes at least one staged command, so a
+///   drain loop that refills and steps cannot livelock;
+/// * [`PackingScheduler::into_unapplied`] returns everything still staged,
+///   sorted by submission index — the requeue/fallback contract.
+#[derive(Debug)]
+pub(crate) struct PackingScheduler {
+    policy: PackingPolicy,
+    /// Block capacity (`block_threads`).
+    capacity: usize,
+    /// Next global submission index to assign on admission.
+    next_idx: u64,
+    /// Total staged commands across all lanes / the FIFO.
+    staged: usize,
+    /// Consecutive policy: the single global FIFO.
+    fifo: VecDeque<(u64, Command)>,
+    /// CrossComm policy: one FIFO lane per communicator. `BTreeMap` so lane
+    /// iteration (and thus post emission and block assembly) is in stable
+    /// `CommId` order — deterministic for a given admission sequence.
+    lanes: BTreeMap<CommId, VecDeque<(u64, Command)>>,
+}
+
+fn comm_of(cmd: &Command) -> CommId {
+    match cmd {
+        Command::Post { pattern, .. } => pattern.comm,
+        Command::Arrival { env, .. } => env.comm,
+    }
+}
+
+impl PackingScheduler {
+    pub(crate) fn new(policy: PackingPolicy, capacity: usize) -> Self {
+        PackingScheduler {
+            policy,
+            capacity: capacity.max(1),
+            next_idx: 0,
+            staged: 0,
+            fifo: VecDeque::new(),
+            lanes: BTreeMap::new(),
+        }
+    }
+
+    /// Number of staged commands not yet emitted.
+    pub(crate) fn staged(&self) -> usize {
+        self.staged
+    }
+
+    /// Admits a popped chunk, tagging each command with its global
+    /// submission index. Chunks must be admitted in pop (= submission)
+    /// order.
+    pub(crate) fn admit(&mut self, cmds: VecDeque<Command>) {
+        self.staged += cmds.len();
+        for cmd in cmds {
+            let idx = self.next_idx;
+            self.next_idx += 1;
+            match self.policy {
+                PackingPolicy::Consecutive => self.fifo.push_back((idx, cmd)),
+                PackingPolicy::CrossComm => self
+                    .lanes
+                    .entry(comm_of(&cmd))
+                    .or_default()
+                    .push_back((idx, cmd)),
+            }
+        }
+    }
+
+    /// Current per-lane staged depth, for the lane-depth gauge. Empty under
+    /// the consecutive policy (there are no lanes to observe).
+    pub(crate) fn lane_depths(&self) -> impl Iterator<Item = (CommId, usize)> + '_ {
+        self.lanes
+            .iter()
+            .filter(|(_, lane)| !lane.is_empty())
+            .map(|(&comm, lane)| (comm, lane.len()))
+    }
+
+    /// Carves the next step off the staged window, or `None` when empty.
+    pub(crate) fn next_step(&mut self) -> Option<PackingStep> {
+        match self.policy {
+            PackingPolicy::Consecutive => self.next_step_consecutive(),
+            PackingPolicy::CrossComm => self.next_step_cross_comm(),
+        }
+    }
+
+    /// Strict global FIFO: a post at the head goes out alone; otherwise the
+    /// head run of arrivals (cut by the next post or the window edge) forms
+    /// the block.
+    fn next_step_consecutive(&mut self) -> Option<PackingStep> {
+        let &(idx, head) = self.fifo.front()?;
+        if let Command::Post { pattern, handle } = head {
+            self.fifo.pop_front();
+            self.staged -= 1;
+            return Some(PackingStep::Post {
+                idx,
+                pattern,
+                handle,
+            });
+        }
+        let mut msgs = Vec::new();
+        while msgs.len() < self.capacity {
+            match self.fifo.front() {
+                Some(&(idx, Command::Arrival { env, msg })) => {
+                    self.fifo.pop_front();
+                    self.staged -= 1;
+                    msgs.push((idx, env, msg));
+                }
+                _ => break,
+            }
+        }
+        Some(PackingStep::Block { msgs })
+    }
+
+    /// Cross-communicator packing. Posts first: emitting every lane-head
+    /// post before assembling a block guarantees no arrival is matched ahead
+    /// of an earlier post on its own communicator. Then one block is pulled
+    /// greedily from the arrival runs at the lane heads, in `CommId` order,
+    /// up to capacity.
+    fn next_step_cross_comm(&mut self) -> Option<PackingStep> {
+        for lane in self.lanes.values_mut() {
+            if let Some(&(idx, Command::Post { pattern, handle })) = lane.front() {
+                lane.pop_front();
+                self.staged -= 1;
+                return Some(PackingStep::Post {
+                    idx,
+                    pattern,
+                    handle,
+                });
+            }
+        }
+        let mut msgs = Vec::new();
+        for lane in self.lanes.values_mut() {
+            while msgs.len() < self.capacity {
+                match lane.front() {
+                    Some(&(idx, Command::Arrival { env, msg })) => {
+                        lane.pop_front();
+                        self.staged -= 1;
+                        msgs.push((idx, env, msg));
+                    }
+                    // A post (or lane exhaustion) ends this lane's run; the
+                    // post waits for the next step so its communicator's
+                    // FIFO order holds.
+                    _ => break,
+                }
+            }
+            if msgs.len() == self.capacity {
+                break;
+            }
+        }
+        self.lanes.retain(|_, lane| !lane.is_empty());
+        if msgs.is_empty() {
+            None
+        } else {
+            Some(PackingStep::Block { msgs })
+        }
+    }
+
+    /// Tears the scheduler down, returning every still-staged command with
+    /// its submission index, sorted by index (= original submission order).
+    pub(crate) fn into_unapplied(self) -> Vec<(u64, Command)> {
+        let mut out: Vec<(u64, Command)> = match self.policy {
+            PackingPolicy::Consecutive => self.fifo.into_iter().collect(),
+            PackingPolicy::CrossComm => self
+                .lanes
+                .into_values()
+                .flat_map(|lane| lane.into_iter())
+                .collect(),
+        };
+        out.sort_unstable_by_key(|&(idx, _)| idx);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otm_base::{Rank, Tag};
+
+    fn arrival(comm: u16, i: u64) -> Command {
+        Command::Arrival {
+            env: Envelope::new(Rank(0), Tag(i as u32), CommId(comm)),
+            msg: MsgHandle(i),
+        }
+    }
+
+    fn post(comm: u16, i: u64) -> Command {
+        Command::Post {
+            pattern: ReceivePattern::new(Rank(0), Tag(i as u32), CommId(comm)),
+            handle: RecvHandle(i),
+        }
+    }
+
+    fn admit_all(s: &mut PackingScheduler, cmds: Vec<Command>) {
+        s.admit(cmds.into_iter().collect());
+    }
+
+    fn block_indices(step: PackingStep) -> Vec<u64> {
+        match step {
+            PackingStep::Block { msgs } => msgs.iter().map(|&(idx, _, _)| idx).collect(),
+            other => panic!("expected a block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consecutive_cuts_blocks_at_posts() {
+        let mut s = PackingScheduler::new(PackingPolicy::Consecutive, 4);
+        admit_all(
+            &mut s,
+            vec![arrival(1, 0), arrival(1, 1), post(1, 0), arrival(1, 2)],
+        );
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![0, 1]);
+        assert!(matches!(
+            s.next_step(),
+            Some(PackingStep::Post { idx: 2, .. })
+        ));
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![3]);
+        assert_eq!(s.next_step(), None);
+        assert_eq!(s.staged(), 0);
+    }
+
+    #[test]
+    fn cross_comm_fills_blocks_across_lanes() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4);
+        // Interleaved: comm1 arrival, comm2 post, comm1 arrival, comm2
+        // arrival — the post is hoisted, then one full block forms.
+        admit_all(
+            &mut s,
+            vec![arrival(1, 0), post(2, 0), arrival(1, 1), arrival(2, 2)],
+        );
+        assert!(matches!(
+            s.next_step(),
+            Some(PackingStep::Post { idx: 1, .. })
+        ));
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![0, 2, 3]);
+        assert_eq!(s.next_step(), None);
+    }
+
+    #[test]
+    fn cross_comm_never_reorders_within_a_lane() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 8);
+        // comm1: A0, P, A1 — the post must go before A1 but after A0's
+        // block... actually A0 is an arrival at the head, so the first step
+        // is the post-free block of [A0], never [A0, A1].
+        admit_all(&mut s, vec![arrival(1, 0), post(1, 1), arrival(1, 2)]);
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![0]);
+        assert!(matches!(
+            s.next_step(),
+            Some(PackingStep::Post { idx: 1, .. })
+        ));
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![2]);
+    }
+
+    #[test]
+    fn cross_comm_respects_capacity() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 2);
+        admit_all(
+            &mut s,
+            vec![arrival(1, 0), arrival(1, 1), arrival(2, 2), arrival(2, 3)],
+        );
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![0, 1]);
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![2, 3]);
+        assert_eq!(s.next_step(), None);
+    }
+
+    #[test]
+    fn every_step_consumes_at_least_one_command() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4);
+        admit_all(
+            &mut s,
+            vec![post(1, 0), post(2, 1), arrival(3, 2), post(3, 3)],
+        );
+        while s.staged() > 0 {
+            let before = s.staged();
+            assert!(s.next_step().is_some());
+            assert!(s.staged() < before, "a step must consume commands");
+        }
+        assert_eq!(s.next_step(), None);
+    }
+
+    #[test]
+    fn into_unapplied_restores_submission_order() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4);
+        let cmds = vec![
+            arrival(2, 0),
+            post(1, 1),
+            arrival(1, 2),
+            arrival(2, 3),
+            post(2, 4),
+        ];
+        admit_all(&mut s, cmds.clone());
+        // Consume one step (the comm-1 post), then tear down.
+        assert!(matches!(
+            s.next_step(),
+            Some(PackingStep::Post { idx: 1, .. })
+        ));
+        let rest: Vec<Command> = s.into_unapplied().into_iter().map(|(_, c)| c).collect();
+        assert_eq!(rest, vec![cmds[0], cmds[2], cmds[3], cmds[4]]);
+    }
+
+    #[test]
+    fn lane_depths_report_staged_backlog() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4);
+        admit_all(&mut s, vec![arrival(1, 0), arrival(1, 1), arrival(2, 2)]);
+        let depths: Vec<(CommId, usize)> = s.lane_depths().collect();
+        assert_eq!(depths, vec![(CommId(1), 2), (CommId(2), 1)]);
+        let mut c = PackingScheduler::new(PackingPolicy::Consecutive, 4);
+        admit_all(&mut c, vec![arrival(1, 0)]);
+        assert_eq!(c.lane_depths().count(), 0);
+    }
+}

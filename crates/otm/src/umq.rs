@@ -201,8 +201,13 @@ impl UnexpectedStore {
         None
     }
 
-    /// Scans one reference deque, dropping stale references in passing;
-    /// consumes and returns the first live match.
+    /// Scans one reference deque; consumes and returns the first live
+    /// match. References are only ever *popped from the front* — an O(1)
+    /// deque operation — never removed from the middle: a stale or consumed
+    /// reference in the interior stays behind as a tombstone (recognized by
+    /// its generation mismatch) until a later front pop or the global
+    /// compaction sweeps it. The old `VecDeque::remove(i)` shifted the tail
+    /// on every hit, turning heavy-wildcard churn quadratic.
     fn scan(
         slab: &mut [UmqEntry],
         refs: &mut VecDeque<EntryRef>,
@@ -215,8 +220,13 @@ impl UnexpectedStore {
             let r = refs[i];
             let entry = &mut slab[r.slot as usize];
             if entry.gen != r.gen || !entry.live {
-                refs.remove(i);
-                *stale_refs = stale_refs.saturating_sub(1);
+                if i == 0 {
+                    refs.pop_front();
+                    *stale_refs = stale_refs.saturating_sub(1);
+                } else {
+                    // Interior tombstone: skip it, leave it counted.
+                    i += 1;
+                }
                 continue;
             }
             depth += 1;
@@ -229,9 +239,16 @@ impl UnexpectedStore {
                     depth,
                 };
                 let slot = r.slot;
-                refs.remove(i);
-                // The other three indexes now hold stale references.
-                *stale_refs += 3;
+                if i == 0 {
+                    refs.pop_front();
+                    // The other three indexes now hold stale references.
+                    *stale_refs += 3;
+                } else {
+                    // The consumed entry's reference becomes a tombstone
+                    // here too (the generation bump above invalidated it),
+                    // so all four views now hold one.
+                    *stale_refs += 4;
+                }
                 return Some((slot, m));
             }
             i += 1;
@@ -454,6 +471,65 @@ mod tests {
         u.match_post(&ReceivePattern::exact(Rank(1), Tag(1)))
             .unwrap();
         assert_eq!(u.waiting(), vec![MsgHandle(0), MsgHandle(2)]);
+    }
+
+    #[test]
+    fn interior_matches_leave_tombstones_not_shifts() {
+        let mut u = UnexpectedStore::new(1, 8); // one bin: all refs share a deque
+        for i in 0..4u64 {
+            u.insert(env(0, i as u32), MsgHandle(i), ArrivalSeq(i))
+                .unwrap();
+        }
+        // Consume the *last* message: its reference sits in the interior of
+        // the scanned deque, so it must stay behind as a tombstone instead
+        // of shifting the tail (the old quadratic `VecDeque::remove`).
+        assert_eq!(u.by_src_tag[0].len(), 4);
+        u.match_post(&ReceivePattern::exact(Rank(0), Tag(3)))
+            .unwrap();
+        assert_eq!(
+            u.by_src_tag[0].len(),
+            4,
+            "interior consumption must not shift the deque"
+        );
+        assert_eq!(u.stale_refs, 4, "all four views hold a tombstone");
+        // The tombstone is invisible to every later operation.
+        assert_eq!(u.waiting(), vec![MsgHandle(0), MsgHandle(1), MsgHandle(2)]);
+        assert!(u
+            .match_post(&ReceivePattern::exact(Rank(0), Tag(3)))
+            .is_none());
+        // Front consumption still pops eagerly (O(1)).
+        u.match_post(&ReceivePattern::exact(Rank(0), Tag(0)))
+            .unwrap();
+        assert_eq!(u.by_src_tag[0].len(), 3);
+    }
+
+    #[test]
+    fn wildcard_churn_keeps_reference_deques_bounded() {
+        // Reverse-order wildcard consumption: every match hits the interior
+        // of the scanned deque, the worst case for tombstone accumulation.
+        // Compaction (triggered by the stale-reference counter) must keep
+        // every view bounded while matching stays correct.
+        let mut u = UnexpectedStore::new(1, 32);
+        for round in 0..300u64 {
+            for i in 0..4u64 {
+                u.insert(env(0, i as u32), MsgHandle(round * 4 + i), ArrivalSeq(round * 4 + i))
+                    .unwrap();
+            }
+            for i in (0..4u64).rev() {
+                let m = u
+                    .match_post(&ReceivePattern::any_source(Tag(i as u32)))
+                    .unwrap();
+                assert_eq!(m.handle, MsgHandle(round * 4 + i));
+            }
+        }
+        assert!(u.is_empty());
+        let bound = 4 * 32 + 32; // compaction threshold plus live slack
+        assert!(u.order.len() <= bound, "order grew to {}", u.order.len());
+        assert!(
+            u.by_tag[0].len() <= bound,
+            "by_tag grew to {}",
+            u.by_tag[0].len()
+        );
     }
 
     #[test]

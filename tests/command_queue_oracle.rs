@@ -71,11 +71,25 @@ fn check_interleaving(events: &[(u16, MatchEvent)]) {
     for (&(c, cmd), outcome) in submitted.iter().zip(&report.outcomes) {
         let asg = &mut observed[c as usize];
         match (cmd, outcome) {
-            (Command::Post { handle, .. }, CommandOutcome::Post(PostResult::Matched(m))) => {
+            (
+                Command::Post { handle, .. },
+                CommandOutcome::Post {
+                    handle: out,
+                    result: PostResult::Matched(m),
+                },
+            ) => {
+                assert_eq!(*out, handle, "outcome echoes the wrong handle");
                 asg.recv_to_msg.insert(handle, Some(*m));
                 asg.msg_to_recv.insert(*m, Some(handle));
             }
-            (Command::Post { handle, .. }, CommandOutcome::Post(PostResult::Posted)) => {
+            (
+                Command::Post { handle, .. },
+                CommandOutcome::Post {
+                    handle: out,
+                    result: PostResult::Posted,
+                },
+            ) => {
+                assert_eq!(*out, handle, "outcome echoes the wrong handle");
                 asg.recv_to_msg.entry(handle).or_insert(None);
             }
             (Command::Arrival { msg, .. }, CommandOutcome::Delivery(d)) => match *d {

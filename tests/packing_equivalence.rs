@@ -1,0 +1,130 @@
+//! Seeded deterministic companion to the packing-equivalence property
+//! (`tests/properties.rs`): the cross-communicator drain scheduler must be
+//! outcome-identical to the strict consecutive drain on every stream, and
+//! both policies must honor the `DrainReport` failure contract when the
+//! engine's tables overflow mid-queue. Runs without proptest so it works
+//! under plain `cargo test` everywhere — including the nightly
+//! ThreadSanitizer job.
+
+mod support;
+
+use mpi_matching::{MsgHandle, PendingCommand, RecvHandle};
+use otm_base::envelope::{SourceSel, TagSel};
+use otm_base::{CommId, Envelope, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use support::{
+    assert_drain_failure_contract, assert_packing_equivalence, drain_under_policy,
+    fallback_oracle_config,
+};
+
+/// One random interleaved multi-communicator command stream, mirroring the
+/// proptest strategy: 3 communicators, a small (rank, tag) space so
+/// wildcards and duplicates collide often, ~40% arrivals.
+fn random_stream(rng: &mut SmallRng, len: usize) -> Vec<PendingCommand> {
+    let (mut next_recv, mut next_msg) = (0u64, 0u64);
+    (0..len)
+        .map(|_| {
+            let comm = CommId(rng.gen_range(1..=3u16));
+            let src = Rank(rng.gen_range(0..3u32));
+            let tag = Tag(rng.gen_range(0..3u32));
+            match rng.gen_range(0..10u8) {
+                0..=3 => {
+                    let msg = MsgHandle(next_msg);
+                    next_msg += 1;
+                    PendingCommand::Arrival {
+                        env: Envelope::new(src, tag, comm),
+                        msg,
+                    }
+                }
+                kind => {
+                    let pattern = match kind {
+                        4..=6 => ReceivePattern::new(src, tag, comm),
+                        7 => ReceivePattern::new(SourceSel::Any, tag, comm),
+                        8 => ReceivePattern::new(src, TagSel::Any, comm),
+                        _ => ReceivePattern::new(SourceSel::Any, TagSel::Any, comm),
+                    };
+                    let handle = RecvHandle(next_recv);
+                    next_recv += 1;
+                    PendingCommand::Post { pattern, handle }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Success path: identical outcomes, command for command, on streams of
+/// growing length.
+#[test]
+fn packed_drain_equals_consecutive_drain_seeded() {
+    let mut rng = SmallRng::seed_from_u64(0x0DDC0DE);
+    for round in 0usize..48 {
+        let len = 1 + (round * 7) % 160;
+        let cmds = random_stream(&mut rng, len);
+        assert_packing_equivalence(fallback_oracle_config(), &cmds);
+    }
+}
+
+/// Failure path: with tables sized to overflow mid-stream, both policies
+/// keep the partition / ordering / per-communicator-prefix contract.
+#[test]
+fn drain_failure_contract_holds_for_both_policies() {
+    let mut rng = SmallRng::seed_from_u64(0x0DDC0DE ^ 0xF00D);
+    let config = MatchConfig::default()
+        .with_block_threads(4)
+        .with_max_receives(8)
+        .with_max_unexpected(8)
+        .with_bins(4);
+    for _ in 0..48 {
+        let cmds = random_stream(&mut rng, 120);
+        for packing in [PackingPolicy::Consecutive, PackingPolicy::CrossComm] {
+            assert_drain_failure_contract(config.clone(), packing, &cmds);
+        }
+    }
+}
+
+/// The perf mechanism itself, pinned deterministically: on a post-riddled
+/// interleaved stream the cross-communicator scheduler executes the same
+/// arrivals in strictly fewer, fuller blocks than the consecutive packer.
+#[test]
+fn cross_comm_packs_fewer_fuller_blocks() {
+    // Round-robin over 3 communicators; communicator c posts whenever
+    // (i + c) % 3 == 2, so the post positions are staggered across lanes
+    // and the *global* stream has a post roughly every third command.
+    let mut cmds = Vec::new();
+    let (mut next_recv, mut next_msg) = (0u64, 0u64);
+    for i in 0u32..120 {
+        for c in 0u16..3 {
+            let comm = CommId(c + 1);
+            if (i + c as u32) % 3 == 2 {
+                let handle = RecvHandle(next_recv);
+                next_recv += 1;
+                cmds.push(PendingCommand::Post {
+                    pattern: ReceivePattern::new(Rank(0), Tag(next_recv as u32), comm),
+                    handle,
+                });
+            } else {
+                let msg = MsgHandle(next_msg);
+                next_msg += 1;
+                cmds.push(PendingCommand::Arrival {
+                    env: Envelope::new(Rank(0), Tag(next_msg as u32), comm),
+                    msg,
+                });
+            }
+        }
+    }
+    let config = fallback_oracle_config().with_block_threads(8);
+    let (consec, a) = drain_under_policy(config.clone(), PackingPolicy::Consecutive, &cmds);
+    let (cross, b) = drain_under_policy(config, PackingPolicy::CrossComm, &cmds);
+    assert!(a.error.is_none() && b.error.is_none());
+    assert_eq!(a.outcomes, b.outcomes, "same outcomes either way");
+    let (sa, sb) = (consec.stats(), cross.stats());
+    assert_eq!(sa.messages, sb.messages, "same arrivals matched");
+    assert!(
+        sb.blocks * 2 <= sa.blocks,
+        "cross-comm must at least halve the block count on this stream \
+         (consecutive {} vs cross-comm {})",
+        sa.blocks,
+        sb.blocks
+    );
+}

@@ -10,10 +10,13 @@ use mpi_matching::traditional::TraditionalMatcher;
 use mpi_matching::{Matcher, MatchingBackend};
 use otm::{Command, CommandOutcome, OtmEngine, SequentialOtm};
 use otm_base::envelope::{SourceSel, TagSel};
-use otm_base::{CommId, Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+use otm_base::{CommId, Envelope, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag};
 use otm_trace::emul::FourIndexMatcher;
 use proptest::prelude::*;
-use support::{drain_then_fallback, fallback_oracle_config, fallback_with_queue};
+use support::{
+    assert_drain_failure_contract, assert_packing_equivalence, drain_then_fallback,
+    fallback_oracle_config, fallback_with_queue, to_command,
+};
 
 /// Strategy: one matching event over a small (rank, tag) space — small so
 /// wildcards and duplicates collide often.
@@ -198,11 +201,25 @@ proptest! {
         for (&(c, cmd), outcome) in submitted.iter().zip(&report.outcomes) {
             let asg = &mut observed[c as usize];
             match (cmd, outcome) {
-                (Command::Post { handle, .. }, CommandOutcome::Post(PostResult::Matched(m))) => {
+                (
+                    Command::Post { handle, .. },
+                    CommandOutcome::Post {
+                        handle: out,
+                        result: PostResult::Matched(m),
+                    },
+                ) => {
+                    prop_assert_eq!(*out, handle, "outcome echoes the wrong handle");
                     asg.recv_to_msg.insert(handle, Some(*m));
                     asg.msg_to_recv.insert(*m, Some(handle));
                 }
-                (Command::Post { handle, .. }, CommandOutcome::Post(PostResult::Posted)) => {
+                (
+                    Command::Post { handle, .. },
+                    CommandOutcome::Post {
+                        handle: out,
+                        result: PostResult::Posted,
+                    },
+                ) => {
+                    prop_assert_eq!(*out, handle, "outcome echoes the wrong handle");
                     asg.recv_to_msg.entry(handle).or_insert(None);
                 }
                 (Command::Arrival { msg, .. }, CommandOutcome::Delivery(d)) => match *d {
@@ -274,6 +291,48 @@ proptest! {
             let queued = fallback_with_queue(make(), &events, cut);
             let drained = drain_then_fallback(make(), &events, cut);
             prop_assert_eq!(queued, drained, "{} diverged", name);
+        }
+    }
+
+    /// The packing-equivalence property: draining the same interleaved
+    /// multi-communicator stream under the cross-communicator scheduler
+    /// produces exactly the consecutive drain's outcomes, command for
+    /// command — the block-filling reordering is invisible to MPI matching
+    /// semantics. (`tests/packing_equivalence.rs` is the seeded
+    /// deterministic companion.)
+    #[test]
+    fn packed_drain_equals_consecutive_drain(
+        events in prop::collection::vec(comm_event_strategy(), 0..160),
+    ) {
+        let (mut next_recv, mut next_msg) = (0u64, 0u64);
+        let cmds: Vec<mpi_matching::PendingCommand> = events
+            .iter()
+            .map(|(_, ev)| to_command(ev, &mut next_recv, &mut next_msg))
+            .collect();
+        assert_packing_equivalence(fallback_oracle_config(), &cmds);
+    }
+
+    /// Injected-failure companion: with tables sized to overflow
+    /// mid-stream, both packing policies keep the `DrainReport` contract —
+    /// outcomes plus the requeued/unapplied tail partition the stream,
+    /// both keep submission order, and each communicator's applied
+    /// commands are a prefix of its subsequence.
+    #[test]
+    fn packed_drain_failure_contract(
+        events in prop::collection::vec(comm_event_strategy(), 1..160),
+    ) {
+        let config = MatchConfig::default()
+            .with_block_threads(4)
+            .with_max_receives(8)
+            .with_max_unexpected(8)
+            .with_bins(4);
+        let (mut next_recv, mut next_msg) = (0u64, 0u64);
+        let cmds: Vec<mpi_matching::PendingCommand> = events
+            .iter()
+            .map(|(_, ev)| to_command(ev, &mut next_recv, &mut next_msg))
+            .collect();
+        for packing in [PackingPolicy::Consecutive, PackingPolicy::CrossComm] {
+            assert_drain_failure_contract(config.clone(), packing, &cmds);
         }
     }
 

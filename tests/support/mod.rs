@@ -12,14 +12,16 @@
 
 #![allow(dead_code)]
 
+use mpi_matching::backend::DrainReport;
 use mpi_matching::oracle::MatchEvent;
 use mpi_matching::traditional::TraditionalMatcher;
 use mpi_matching::{
     ArriveResult, Assignment, FallbackState, Matcher, MatchingBackend, MsgHandle, PendingCommand,
     PostResult, RecvHandle,
 };
-use otm::CommandOutcome;
-use otm_base::MatchConfig;
+use otm::{CommandOutcome, OtmEngine};
+use otm_base::{CommId, MatchConfig, PackingPolicy};
+use std::collections::{HashMap, HashSet};
 
 /// An engine configuration for the fallback oracle: parallel blocks, tables
 /// big enough that the oracle never trips resource exhaustion.
@@ -93,11 +95,25 @@ pub fn to_command(ev: &MatchEvent, next_recv: &mut u64, next_msg: &mut u64) -> P
 /// Records one drained command outcome into `asg`.
 pub fn record_outcome(cmd: &PendingCommand, outcome: &CommandOutcome, asg: &mut Assignment) {
     match (*cmd, outcome) {
-        (PendingCommand::Post { handle, .. }, CommandOutcome::Post(PostResult::Matched(m))) => {
+        (
+            PendingCommand::Post { handle, .. },
+            CommandOutcome::Post {
+                handle: out,
+                result: PostResult::Matched(m),
+            },
+        ) => {
+            assert_eq!(*out, handle, "outcome echoes the wrong handle");
             asg.recv_to_msg.insert(handle, Some(*m));
             asg.msg_to_recv.insert(*m, Some(handle));
         }
-        (PendingCommand::Post { handle, .. }, CommandOutcome::Post(PostResult::Posted)) => {
+        (
+            PendingCommand::Post { handle, .. },
+            CommandOutcome::Post {
+                handle: out,
+                result: PostResult::Posted,
+            },
+        ) => {
+            assert_eq!(*out, handle, "outcome echoes the wrong handle");
             asg.recv_to_msg.insert(handle, None);
         }
         (PendingCommand::Arrival { msg, .. }, CommandOutcome::Delivery(d)) => match *d {
@@ -229,4 +245,143 @@ pub fn drain_then_fallback(
     );
     let m = replay_snapshot(state, &mut asg);
     (asg, m.pending_receives(), m.waiting_messages())
+}
+
+// ---------------------------------------------------------------------------
+// Packing-equivalence oracle (the cross-communicator drain scheduler)
+// ---------------------------------------------------------------------------
+
+/// Builds a fresh engine under `packing`, submits `cmds`, and drains once.
+pub fn drain_under_policy(
+    config: MatchConfig,
+    packing: PackingPolicy,
+    cmds: &[PendingCommand],
+) -> (OtmEngine, DrainReport) {
+    let engine = OtmEngine::new(config.with_packing(packing)).expect("valid test config");
+    for &cmd in cmds {
+        engine.submit(cmd).expect("engine running");
+    }
+    let report = engine.drain();
+    (engine, report)
+}
+
+/// The packing-equivalence oracle, success path: the same submitted stream
+/// drained under either packing policy produces identical outcomes, command
+/// for command. Matching is communicator-local and both policies preserve
+/// per-communicator command order, so not just each communicator's match
+/// set but the full outcome vector (reported in submission order) must
+/// agree.
+pub fn assert_packing_equivalence(config: MatchConfig, cmds: &[PendingCommand]) {
+    let (_, a) = drain_under_policy(config.clone(), PackingPolicy::Consecutive, cmds);
+    let (_, b) = drain_under_policy(config, PackingPolicy::CrossComm, cmds);
+    assert!(a.error.is_none(), "consecutive drain failed: {:?}", a.error);
+    assert!(b.error.is_none(), "cross-comm drain failed: {:?}", b.error);
+    assert!(a.unapplied.is_empty() && b.unapplied.is_empty());
+    assert_eq!(a.outcomes.len(), cmds.len(), "every command must drain");
+    assert_eq!(
+        a.outcomes, b.outcomes,
+        "drain outcomes must be packing-policy-independent"
+    );
+}
+
+/// Identity of a command within one test stream: posts by receive handle,
+/// arrivals by message handle (each unique on its side).
+fn command_key(cmd: &PendingCommand) -> (bool, u64) {
+    match *cmd {
+        PendingCommand::Post { handle, .. } => (true, handle.0),
+        PendingCommand::Arrival { msg, .. } => (false, msg.0),
+    }
+}
+
+/// The same identity recovered from a drained outcome.
+fn outcome_key(outcome: &CommandOutcome) -> (bool, u64) {
+    match *outcome {
+        CommandOutcome::Post { handle, .. } => (true, handle.0),
+        CommandOutcome::Delivery(d) => (false, d.msg().0),
+    }
+}
+
+fn command_comm(cmd: &PendingCommand) -> CommId {
+    match cmd {
+        PendingCommand::Post { pattern, .. } => pattern.comm,
+        PendingCommand::Arrival { env, .. } => env.comm,
+    }
+}
+
+/// The failure-contract oracle: drained under `packing` (typically with
+/// tables sized to trip resource exhaustion mid-stream), the [`DrainReport`]
+/// must satisfy the error contract regardless of policy:
+///
+/// * the reported outcomes and the leftover commands (the requeued tail on
+///   a retryable error, [`DrainReport::unapplied`] on a terminal one)
+///   partition the submitted stream exactly;
+/// * outcomes and leftovers each keep submission order;
+/// * per communicator, the applied commands are a prefix of that
+///   communicator's submitted subsequence — the FIFO oracle even under
+///   cross-communicator reordering.
+pub fn assert_drain_failure_contract(
+    config: MatchConfig,
+    packing: PackingPolicy,
+    cmds: &[PendingCommand],
+) {
+    let (engine, report) = drain_under_policy(config, packing, cmds);
+    let leftover: Vec<PendingCommand> = match &report.error {
+        Some(e) if e.is_retryable() => {
+            assert!(
+                report.unapplied.is_empty(),
+                "retryable errors requeue instead of surfacing unapplied"
+            );
+            engine.drain_for_fallback().pending
+        }
+        Some(_) => report.unapplied.clone(),
+        None => {
+            assert!(report.unapplied.is_empty());
+            Vec::new()
+        }
+    };
+
+    let applied: Vec<(bool, u64)> = report.outcomes.iter().map(outcome_key).collect();
+    let applied_set: HashSet<(bool, u64)> = applied.iter().copied().collect();
+    assert_eq!(applied_set.len(), applied.len(), "an outcome was reported twice");
+    let left: Vec<(bool, u64)> = leftover.iter().map(command_key).collect();
+    assert_eq!(
+        applied.len() + left.len(),
+        cmds.len(),
+        "outcomes and leftovers must partition the submitted stream"
+    );
+    for k in &left {
+        assert!(!applied_set.contains(k), "command both applied and left over");
+    }
+
+    let order: HashMap<(bool, u64), usize> = cmds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (command_key(c), i))
+        .collect();
+    let position = |k: &(bool, u64)| -> usize {
+        *order.get(k).expect("outcome refers to a submitted command")
+    };
+    assert!(
+        applied.windows(2).all(|w| position(&w[0]) < position(&w[1])),
+        "outcomes must be reported in submission order"
+    );
+    assert!(
+        left.windows(2).all(|w| position(&w[0]) < position(&w[1])),
+        "leftovers must keep submission order"
+    );
+
+    // Per-communicator FIFO: once one of a communicator's commands is left
+    // unapplied, every later command of that communicator must be too.
+    let mut cut: HashSet<CommId> = HashSet::new();
+    for cmd in cmds {
+        let comm = command_comm(cmd);
+        if applied_set.contains(&command_key(cmd)) {
+            assert!(
+                !cut.contains(&comm),
+                "{comm:?} applied a command after an unapplied one"
+            );
+        } else {
+            cut.insert(comm);
+        }
+    }
 }
