@@ -35,6 +35,15 @@
 //! throughput, and the same numbers land in a dependency-free
 //! `fig8_mixed.json` artifact.
 //!
+//! With `--faults`, a ninth section runs the same pre-posted stream twice —
+//! once over a perfect wire and once over a seeded hostile one (10% drop,
+//! 10% duplicate, 10% reorder, 5% delay; `--fault-seed` picks the plan) —
+//! with the sender wrapped in the go-back-N [`ReliableSender`]. The rows
+//! put the reliability tax (retransmits, backoff polls, discarded
+//! duplicates) next to throughput, the run asserts the matched
+//! (receive, payload) sequence is identical in both runs, and everything
+//! lands in a dependency-free `fig8_faults.json` artifact.
+//!
 //! Run with: `cargo run --release -p otm-bench --bin fig8_message_rate`
 //! (`--quick` shrinks the repeat count for smoke testing; `--messages N`
 //! budgets ~N messages per series; `--repeats N` sets the count directly;
@@ -50,10 +59,14 @@
 use dpa_sim::bounce::BouncePool;
 use dpa_sim::nic::RecvNic;
 use dpa_sim::rdma::{connected_pair, eager_packet, QueuePair, RdmaDomain};
-use dpa_sim::{MatchMode, MatchingService, PingPongConfig, PingPongResult, Scenario};
+use dpa_sim::{
+    MatchMode, MatchingService, PingPongConfig, PingPongResult, ReliableSender, Scenario,
+};
 use mpi_matching::{MsgHandle, RecvHandle};
 use otm::{Command, OtmEngine};
-use otm_base::{CommId, Envelope, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag};
+use otm_base::{
+    CommId, Envelope, FaultPlan, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag,
+};
 use otm_bench::{
     experiments_dir, header, observability_value, write_report, BenchReport, CommonArgs,
 };
@@ -71,6 +84,8 @@ struct Fig8Results {
     sharded: ShardedReport,
     /// The mixed-traffic packing-policy comparison (one row per policy).
     mixed: Vec<MixedRow>,
+    /// The fault-injection sweep (`--faults`), if it ran.
+    faults: Option<FaultSweep>,
 }
 
 /// Aggregate + per-shard throughput of the concurrent command-queue run:
@@ -240,7 +255,8 @@ fn main() {
 
     let sharded = run_sharded(&args, k * repeats);
     let mixed = run_mixed(&args, k * repeats, &mut observability);
-    finish(&args, quick, results, sharded, mixed, observability);
+    let faults = run_faults(&args, k * repeats, &mut observability);
+    finish(&args, quick, results, sharded, mixed, faults, observability);
 }
 
 /// True when command `i` of a lane's stream is a post under a `pct`-percent
@@ -410,6 +426,301 @@ fn write_mixed_artifact(rows: &[(MixedRow, String)]) -> std::path::PathBuf {
     path
 }
 
+/// One run of the fault sweep: the same pre-posted stream, pushed through
+/// the [`ReliableSender`], over either a perfect wire (`fault-free`) or the
+/// seeded [`FaultPlan`] (`hostile-wire`). The reliability columns quantify
+/// what the go-back-N protocol paid to hide the wire's misbehavior.
+#[derive(Debug, Clone, Serialize)]
+struct FaultRow {
+    /// `fault-free` or `hostile-wire`.
+    label: String,
+    /// Messages completed end to end (always the full budget).
+    messages: u64,
+    /// Wall-clock including the final ack settle.
+    elapsed_secs: f64,
+    /// Completed receives per second over the wall-clock above.
+    msgs_per_sec: f64,
+    /// Packets the fault layer silently dropped.
+    wire_drops: u64,
+    /// Packets the fault layer delivered twice.
+    wire_duplicates: u64,
+    /// Packets the fault layer released out of order.
+    wire_reorders: u64,
+    /// Packets the fault layer held back before in-order release.
+    wire_delays: u64,
+    /// Packets resent by go-back-N window resends.
+    retransmits: u64,
+    /// Resend events (each may retransmit a whole window).
+    resend_events: u64,
+    /// Cumulative acks the sender consumed.
+    acks_received: u64,
+    /// Polls the sender spent backing off between resends (virtual time).
+    backoff_polls: u64,
+    /// Already-seen sequence numbers the receive NIC discarded.
+    rx_duplicates_discarded: u64,
+    /// Ahead-of-expected sequence numbers the receive NIC discarded.
+    rx_gaps_discarded: u64,
+    /// Cumulative acks the receive NIC emitted.
+    acks_sent: u64,
+}
+
+impl FaultRow {
+    /// Hand-rolled serialization for the dependency-free artifact (the same
+    /// idiom as [`MixedRow::to_json`]).
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"messages\":{},\"elapsed_secs\":{:.6},",
+                "\"msgs_per_sec\":{:.1},\"wire_drops\":{},\"wire_duplicates\":{},",
+                "\"wire_reorders\":{},\"wire_delays\":{},\"retransmits\":{},",
+                "\"resend_events\":{},\"acks_received\":{},\"backoff_polls\":{},",
+                "\"rx_duplicates_discarded\":{},\"rx_gaps_discarded\":{},",
+                "\"acks_sent\":{}}}"
+            ),
+            self.label,
+            self.messages,
+            self.elapsed_secs,
+            self.msgs_per_sec,
+            self.wire_drops,
+            self.wire_duplicates,
+            self.wire_reorders,
+            self.wire_delays,
+            self.retransmits,
+            self.resend_events,
+            self.acks_received,
+            self.backoff_polls,
+            self.rx_duplicates_discarded,
+            self.rx_gaps_discarded,
+            self.acks_sent,
+        )
+    }
+}
+
+/// The `--faults` sweep: plan parameters, the fault-free vs hostile rows,
+/// and the oracle verdict (`matched_equal`) that the hostile wire changed
+/// no matched (receive, payload) pair.
+#[derive(Debug, Serialize)]
+struct FaultSweep {
+    /// Seed of the fault plan (`--fault-seed`, default `0xf8`).
+    seed: u64,
+    /// Drop probability in permille.
+    drop_permille: u32,
+    /// Duplicate probability in permille.
+    duplicate_permille: u32,
+    /// Reorder probability in permille.
+    reorder_permille: u32,
+    /// Delay probability in permille.
+    delay_permille: u32,
+    /// True when both runs completed the identical (receive, payload)
+    /// sequence — the chaos oracle of `tests/fault_chaos.rs`, at bench
+    /// scale.
+    matched_equal: bool,
+    /// The fault-free row followed by the hostile-wire row.
+    rows: Vec<FaultRow>,
+}
+
+/// Everything one fault-sweep run produces: the summary row, the completed
+/// (receive handle, payload) sequence for the equality oracle, and the
+/// service's registry snapshot.
+struct FaultRun {
+    row: FaultRow,
+    completed: Vec<(u64, Vec<u8>)>,
+    observability_json: Option<String>,
+}
+
+/// Pushes `messages` eager packets through the full service path — queue
+/// pair, (optionally faulty) receive NIC, command queue, pipelined drain,
+/// eager copy — with the sender wrapped in the go-back-N protocol, and
+/// records the completed (receive, payload) sequence plus the reliability
+/// counters. The receives are pre-posted, so message `i` deterministically
+/// matches receive `i` (per-QP FIFO + FIFO matching), making the completed
+/// sequence directly comparable between the fault-free and hostile runs.
+fn fault_run(label: &str, plan: Option<&FaultPlan>, messages: usize) -> FaultRun {
+    const WINDOW: usize = 64;
+    let config = MatchConfig::default()
+        .with_max_receives(messages.max(1))
+        .with_bins((2 * messages.max(1)).next_power_of_two());
+    let engine = OtmEngine::new(config).expect("fault bench configuration");
+    let domain = RdmaDomain::new();
+    let (tx, rx) = connected_pair();
+    let mut nic = RecvNic::new(rx, BouncePool::new(messages.max(1), 64));
+    if let Some(plan) = plan {
+        nic.set_faults(plan.clone());
+    }
+    let mut svc = MatchingService::with_backend(nic, domain, Box::new(engine));
+    svc.enable_command_queue()
+        .expect("the offloaded engine has a command queue");
+
+    for i in 0..messages {
+        let (src, tag) = (Rank(i as u32 % 8), Tag(i as u32 % 64));
+        svc.post_recv(ReceivePattern::new(src, tag, CommId(1)))
+            .expect("table sized for the full budget");
+    }
+
+    let mut sender = ReliableSender::new(tx);
+    // One registry for the whole path: the sender's retransmit/backoff
+    // counters land in the same snapshot as the NIC's wire/rx counters.
+    sender.attach_metrics(svc.metrics().clone());
+    let mut completed: Vec<(u64, Vec<u8>)> = Vec::with_capacity(messages);
+    let mut sent = 0usize;
+    let start = Instant::now();
+    while completed.len() < messages {
+        // Keep at most WINDOW packets unacknowledged: the reliability
+        // window is the flow control, exactly as on a real wire.
+        while sent < messages && sender.unacked() < WINDOW {
+            let (src, tag) = (Rank(sent as u32 % 8), Tag(sent as u32 % 64));
+            let payload = (sent as u32).to_le_bytes().to_vec();
+            sender
+                .send(eager_packet(Envelope::new(src, tag, CommId(1)), payload))
+                .expect("retry budget covers the configured fault rates");
+            sent += 1;
+        }
+        svc.progress().expect("service alive");
+        let stray = sender
+            .poll()
+            .expect("retry budget covers the configured fault rates");
+        debug_assert!(stray.is_empty(), "nothing sends app data back");
+        for done in svc.take_completed() {
+            completed.push((done.recv.0, done.data));
+        }
+    }
+    // Settle the tail acks so the reliability counters are final.
+    while sender.unacked() > 0 {
+        svc.progress().expect("service alive");
+        sender
+            .poll()
+            .expect("retry budget covers the configured fault rates");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let wire = svc.nic().wire_fault_stats().unwrap_or_default();
+    let rx_stats = svc.nic().rx_stats();
+    let rel = sender.stats();
+    FaultRun {
+        row: FaultRow {
+            label: label.to_string(),
+            messages: messages as u64,
+            elapsed_secs: elapsed,
+            msgs_per_sec: messages as f64 / elapsed.max(f64::EPSILON),
+            wire_drops: wire.drops,
+            wire_duplicates: wire.duplicates,
+            wire_reorders: wire.reorders,
+            wire_delays: wire.delays,
+            retransmits: rel.retransmits,
+            resend_events: rel.resend_events,
+            acks_received: rel.acks,
+            backoff_polls: rel.backoff_polls,
+            rx_duplicates_discarded: rx_stats.duplicates,
+            rx_gaps_discarded: rx_stats.gaps,
+            acks_sent: rx_stats.acks_sent,
+        },
+        completed,
+        observability_json: svc.observability_json(),
+    }
+}
+
+/// Runs the `--faults` sweep: the identical pre-posted stream over a
+/// perfect and a seeded hostile wire, the matched-sequence equality oracle,
+/// and the `fig8_faults.json` artifact.
+fn run_faults(
+    args: &CommonArgs,
+    budget: usize,
+    observability: &mut BTreeMap<String, serde_json::Value>,
+) -> Option<FaultSweep> {
+    if !args.faults {
+        return None;
+    }
+    let messages = budget.max(1);
+    let seed = args.fault_seed.unwrap_or(0xf8);
+    let plan = FaultPlan::new(seed)
+        .with_drop_permille(100)
+        .with_duplicate_permille(100)
+        .with_reorder_permille(100)
+        .with_delay_permille(50);
+    println!(
+        "\nFault sweep: {messages} msgs through go-back-N, plan seed {seed:#x} \
+         (10% drop, 10% dup, 10% reorder, 5% delay)"
+    );
+
+    let clean = fault_run("fault-free", None, messages);
+    let hostile = fault_run("hostile-wire", Some(&plan), messages);
+    let matched_equal = clean.completed == hostile.completed;
+
+    for run in [&clean, &hostile] {
+        let r = &run.row;
+        println!(
+            "  {:<13} {:>12.0} msgs/s   [drops {} | dups {} | reorders {} | delays {}] \
+             retransmits {} (in {} resends), backoff {} polls",
+            r.label,
+            r.msgs_per_sec,
+            r.wire_drops,
+            r.wire_duplicates,
+            r.wire_reorders,
+            r.wire_delays,
+            r.retransmits,
+            r.resend_events,
+            r.backoff_polls,
+        );
+        if let Some(v) = observability_value(run.observability_json.as_deref()) {
+            observability.insert(format!("faults {}", r.label), v);
+        }
+    }
+    println!("shape: hostile wire changed no matched pair: {matched_equal}");
+    println!(
+        "shape: reliability protocol actually fired: {}",
+        hostile.row.retransmits > 0 && hostile.row.wire_drops > 0
+    );
+
+    let sweep = FaultSweep {
+        seed,
+        drop_permille: plan.drop_permille,
+        duplicate_permille: plan.duplicate_permille,
+        reorder_permille: plan.reorder_permille,
+        delay_permille: plan.delay_permille,
+        matched_equal,
+        rows: vec![clean.row, hostile.row],
+    };
+    let path = write_faults_artifact(
+        &sweep,
+        &[&clean.observability_json, &hostile.observability_json],
+    );
+    println!("fault-sweep artifact: {}", path.display());
+    Some(sweep)
+}
+
+/// Writes the fault sweep to `fig8_faults.json`, serialized by hand (no
+/// serde_json on this path) with the two runs' registry-snapshot JSON
+/// embedded verbatim — the same dependency-free idiom as
+/// [`write_mixed_artifact`].
+fn write_faults_artifact(sweep: &FaultSweep, snapshots: &[&Option<String>]) -> std::path::PathBuf {
+    let row_objs: Vec<String> = sweep.rows.iter().map(FaultRow::to_json).collect();
+    let snapshot_objs: Vec<String> = sweep
+        .rows
+        .iter()
+        .zip(snapshots)
+        .filter_map(|(row, snap)| snap.as_ref().map(|s| format!("\"{}\":{}", row.label, s)))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"fig8_faults\",\"seed\":{},",
+            "\"plan\":{{\"drop_permille\":{},\"duplicate_permille\":{},",
+            "\"reorder_permille\":{},\"delay_permille\":{}}},",
+            "\"matched_equal\":{},\"rows\":[{}],\"observability\":{{{}}}}}\n"
+        ),
+        sweep.seed,
+        sweep.drop_permille,
+        sweep.duplicate_permille,
+        sweep.reorder_permille,
+        sweep.delay_permille,
+        sweep.matched_equal,
+        row_objs.join(","),
+        snapshot_objs.join(",")
+    );
+    let path = experiments_dir().join("fig8_faults.json");
+    std::fs::write(&path, json).expect("write fault-sweep artifact");
+    path
+}
+
 /// Drives the full receive path from multiple sender threads: shard `i` is
 /// the communicator `CommId(i + 1)` terminating its own queue pair on one
 /// receive NIC; its receives are pre-posted through the service (handle
@@ -445,11 +756,8 @@ fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
         }
         senders.push(Some(tx));
     }
-    let mut svc = MatchingService::with_backend(
-        nic.expect("at least one shard"),
-        domain,
-        Box::new(engine),
-    );
+    let mut svc =
+        MatchingService::with_backend(nic.expect("at least one shard"), domain, Box::new(engine));
     svc.enable_command_queue()
         .expect("the offloaded engine has a command queue");
 
@@ -590,6 +898,7 @@ fn finish(
     results: Vec<PingPongResult>,
     sharded: ShardedReport,
     mixed: Vec<(MixedRow, String)>,
+    faults: Option<FaultSweep>,
     observability: BTreeMap<String, serde_json::Value>,
 ) {
     let mixed_path = write_mixed_artifact(&mixed);
@@ -597,6 +906,7 @@ fn finish(
         series: results,
         sharded,
         mixed: mixed.into_iter().map(|(row, _)| row).collect(),
+        faults,
     };
     // Shape checks mirrored from the paper's discussion of Fig. 8.
     let rate = |label: &str| {

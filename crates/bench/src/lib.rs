@@ -50,6 +50,14 @@ pub struct CommonArgs {
     /// `--post-mix PCT`: percentage of posts interleaved into the mixed
     /// command stream (fig8; default 30).
     pub post_mix: Option<u32>,
+    /// `--faults`: run the fault-injection sweep (fig8) — the same message
+    /// stream over a perfect and a seeded-hostile wire, recovered by the
+    /// go-back-N reliability protocol — and write the `fig8_faults.json`
+    /// artifact.
+    pub faults: bool,
+    /// `--fault-seed N`: seed for the fault plan of the `--faults` sweep
+    /// (default `0xf8`). Equal seeds inject identical faults.
+    pub fault_seed: Option<u64>,
 }
 
 impl CommonArgs {
@@ -74,6 +82,8 @@ impl CommonArgs {
                 "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()),
                 "--packing" => args.packing = it.next(),
                 "--post-mix" => args.post_mix = it.next().and_then(|v| v.parse().ok()),
+                "--faults" => args.faults = true,
+                "--fault-seed" => args.fault_seed = it.next().and_then(|v| v.parse().ok()),
                 _ => {}
             }
         }
@@ -263,6 +273,20 @@ mod tests {
         assert_eq!(default.post_mix, None);
         let bad = CommonArgs::from_iter(["--post-mix", "lots"].into_iter().map(String::from));
         assert_eq!(bad.post_mix, None);
+    }
+
+    #[test]
+    fn common_args_parse_fault_knobs() {
+        let args = CommonArgs::from_iter(
+            ["--faults", "--fault-seed", "248"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(args.faults);
+        assert_eq!(args.fault_seed, Some(248));
+        let default = CommonArgs::from_iter(std::iter::empty());
+        assert!(!default.faults);
+        assert_eq!(default.fault_seed, None);
     }
 
     #[test]

@@ -12,13 +12,17 @@
 use crate::bounce::BouncePool;
 use crate::memory::DeviceMemory;
 use crate::nic::RecvNic;
-use crate::rdma::{connected_pair, eager_packet, rendezvous_packet, QueuePair, RdmaDomain};
+use crate::rdma::{
+    connected_pair, eager_packet, rendezvous_packet, QueuePair, RdmaDomain, WirePacket,
+};
+use crate::reliable::{ReliabilityStats, ReliableSender};
 use crate::service::{CompletedReceive, MatchingService, ServiceError};
 use mpi_matching::traditional::TraditionalMatcher;
 use mpi_matching::{MatchingBackend, RecvHandle};
 use otm::OtmEngine;
+use otm_base::hash::mix64;
 use otm_base::memory::Footprint;
-use otm_base::{Envelope, MatchConfig, Rank, ReceivePattern, Tag};
+use otm_base::{Envelope, FaultPlan, MatchConfig, Rank, ReceivePattern, Tag};
 
 /// Which matching backend every node of the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,13 +51,51 @@ impl ClusterBackend {
     }
 }
 
+/// A node's send endpoint towards one peer: a bare queue pair on a
+/// perfect wire, or a [`ReliableSender`] when the cluster runs a fault
+/// plan (sequence numbers, cumulative acks, go-back-N retransmission).
+enum PeerSender {
+    Direct(QueuePair),
+    /// Boxed: the sender's window + stats dwarf a bare queue pair.
+    Reliable(Box<ReliableSender>),
+}
+
+impl PeerSender {
+    fn send(&mut self, packet: WirePacket) -> Result<(), ServiceError> {
+        match self {
+            PeerSender::Direct(qp) => qp.send(packet).map_err(ServiceError::Rdma),
+            PeerSender::Reliable(s) => s.send(packet).map_err(ServiceError::from),
+        }
+    }
+
+    /// Drives the reliability protocol one step (acks in, retransmits
+    /// out). A no-op on a direct endpoint.
+    fn pump(&mut self) -> Result<(), ServiceError> {
+        if let PeerSender::Reliable(s) = self {
+            // The reverse direction of a mesh data link carries only acks
+            // (each direction of the mesh has its own pair), so any app
+            // packets the sender hands back can only be stray.
+            let stray = s.poll()?;
+            debug_assert!(stray.is_empty(), "mesh reverse path carries only acks");
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> ReliabilityStats {
+        match self {
+            PeerSender::Direct(_) => ReliabilityStats::default(),
+            PeerSender::Reliable(s) => s.stats(),
+        }
+    }
+}
+
 /// One simulated node: its matching service plus send endpoints to every
 /// peer.
 pub struct ClusterNode {
     rank: Rank,
     service: MatchingService,
     /// Send endpoint towards each peer (`None` at our own index).
-    peers: Vec<Option<QueuePair>>,
+    peers: Vec<Option<PeerSender>>,
     domain: RdmaDomain,
     /// Eager/rendezvous switchover for [`ClusterNode::send`].
     eager_threshold: usize,
@@ -74,23 +116,56 @@ impl ClusterNode {
     /// by size (§IV-B).
     pub fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<(), ServiceError> {
         let env = Envelope::world(self.rank, tag);
-        let qp = self.peers[dest]
-            .as_ref()
+        let sender = self.peers[dest]
+            .as_mut()
             .expect("no loopback sends in the mesh");
         if payload.len() <= self.eager_threshold {
-            qp.send(eager_packet(env, payload))
-                .map_err(ServiceError::Rdma)
+            sender.send(eager_packet(env, payload))
         } else {
             let (pkt, _rkey) = rendezvous_packet(&self.domain, env, payload, 64);
-            qp.send(pkt).map_err(ServiceError::Rdma)
+            sender.send(pkt)
         }
     }
 
     /// Polls the NIC, matches, runs protocols; returns newly completed
-    /// receives.
+    /// receives. Also drives this node's reliable senders (acks in,
+    /// retransmits out) when the cluster runs a fault plan.
     pub fn progress(&mut self) -> Result<Vec<CompletedReceive>, ServiceError> {
         self.service.progress()?;
+        self.pump_senders()?;
         Ok(self.service.take_completed())
+    }
+
+    /// Drives every reliable send endpoint one step without touching the
+    /// receive path. [`Cluster::progress_until`] pumps the *other* nodes
+    /// through this so their dropped packets retransmit while one node is
+    /// being progressed.
+    pub fn pump_senders(&mut self) -> Result<(), ServiceError> {
+        for peer in self.peers.iter_mut().flatten() {
+            peer.pump()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate reliability-protocol counters over this node's send
+    /// endpoints (all zero on a fault-free cluster).
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        let mut total = ReliabilityStats::default();
+        for peer in self.peers.iter().flatten() {
+            let s = peer.stats();
+            total.sent += s.sent;
+            total.retransmits += s.retransmits;
+            total.resend_events += s.resend_events;
+            total.acks += s.acks;
+            total.backoff_polls += s.backoff_polls;
+        }
+        total
+    }
+
+    /// What this node's receive-side fault interpreter injected so far
+    /// (`None` when the cluster runs no fault plan).
+    pub fn wire_fault_stats(&self) -> Option<crate::fault::WireFaultStats> {
+        self.service.nic().wire_fault_stats()
     }
 
     /// Engine statistics when offloaded.
@@ -118,6 +193,31 @@ impl Cluster {
     /// (inline lanes) so large simulated clusters do not oversubscribe the
     /// simulation host with worker pools.
     pub fn new(n: usize, backend: ClusterBackend, config: MatchConfig) -> Self {
+        Self::build(n, backend, config, None)
+    }
+
+    /// Builds an `n`-node cluster whose wires run the given fault plan.
+    ///
+    /// Every node's receive NIC interprets its own deterministically
+    /// derived copy of `plan` (same plan, per-node seed — two clusters
+    /// built from the same plan inject identical faults), and every send
+    /// endpoint is wrapped in a [`ReliableSender`] so the go-back-N
+    /// protocol recovers the drops, duplicates, reorders and delays.
+    pub fn with_faults(
+        n: usize,
+        backend: ClusterBackend,
+        config: MatchConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        Self::build(n, backend, config, Some(plan))
+    }
+
+    fn build(
+        n: usize,
+        backend: ClusterBackend,
+        config: MatchConfig,
+        faults: Option<FaultPlan>,
+    ) -> Self {
         assert!(n >= 2, "a cluster needs at least two nodes");
         // peers_qp[i][j] = i's send endpoint to j.
         let mut send_eps: Vec<Vec<Option<QueuePair>>> =
@@ -156,6 +256,25 @@ impl Cluster {
                 for qp in qps {
                     nic.add_qp(qp);
                 }
+                if let Some(plan) = &faults {
+                    // Same plan, per-node seed: the node index mixes into
+                    // the plan's seed so every wire misbehaves differently
+                    // yet the whole cluster replays identically from one
+                    // root seed.
+                    nic.set_faults(plan.clone().with_seed(mix64(plan.seed ^ (i as u64 + 1))));
+                }
+                let peers = peers
+                    .into_iter()
+                    .map(|ep| {
+                        ep.map(|qp| {
+                            if faults.is_some() {
+                                PeerSender::Reliable(Box::new(ReliableSender::new(qp)))
+                            } else {
+                                PeerSender::Direct(qp)
+                            }
+                        })
+                    })
+                    .collect();
                 let service =
                     MatchingService::with_backend(nic, domain.clone(), backend.build(&config));
                 ClusterNode {
@@ -187,7 +306,9 @@ impl Cluster {
 
     /// Progresses node `i` until it has accumulated `want` completions
     /// (single-threaded event loop: the sends feeding it must already be on
-    /// the wire).
+    /// the wire). Every other node's reliable senders are pumped each
+    /// iteration so dropped packets retransmit toward `i` — a no-op on a
+    /// fault-free cluster.
     pub fn progress_until(
         &mut self,
         i: usize,
@@ -196,6 +317,11 @@ impl Cluster {
         let mut done = Vec::new();
         while done.len() < want {
             done.extend(self.nodes[i].progress()?);
+            for j in 0..self.nodes.len() {
+                if j != i {
+                    self.nodes[j].pump_senders()?;
+                }
+            }
         }
         Ok(done)
     }
@@ -279,5 +405,63 @@ mod tests {
         c.node_mut(0).send(1, Tag(9), payload.clone()).unwrap();
         let done = c.progress_until(1, 1).unwrap();
         assert_eq!(done[0].data, payload);
+    }
+
+    #[test]
+    fn faulty_mesh_delivers_everything_exactly_once_in_order() {
+        // A hostile wire under every link: drops, duplicates and reorders
+        // at 15% each. The reliable senders and the NIC's go-back-N
+        // acceptance must deliver every payload exactly once, in per-link
+        // send order, on all three nodes.
+        let plan = FaultPlan::new(0xc1a5)
+            .with_drop_permille(150)
+            .with_duplicate_permille(150)
+            .with_reorder_permille(150);
+        let mut c = Cluster::with_faults(3, ClusterBackend::Offloaded, config(), plan);
+        let per_link = 10u32;
+        for dst in 0..3usize {
+            for src in 0..3usize {
+                if src == dst {
+                    continue;
+                }
+                for k in 0..per_link {
+                    c.node_mut(dst)
+                        .post_recv(ReceivePattern::exact(Rank(src as u32), Tag(k)))
+                        .unwrap();
+                }
+            }
+        }
+        for src in 0..3usize {
+            for dst in 0..3usize {
+                if src == dst {
+                    continue;
+                }
+                for k in 0..per_link {
+                    c.node_mut(src)
+                        .send(dst, Tag(k), vec![src as u8, dst as u8, k as u8])
+                        .unwrap();
+                }
+            }
+        }
+        for dst in 0..3usize {
+            let done = c.progress_until(dst, 2 * per_link as usize).unwrap();
+            assert_eq!(done.len(), 2 * per_link as usize);
+            for d in done {
+                assert_eq!(
+                    d.data,
+                    vec![d.env.src.0 as u8, dst as u8, d.env.tag.0 as u8],
+                    "payload must agree with the matched envelope"
+                );
+            }
+        }
+        // The wire really was hostile and the protocol really did work.
+        let injected: u64 = (0..3)
+            .map(|i| c.node_mut(i).wire_fault_stats().unwrap().total())
+            .sum();
+        assert!(injected > 0, "the plan must have injected faults");
+        let recovered: u64 = (0..3)
+            .map(|i| c.node_mut(i).reliability_stats().retransmits)
+            .sum();
+        assert!(recovered > 0, "drops must have forced retransmissions");
     }
 }

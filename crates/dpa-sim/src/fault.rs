@@ -1,0 +1,504 @@
+//! Deterministic fault injection for the simulated delivery path.
+//!
+//! The paper's DPA handlers sit on a lossless fabric, so `dpa-sim`
+//! historically delivered every wire packet exactly once and in order. A
+//! production matching service cannot assume that: sPIN-style on-NIC
+//! handlers must tolerate lossy links and stalled execution units. This
+//! module interprets an [`otm_base::FaultPlan`] against the two places the
+//! simulator can misbehave:
+//!
+//! * [`WireFaults`] wraps packet delivery into [`crate::nic::RecvNic`] —
+//!   dropping, duplicating, reordering (within a bounded window) and
+//!   delaying **sequenced** packets. Unsequenced control traffic (acks,
+//!   legacy direct sends) passes through untouched, so only traffic that
+//!   opted into the go-back-N protocol is ever perturbed.
+//! * [`FaultInjectingBackend`] wraps a [`MatchingBackend`] — injecting
+//!   transient retryable drain failures and silent worker stalls, the
+//!   failure shapes the service's retry budget and fallback escalation
+//!   must absorb.
+//!
+//! Everything is driven by the plan's seeded [`FaultRng`], so a given
+//! `(seed, rates)` pair reproduces the exact same fault schedule run after
+//! run — the property the chaos oracle uses to compare a faulty run with
+//! its fault-free twin.
+
+use crate::rdma::WirePacket;
+use mpi_matching::backend::{
+    BlockDelivery, DrainReport, FallbackState, MatchingBackend, PendingCommand,
+};
+use mpi_matching::stats::MatchStats;
+use mpi_matching::{MsgHandle, PostResult, RecvHandle};
+use otm_base::{Envelope, FaultPlan, FaultRng, MatchError, ReceivePattern};
+use std::any::Any;
+
+/// Counters of the faults a [`WireFaults`] instance actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireFaultStats {
+    /// Packets silently dropped.
+    pub drops: u64,
+    /// Packets delivered twice.
+    pub duplicates: u64,
+    /// Packets released out of order.
+    pub reorders: u64,
+    /// Packets delivered late but in order.
+    pub delays: u64,
+}
+
+impl WireFaultStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.drops + self.duplicates + self.reorders + self.delays
+    }
+}
+
+/// A held-back packet: released once the delivery clock reaches `due`.
+/// Remembers which queue pair it arrived on so the receiver can run its
+/// per-QP sequence check and ack on the right endpoint.
+#[derive(Debug)]
+struct HeldPacket {
+    due: u64,
+    qp: usize,
+    packet: WirePacket,
+}
+
+/// The wire-level interpreter of a [`FaultPlan`].
+///
+/// [`crate::nic::RecvNic`] consults this on every arriving packet:
+/// [`WireFaults::admit`] decides the packet's fate and returns what to
+/// deliver *now*; held packets (reordered or delayed) come back out of
+/// [`WireFaults::pop_due`] once [`WireFaults::tick`] has advanced the
+/// delivery clock far enough. The clock counts NIC polls, not wall time,
+/// so runs are deterministic.
+#[derive(Debug)]
+pub struct WireFaults {
+    plan: FaultPlan,
+    rng: FaultRng,
+    tick: u64,
+    held: Vec<HeldPacket>,
+    /// Remaining fault budget (`u64::MAX` when the plan is unbounded).
+    budget: u64,
+    stats: WireFaultStats,
+    metrics: Option<crate::obs::ServiceMetrics>,
+}
+
+impl WireFaults {
+    /// Builds the interpreter for `plan`. The plan should have passed
+    /// [`FaultPlan::validate`]; zero-rate plans simply never inject.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = plan.rng();
+        let budget = plan.max_faults.unwrap_or(u64::MAX);
+        WireFaults {
+            plan,
+            rng,
+            tick: 0,
+            held: Vec::new(),
+            budget,
+            stats: WireFaultStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics handle so injected faults show up as
+    /// `dpa_wire_*_total` counters in a registry snapshot.
+    pub fn attach_metrics(&mut self, metrics: crate::obs::ServiceMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Advances the delivery clock by one NIC poll.
+    pub fn tick(&mut self) {
+        self.tick += 1;
+    }
+
+    /// Decides the fate of a packet arriving on queue pair `qp` and
+    /// returns the packets to deliver immediately (empty on drop/hold,
+    /// two on duplication).
+    ///
+    /// Only sequenced packets are ever perturbed: acks and legacy
+    /// unsequenced traffic pass through verbatim, so fault injection can
+    /// only create conditions the go-back-N protocol is able to repair.
+    pub fn admit(&mut self, qp: usize, packet: WirePacket) -> Vec<WirePacket> {
+        if packet.seq.is_none() || self.budget == 0 {
+            return vec![packet];
+        }
+        // One decision per fault kind, in a fixed order, so the schedule
+        // depends only on the seed and the sequence of admitted packets.
+        if self.rng.chance(self.plan.drop_permille) {
+            self.budget -= 1;
+            self.stats.drops += 1;
+            if let Some(m) = &self.metrics {
+                m.count_wire_drop();
+            }
+            return Vec::new();
+        }
+        if self.rng.chance(self.plan.duplicate_permille) {
+            self.budget -= 1;
+            self.stats.duplicates += 1;
+            if let Some(m) = &self.metrics {
+                m.count_wire_dup();
+            }
+            return vec![packet.clone(), packet];
+        }
+        if self.rng.chance(self.plan.reorder_permille) {
+            self.budget -= 1;
+            self.stats.reorders += 1;
+            if let Some(m) = &self.metrics {
+                m.count_wire_reorder();
+            }
+            let window = self.plan.reorder_window.max(1) as u64;
+            let due = self.tick + 1 + self.rng.below(window);
+            self.held.push(HeldPacket { due, qp, packet });
+            return Vec::new();
+        }
+        if self.rng.chance(self.plan.delay_permille) {
+            self.budget -= 1;
+            self.stats.delays += 1;
+            if let Some(m) = &self.metrics {
+                m.count_wire_delay();
+            }
+            let due = self.tick + self.plan.delay_polls.max(1) as u64;
+            self.held.push(HeldPacket { due, qp, packet });
+            return Vec::new();
+        }
+        vec![packet]
+    }
+
+    /// Releases one held packet whose due time has passed, if any, with
+    /// the queue pair it arrived on. Called repeatedly each poll so a
+    /// staging failure can pause mid-release without losing packets.
+    pub fn pop_due(&mut self) -> Option<(usize, WirePacket)> {
+        let idx = self.held.iter().position(|h| h.due <= self.tick)?;
+        let h = self.held.remove(idx);
+        Some((h.qp, h.packet))
+    }
+
+    /// Packets currently held back (reordered or delayed, not yet due).
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> WireFaultStats {
+        self.stats
+    }
+
+    /// The plan this interpreter executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+/// Counters of the backend faults a [`FaultInjectingBackend`] injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendFaultStats {
+    /// Drains that reported a transient retryable error without running.
+    pub transient_failures: u64,
+    /// Drains that silently made no progress (stalled worker).
+    pub stalls: u64,
+}
+
+/// A [`MatchingBackend`] decorator that injects transient drain failures
+/// and worker stalls according to a [`FaultPlan`].
+///
+/// A *transient failure* reports a retryable [`MatchError`] without popping
+/// any command — exactly the contract a real engine honors on resource
+/// exhaustion (commands requeue, a later drain resumes where this one
+/// stopped). A *stall* returns an empty successful report: the drain "ran"
+/// but a wedged worker made no progress. Both are repaired by the
+/// service's retry loop; neither can corrupt matching state, which is what
+/// the chaos oracle verifies.
+///
+/// The wrapper draws from its own decision stream (derived from the plan
+/// seed) so wire faults and backend faults are independently reproducible.
+pub struct FaultInjectingBackend {
+    inner: Box<dyn MatchingBackend>,
+    plan: FaultPlan,
+    rng: FaultRng,
+    budget: u64,
+    stats: BackendFaultStats,
+}
+
+impl std::fmt::Debug for FaultInjectingBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjectingBackend")
+            .field("inner", &self.inner.backend_name())
+            .field("plan", &self.plan)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FaultInjectingBackend {
+    /// Wraps `inner`, injecting per `plan`. The decision stream is
+    /// decorrelated from the wire stream by perturbing the seed.
+    pub fn new(inner: Box<dyn MatchingBackend>, plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(otm_base::hash::mix64(plan.seed ^ 0xbac4_e9d5_fa17_0001));
+        let budget = plan.max_faults.unwrap_or(u64::MAX);
+        FaultInjectingBackend {
+            inner,
+            plan,
+            rng,
+            budget,
+            stats: BackendFaultStats::default(),
+        }
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> BackendFaultStats {
+        self.stats
+    }
+}
+
+impl MatchingBackend for FaultInjectingBackend {
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn post(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<PostResult, MatchError> {
+        self.inner.post(pattern, handle)
+    }
+
+    fn arrive_block(
+        &mut self,
+        msgs: &[(Envelope, MsgHandle)],
+    ) -> Result<Vec<BlockDelivery>, MatchError> {
+        self.inner.arrive_block(msgs)
+    }
+
+    fn probe(&self, pattern: &ReceivePattern) -> Option<MsgHandle> {
+        self.inner.probe(pattern)
+    }
+
+    fn prq_len(&self) -> usize {
+        self.inner.prq_len()
+    }
+
+    fn umq_len(&self) -> usize {
+        self.inner.umq_len()
+    }
+
+    fn merge_stats(&self, into: &mut MatchStats) {
+        self.inner.merge_stats(into)
+    }
+
+    fn wants_offload_fallback(&self) -> bool {
+        self.inner.wants_offload_fallback()
+    }
+
+    fn supports_command_queue(&self) -> bool {
+        self.inner.supports_command_queue()
+    }
+
+    fn submit_command(&mut self, cmd: PendingCommand) -> Result<(), MatchError> {
+        self.inner.submit_command(cmd)
+    }
+
+    fn drain_commands(&mut self) -> DrainReport {
+        if self.budget > 0 && self.rng.chance(self.plan.transient_fail_permille) {
+            self.budget -= 1;
+            self.stats.transient_failures += 1;
+            // A transient device hiccup: no command was popped, so the
+            // retryable-error contract holds trivially — a retry resumes
+            // exactly where the queue stands.
+            return DrainReport {
+                outcomes: Vec::new(),
+                error: Some(MatchError::OutOfDeviceMemory {
+                    requested: 0,
+                    available: 0,
+                }),
+                unapplied: Vec::new(),
+            };
+        }
+        if self.budget > 0 && self.rng.chance(self.plan.stall_permille) {
+            self.budget -= 1;
+            self.stats.stalls += 1;
+            // A stalled worker: the drain returns having done nothing.
+            return DrainReport::default();
+        }
+        self.inner.drain_commands()
+    }
+
+    fn pending_commands(&self) -> usize {
+        self.inner.pending_commands()
+    }
+
+    fn drain_for_fallback(self: Box<Self>) -> Result<FallbackState, MatchError> {
+        self.inner.drain_for_fallback()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        // Deliberately exposes the *inner* backend: observability
+        // downcasts (e.g. the service reading the optimistic engine's
+        // device counters) should see through the fault decorator.
+        self.inner.as_any()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdma::{ack_packet, eager_packet};
+    use otm_base::{Rank, Tag};
+
+    fn sequenced(seq: u64) -> WirePacket {
+        eager_packet(Envelope::world(Rank(0), Tag(seq as u32)), vec![seq as u8]).with_seq(seq)
+    }
+
+    #[test]
+    fn inert_plan_passes_everything_through() {
+        let mut w = WireFaults::new(FaultPlan::default());
+        for seq in 0..100 {
+            let out = w.admit(0, sequenced(seq));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].seq, Some(seq));
+        }
+        assert_eq!(w.stats().total(), 0);
+        assert_eq!(w.held_len(), 0);
+    }
+
+    #[test]
+    fn unsequenced_traffic_is_never_perturbed() {
+        let plan = FaultPlan::new(1).with_drop_permille(1000);
+        let mut w = WireFaults::new(plan);
+        let out = w.admit(0, ack_packet(5));
+        assert_eq!(out.len(), 1, "acks bypass fault injection");
+        let out = w.admit(0, eager_packet(Envelope::world(Rank(0), Tag(0)), vec![]));
+        assert_eq!(out.len(), 1, "unsequenced data bypasses fault injection");
+        assert_eq!(w.stats().drops, 0);
+    }
+
+    #[test]
+    fn certain_drop_rate_drops_every_sequenced_packet() {
+        let mut w = WireFaults::new(FaultPlan::new(2).with_drop_permille(1000));
+        for seq in 0..10 {
+            assert!(w.admit(0, sequenced(seq)).is_empty());
+        }
+        assert_eq!(w.stats().drops, 10);
+    }
+
+    #[test]
+    fn duplication_delivers_the_packet_twice() {
+        let mut w = WireFaults::new(FaultPlan::new(3).with_duplicate_permille(1000));
+        let out = w.admit(0, sequenced(7));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(w.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn reordered_packets_release_within_the_window() {
+        let plan = FaultPlan::new(4)
+            .with_reorder_permille(1000)
+            .with_reorder_window(3);
+        let mut w = WireFaults::new(plan);
+        assert!(w.admit(3, sequenced(0)).is_empty());
+        assert_eq!(w.held_len(), 1);
+        // The packet must come back out within `reorder_window` ticks.
+        let mut released = None;
+        for _ in 0..4 {
+            w.tick();
+            if let Some((qp, p)) = w.pop_due() {
+                assert_eq!(qp, 3, "release remembers the arrival QP");
+                released = Some(p);
+                break;
+            }
+        }
+        assert_eq!(released.expect("released within window").seq, Some(0));
+        assert_eq!(w.held_len(), 0);
+        assert_eq!(w.stats().reorders, 1);
+    }
+
+    #[test]
+    fn delayed_packets_release_after_exactly_delay_polls() {
+        let plan = FaultPlan::new(5)
+            .with_delay_permille(1000)
+            .with_delay_polls(2);
+        let mut w = WireFaults::new(plan);
+        assert!(w.admit(0, sequenced(0)).is_empty());
+        w.tick();
+        assert!(w.pop_due().is_none(), "not due after one poll");
+        w.tick();
+        assert_eq!(w.pop_due().expect("due after two polls").1.seq, Some(0));
+    }
+
+    #[test]
+    fn fault_budget_bounds_total_injections() {
+        let plan = FaultPlan::new(6)
+            .with_drop_permille(1000)
+            .with_max_faults(3);
+        let mut w = WireFaults::new(plan);
+        let mut delivered = 0;
+        for seq in 0..10 {
+            delivered += w.admit(0, sequenced(seq)).len();
+        }
+        assert_eq!(w.stats().drops, 3, "budget caps injections");
+        assert_eq!(delivered, 7, "post-budget packets sail through");
+    }
+
+    #[test]
+    fn same_seed_injects_the_same_schedule() {
+        let plan = FaultPlan::new(99)
+            .with_drop_permille(300)
+            .with_duplicate_permille(300)
+            .with_reorder_permille(200)
+            .with_reorder_window(4);
+        let run = |plan: FaultPlan| {
+            let mut w = WireFaults::new(plan);
+            let mut fates = Vec::new();
+            for seq in 0..200 {
+                fates.push(w.admit(0, sequenced(seq)).len());
+            }
+            (fates, w.stats())
+        };
+        let (fates_a, stats_a) = run(plan.clone());
+        let (fates_b, stats_b) = run(plan);
+        assert_eq!(fates_a, fates_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.total() > 0, "rates this high must inject something");
+    }
+
+    #[test]
+    fn transient_backend_failure_is_retryable_and_consumes_nothing() {
+        use mpi_matching::traditional::TraditionalMatcher;
+        let plan = FaultPlan::new(7).with_transient_fail_permille(1000);
+        let mut b = FaultInjectingBackend::new(Box::new(TraditionalMatcher::new()), plan);
+        let report = b.drain_commands();
+        assert!(report.outcomes.is_empty());
+        assert!(report.error.as_ref().is_some_and(|e| e.is_retryable()));
+        assert!(report.unapplied.is_empty());
+        assert_eq!(b.stats().transient_failures, 1);
+    }
+
+    #[test]
+    fn stalled_backend_drain_reports_silent_no_progress() {
+        use mpi_matching::traditional::TraditionalMatcher;
+        let plan = FaultPlan::new(8).with_stall_permille(1000);
+        let mut b = FaultInjectingBackend::new(Box::new(TraditionalMatcher::new()), plan);
+        let report = b.drain_commands();
+        assert!(report.outcomes.is_empty());
+        assert!(report.error.is_none());
+        assert_eq!(b.stats().stalls, 1);
+    }
+
+    #[test]
+    fn fault_wrapper_delegates_matching_faithfully() {
+        use mpi_matching::traditional::TraditionalMatcher;
+        let plan = FaultPlan::new(9).with_transient_fail_permille(500);
+        let mut b = FaultInjectingBackend::new(Box::new(TraditionalMatcher::new()), plan);
+        assert_eq!(b.backend_name(), "MPI-CPU");
+        b.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(0))
+            .unwrap();
+        let d = b
+            .arrive_block(&[(Envelope::world(Rank(0), Tag(1)), MsgHandle(0))])
+            .unwrap();
+        assert_eq!(d[0].matched(), Some(RecvHandle(0)));
+        assert_eq!(b.prq_len(), 0);
+    }
+}

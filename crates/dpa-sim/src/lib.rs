@@ -13,9 +13,17 @@
 //! * [`memory`] — the device-memory budget; allocation failure triggers
 //!   fallback to software tag matching (§IV-E);
 //! * [`nic`] — the receive-side NIC engine: RDMA receive completions are
-//!   staged into bounce buffers and exposed through a completion queue;
+//!   staged into bounce buffers and exposed through a completion queue,
+//!   with a go-back-N acceptance check for sequenced traffic;
+//! * [`fault`] — the deterministic fault-injection layer: a seeded
+//!   [`otm_base::FaultPlan`] drops, duplicates, reorders and delays wire
+//!   packets and injects transient backend failures and worker stalls;
+//! * [`reliable`] — the sender half of the reliability protocol: sequence
+//!   numbers, cumulative acks, go-back-N retransmission with exponential
+//!   backoff and a bounded retry budget;
 //! * [`obs`] — feature-gated observability: queue-depth gauges and
-//!   NIC-memory pressure counters for the matching service;
+//!   NIC-memory pressure counters for the matching service, plus the
+//!   fault/reliability counters and backoff histogram;
 //! * [`service`] — the matching service: the offloaded optimistic engine
 //!   (blocks of N completions matched in parallel), the on-CPU traditional
 //!   matcher (MPI-CPU baseline), or no matching at all (RDMA-CPU ceiling),
@@ -30,15 +38,19 @@
 pub mod bounce;
 pub mod cluster;
 pub mod collectives;
+pub mod fault;
 pub mod memory;
 pub mod nic;
 pub mod obs;
 pub mod pingpong;
 pub mod rdma;
+pub mod reliable;
 pub mod service;
 
 pub use cluster::{Cluster, ClusterBackend, ClusterNode};
+pub use fault::{BackendFaultStats, FaultInjectingBackend, WireFaultStats, WireFaults};
 pub use memory::DeviceMemory;
 pub use obs::ServiceMetrics;
 pub use pingpong::{MatchMode, PingPongConfig, PingPongResult, Scenario};
+pub use reliable::{ReliabilityError, ReliabilityStats, ReliableSender};
 pub use service::MatchingService;

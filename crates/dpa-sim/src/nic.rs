@@ -10,9 +10,11 @@
 //! *i* wait on completion *i*, *i + N*, … maps onto lane *i* of each block.
 
 use crate::bounce::{BounceId, BouncePool};
+use crate::fault::{WireFaultStats, WireFaults};
+use crate::obs::ServiceMetrics;
 use crate::rdma::{MessageHeader, QueuePair, RdmaError, WirePacket};
 use mpi_matching::MsgHandle;
-use otm_base::MatchError;
+use otm_base::{FaultPlan, MatchError};
 use std::collections::VecDeque;
 
 /// A completion-queue entry: one arrived message staged in NIC memory.
@@ -46,10 +48,32 @@ impl std::fmt::Display for NicError {
 
 impl std::error::Error for NicError {}
 
+/// Counters of the go-back-N receive side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RxStats {
+    /// Sequenced packets discarded because their sequence number was
+    /// already accepted (retransmit overlap or wire duplication).
+    pub duplicates: u64,
+    /// Sequenced packets discarded because they arrived ahead of the next
+    /// expected sequence number (a gap the sender's window resend fills).
+    pub gaps: u64,
+    /// Cumulative acknowledgements sent back to peers.
+    pub acks_sent: u64,
+}
+
 /// The receive-side NIC: wire → bounce buffers → completion queue.
 ///
 /// A NIC can terminate several queue pairs (one per remote peer in a
 /// multi-node job); their completions merge into the one CQ in poll order.
+///
+/// Packets stamped with a reliability sequence number (sent through a
+/// [`crate::reliable::ReliableSender`]) pass a per-QP go-back-N acceptance
+/// check: only the next expected sequence number is staged; duplicates and
+/// gaps are discarded and a cumulative ack is returned on the arrival QP.
+/// Because acceptance is strictly in order, the completion queue — and the
+/// monotone [`MsgHandle`]s it assigns — are identical to a fault-free
+/// run's, no matter what a [`WireFaults`] layer did to the wire.
+/// Unsequenced packets keep the legacy pass-through behavior.
 #[derive(Debug)]
 pub struct RecvNic {
     qps: Vec<QueuePair>,
@@ -59,8 +83,18 @@ pub struct RecvNic {
     /// A packet already pulled off its queue pair whose staging failed
     /// (bounce pool exhausted). Retried first on the next poll so no
     /// message is ever dropped; holding it preserves per-QP FIFO order
-    /// because the failing poll returns immediately.
+    /// because the failing poll returns immediately. A sequenced held
+    /// packet has already passed the acceptance check, so the retry goes
+    /// straight to staging.
     held: Option<WirePacket>,
+    /// Fault interpreter wrapping delivery, if a plan was installed.
+    faults: Option<WireFaults>,
+    /// Per-QP next expected sequence number.
+    expected: Vec<u64>,
+    /// Per-QP flag: sequenced traffic arrived since the last ack.
+    ack_due: Vec<bool>,
+    rx_stats: RxStats,
+    metrics: Option<ServiceMetrics>,
 }
 
 impl RecvNic {
@@ -73,12 +107,41 @@ impl RecvNic {
             cq: VecDeque::new(),
             next_msg: 0,
             held: None,
+            faults: None,
+            expected: vec![0],
+            ack_due: vec![false],
+            rx_stats: RxStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Installs a fault plan on the delivery path. Sequenced packets are
+    /// dropped/duplicated/reordered/delayed per the plan; the go-back-N
+    /// protocol repairs the damage before anything reaches the completion
+    /// queue.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        let mut faults = WireFaults::new(plan);
+        if let Some(m) = &self.metrics {
+            faults.attach_metrics(m.clone());
+        }
+        self.faults = Some(faults);
+    }
+
+    /// Attaches a metrics handle so reliability events (discarded
+    /// duplicates, gaps) and injected wire faults show up in a registry
+    /// snapshot.
+    pub fn attach_metrics(&mut self, metrics: ServiceMetrics) {
+        if let Some(f) = self.faults.as_mut() {
+            f.attach_metrics(metrics.clone());
+        }
+        self.metrics = Some(metrics);
     }
 
     /// Terminates an additional queue pair on this NIC (another peer).
     pub fn add_qp(&mut self, qp: QueuePair) {
         self.qps.push(qp);
+        self.expected.push(0);
+        self.ack_due.push(false);
     }
 
     /// Number of queue pairs terminated here.
@@ -89,6 +152,9 @@ impl RecvNic {
     /// Drains every packet currently on the wire into bounce buffers,
     /// generating completions. Returns how many arrived.
     pub fn poll(&mut self) -> Result<usize, NicError> {
+        if let Some(f) = self.faults.as_mut() {
+            f.tick();
+        }
         let mut n = 0;
         // Retry the packet a previous poll could not stage.
         if let Some(packet) = self.held.take() {
@@ -96,6 +162,18 @@ impl RecvNic {
                 Ok(()) => n += 1,
                 Err((packet, e)) => {
                     self.held = Some(packet);
+                    self.send_due_acks();
+                    return Err(e);
+                }
+            }
+        }
+        // Release held-back (reordered/delayed) packets that are now due.
+        while let Some((qp, packet)) = self.faults.as_mut().and_then(WireFaults::pop_due) {
+            match self.accept_packet(qp, packet) {
+                Ok(true) => n += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    self.send_due_acks();
                     return Err(e);
                 }
             }
@@ -104,17 +182,85 @@ impl RecvNic {
             loop {
                 match self.qps[i].try_recv().map_err(NicError::Rdma)? {
                     None => break,
-                    Some(packet) => match self.stage_packet(packet) {
-                        Ok(()) => n += 1,
-                        Err((packet, e)) => {
-                            self.held = Some(packet);
-                            return Err(e);
+                    Some(packet) => {
+                        let deliveries = match self.faults.as_mut() {
+                            Some(f) => f.admit(i, packet),
+                            None => vec![packet],
+                        };
+                        for packet in deliveries {
+                            match self.accept_packet(i, packet) {
+                                Ok(true) => n += 1,
+                                Ok(false) => {}
+                                Err(e) => {
+                                    // Any extra copy lost with this early
+                                    // return could only be a duplicate of
+                                    // the now-held packet, so nothing
+                                    // unique is dropped.
+                                    self.send_due_acks();
+                                    return Err(e);
+                                }
+                            }
                         }
-                    },
+                    }
                 }
             }
         }
+        self.send_due_acks();
         Ok(n)
+    }
+
+    /// Runs the go-back-N acceptance check on one delivered packet and
+    /// stages it if accepted. `Ok(true)` means a completion was generated;
+    /// `Ok(false)` means the packet was discarded (stray ack, duplicate,
+    /// or out-of-order gap).
+    fn accept_packet(&mut self, qp: usize, packet: WirePacket) -> Result<bool, NicError> {
+        if packet.is_ack() {
+            // Acks are consumed by the sender half; one arriving here
+            // (e.g. on a shared endpoint) is transport noise, not a
+            // message.
+            return Ok(false);
+        }
+        if let Some(seq) = packet.seq {
+            // Any sequenced arrival — accepted or not — owes the peer a
+            // fresh cumulative ack, so retransmits re-ack too.
+            self.ack_due[qp] = true;
+            let expected = self.expected[qp];
+            if seq < expected {
+                self.rx_stats.duplicates += 1;
+                if let Some(m) = &self.metrics {
+                    m.count_rx_duplicate();
+                }
+                return Ok(false);
+            }
+            if seq > expected {
+                self.rx_stats.gaps += 1;
+                if let Some(m) = &self.metrics {
+                    m.count_rx_gap();
+                }
+                return Ok(false);
+            }
+            self.expected[qp] = expected + 1;
+        }
+        match self.stage_packet(packet) {
+            Ok(()) => Ok(true),
+            Err((packet, e)) => {
+                self.held = Some(packet);
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends one cumulative ack on every QP that saw sequenced traffic
+    /// since the last ack. Best-effort: a disconnected peer cannot use
+    /// the ack anyway.
+    fn send_due_acks(&mut self) {
+        for i in 0..self.qps.len() {
+            if self.ack_due[i] {
+                self.ack_due[i] = false;
+                crate::reliable::send_ack_best_effort(&self.qps[i], self.expected[i]);
+                self.rx_stats.acks_sent += 1;
+            }
+        }
     }
 
     /// Stages one packet into a bounce buffer, or hands it back on failure.
@@ -165,6 +311,21 @@ impl RecvNic {
     /// two-node setup.
     pub fn qp(&self) -> &QueuePair {
         &self.qps[0]
+    }
+
+    /// Go-back-N receive counters (discarded duplicates/gaps, acks sent).
+    pub fn rx_stats(&self) -> RxStats {
+        self.rx_stats
+    }
+
+    /// What the installed fault plan injected so far, if one is active.
+    pub fn wire_fault_stats(&self) -> Option<WireFaultStats> {
+        self.faults.as_ref().map(WireFaults::stats)
+    }
+
+    /// The next expected sequence number on queue pair `qp` (diagnostics).
+    pub fn expected_seq(&self, qp: usize) -> u64 {
+        self.expected[qp]
     }
 }
 
@@ -250,5 +411,118 @@ mod tests {
         nic.release(c.bounce);
         tx.send(eager_packet(env(1), vec![8])).unwrap();
         assert_eq!(nic.poll().unwrap(), 1);
+    }
+
+    #[test]
+    fn sequenced_packets_are_accepted_in_order_and_acked() {
+        let (tx, mut nic) = nic_pair(4);
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 2);
+        assert_eq!(nic.expected_seq(0), 2);
+        // One cumulative ack for the poll, carrying the next expected seq.
+        let ack = tx.try_recv().unwrap().expect("ack sent");
+        assert!(ack.is_ack());
+        match ack.header.kind {
+            crate::rdma::PayloadKind::Ack { cumulative } => assert_eq!(cumulative, 2),
+            _ => unreachable!(),
+        }
+        assert_eq!(nic.rx_stats().acks_sent, 1);
+    }
+
+    #[test]
+    fn duplicate_and_gap_sequences_are_discarded() {
+        let (tx, mut nic) = nic_pair(8);
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap(); // dup
+        tx.send(eager_packet(env(5), vec![5]).with_seq(5)).unwrap(); // gap
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 2, "only seqs 0 and 1 staged");
+        let stats = nic.rx_stats();
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.gaps, 1);
+        let block = nic.take_block(8);
+        assert_eq!(block.len(), 2);
+        assert_eq!(nic.staged(block[0].bounce), &[0]);
+        assert_eq!(nic.staged(block[1].bounce), &[1]);
+    }
+
+    #[test]
+    fn retransmitted_window_fills_the_gap_exactly_once() {
+        let (tx, mut nic) = nic_pair(8);
+        // First transmission: seq 1 lost on the (conceptual) wire.
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        nic.poll().unwrap();
+        // Go-back-N resend of the unacked window [1, 2].
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        nic.poll().unwrap();
+        let block = nic.take_block(8);
+        let staged: Vec<&[u8]> = block.iter().map(|c| nic.staged(c.bounce)).collect();
+        assert_eq!(staged, vec![&[0u8][..], &[1], &[2]], "in order, no dups");
+        assert_eq!(nic.rx_stats().gaps, 1);
+        assert_eq!(nic.rx_stats().duplicates, 0);
+    }
+
+    #[test]
+    fn stray_acks_never_become_completions() {
+        let (tx, mut nic) = nic_pair(4);
+        tx.send(crate::rdma::ack_packet(3)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 0);
+        assert_eq!(nic.cq_len(), 0);
+    }
+
+    #[test]
+    fn unsequenced_traffic_keeps_legacy_passthrough_semantics() {
+        let (tx, mut nic) = nic_pair(4);
+        tx.send(eager_packet(env(0), vec![9])).unwrap();
+        assert_eq!(nic.poll().unwrap(), 1);
+        assert_eq!(nic.expected_seq(0), 0, "no sequence state touched");
+        assert_eq!(
+            tx.try_recv().unwrap(),
+            None,
+            "no ack owed for unsequenced traffic"
+        );
+    }
+
+    #[test]
+    fn faulty_wire_with_goback_n_sender_delivers_exactly_once_in_order() {
+        use crate::reliable::ReliableSender;
+        use otm_base::FaultPlan;
+        let (a, b) = connected_pair();
+        let mut nic = RecvNic::new(b, BouncePool::new(64, 64));
+        nic.set_faults(
+            FaultPlan::new(0x5eed)
+                .with_drop_permille(150)
+                .with_duplicate_permille(150)
+                .with_reorder_permille(150)
+                .with_reorder_window(4),
+        );
+        let mut sender = ReliableSender::with_limits(a, 4, 32);
+        let n = 50u32;
+        for i in 0..n {
+            sender.send(eager_packet(env(i), vec![i as u8])).unwrap();
+        }
+        let mut staged = Vec::new();
+        for _ in 0..4096 {
+            sender.poll().expect("sender within budget");
+            nic.poll().unwrap();
+            for c in nic.take_block(64) {
+                staged.push(nic.staged(c.bounce)[0]);
+                let b = c.bounce;
+                nic.release(b);
+            }
+            if staged.len() == n as usize && sender.unacked() == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            staged,
+            (0..n as u8).collect::<Vec<_>>(),
+            "exactly-once, in-order delivery under drop+dup+reorder"
+        );
+        let wire = nic.wire_fault_stats().unwrap();
+        assert!(wire.total() > 0, "the plan must actually have injected");
     }
 }

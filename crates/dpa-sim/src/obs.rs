@@ -12,7 +12,7 @@
 
 #[cfg(feature = "metrics")]
 mod imp {
-    use otm_metrics::{Counter, Gauge, Registry, RegistrySnapshot};
+    use otm_metrics::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
     use std::sync::Arc;
 
     /// Events retained by the timeline ring before overwriting.
@@ -32,6 +32,17 @@ mod imp {
         bounce_in_use: Arc<Gauge>,
         bounce_in_use_peak: Arc<Gauge>,
         unexpected_depth: Arc<Gauge>,
+        wire_drops: Arc<Counter>,
+        wire_dups: Arc<Counter>,
+        wire_reorders: Arc<Counter>,
+        wire_delays: Arc<Counter>,
+        rx_duplicates: Arc<Counter>,
+        rx_gaps: Arc<Counter>,
+        acks: Arc<Counter>,
+        retransmits: Arc<Counter>,
+        drain_retries: Arc<Counter>,
+        fallback_escalations: Arc<Counter>,
+        backoff_polls: Arc<Histogram>,
         #[cfg(feature = "trace-events")]
         trace: Arc<otm_metrics::TraceRing>,
     }
@@ -56,6 +67,17 @@ mod imp {
                 bounce_in_use: registry.gauge("dpa_bounce_in_use"),
                 bounce_in_use_peak: registry.gauge("dpa_bounce_in_use_peak"),
                 unexpected_depth: registry.gauge("dpa_unexpected_depth"),
+                wire_drops: registry.counter("dpa_wire_drops_total"),
+                wire_dups: registry.counter("dpa_wire_dups_total"),
+                wire_reorders: registry.counter("dpa_wire_reorders_total"),
+                wire_delays: registry.counter("dpa_wire_delays_total"),
+                rx_duplicates: registry.counter("dpa_rx_duplicates_total"),
+                rx_gaps: registry.counter("dpa_rx_gaps_total"),
+                acks: registry.counter("dpa_acks_total"),
+                retransmits: registry.counter("dpa_retransmits_total"),
+                drain_retries: registry.counter("dpa_drain_retries_total"),
+                fallback_escalations: registry.counter("dpa_fallback_escalations_total"),
+                backoff_polls: registry.histogram("dpa_backoff_polls"),
                 #[cfg(feature = "trace-events")]
                 trace: Arc::new(otm_metrics::TraceRing::new(TRACE_CAPACITY)),
                 registry,
@@ -95,6 +117,77 @@ mod imp {
             self.bounce_in_use.set(bounce as i64);
             self.bounce_in_use_peak.set_max(bounce as i64);
             self.unexpected_depth.set(unexpected as i64);
+        }
+
+        /// Counts one fault-injected packet drop on the wire.
+        #[inline]
+        pub fn count_wire_drop(&self) {
+            self.wire_drops.inc();
+        }
+
+        /// Counts one fault-injected packet duplication on the wire.
+        #[inline]
+        pub fn count_wire_dup(&self) {
+            self.wire_dups.inc();
+        }
+
+        /// Counts one fault-injected out-of-order release on the wire.
+        #[inline]
+        pub fn count_wire_reorder(&self) {
+            self.wire_reorders.inc();
+        }
+
+        /// Counts one fault-injected in-order delay on the wire.
+        #[inline]
+        pub fn count_wire_delay(&self) {
+            self.wire_delays.inc();
+        }
+
+        /// Counts one duplicate sequenced packet discarded at the receiver
+        /// (`seq` below the expected counter).
+        #[inline]
+        pub fn count_rx_duplicate(&self) {
+            self.rx_duplicates.inc();
+        }
+
+        /// Counts one out-of-order sequenced packet discarded at the
+        /// receiver (`seq` above the expected counter — a gap the go-back-N
+        /// retransmit will fill).
+        #[inline]
+        pub fn count_rx_gap(&self) {
+            self.rx_gaps.inc();
+        }
+
+        /// Counts one cumulative acknowledgement sent or consumed.
+        #[inline]
+        pub fn count_ack(&self) {
+            self.acks.inc();
+        }
+
+        /// Counts packets retransmitted by a go-back-N window resend.
+        #[inline]
+        pub fn add_retransmits(&self, n: u64) {
+            self.retransmits.add(n);
+        }
+
+        /// Counts one retry of a failed command-queue drain.
+        #[inline]
+        pub fn count_drain_retry(&self) {
+            self.drain_retries.inc();
+        }
+
+        /// Counts one retry-budget exhaustion that escalated to software
+        /// fallback (as opposed to an explicit caller-invoked fallback).
+        #[inline]
+        pub fn count_fallback_escalation(&self) {
+            self.fallback_escalations.inc();
+        }
+
+        /// Records the backoff length (in virtual polls) applied before a
+        /// retry or retransmit.
+        #[inline]
+        pub fn observe_backoff(&self, polls: u64) {
+            self.backoff_polls.record(polls);
         }
 
         /// The underlying registry (for embedding into a larger exporter).
@@ -155,6 +248,50 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn observe_queues(&self, _cq: usize, _bounce: usize, _unexpected: usize) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_wire_drop(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_wire_dup(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_wire_reorder(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_wire_delay(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_rx_duplicate(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_rx_gap(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_ack(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn add_retransmits(&self, _n: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_drain_retry(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_fallback_escalation(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn observe_backoff(&self, _polls: u64) {}
     }
 }
 
@@ -221,5 +358,37 @@ mod tests {
         assert_eq!(snap.counters["dpa_completions_total"], 4);
         assert_eq!(snap.counters["dpa_bounce_spills_total"], 1);
         assert_eq!(snap.counters["dpa_fallbacks_total"], 1);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn fault_and_reliability_instruments_accumulate() {
+        let m = ServiceMetrics::new();
+        m.count_wire_drop();
+        m.count_wire_dup();
+        m.count_wire_reorder();
+        m.count_wire_delay();
+        m.count_rx_duplicate();
+        m.count_rx_gap();
+        m.count_ack();
+        m.add_retransmits(3);
+        m.count_drain_retry();
+        m.count_fallback_escalation();
+        m.observe_backoff(4);
+        m.observe_backoff(8);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["dpa_wire_drops_total"], 1);
+        assert_eq!(snap.counters["dpa_wire_dups_total"], 1);
+        assert_eq!(snap.counters["dpa_wire_reorders_total"], 1);
+        assert_eq!(snap.counters["dpa_wire_delays_total"], 1);
+        assert_eq!(snap.counters["dpa_rx_duplicates_total"], 1);
+        assert_eq!(snap.counters["dpa_rx_gaps_total"], 1);
+        assert_eq!(snap.counters["dpa_acks_total"], 1);
+        assert_eq!(snap.counters["dpa_retransmits_total"], 3);
+        assert_eq!(snap.counters["dpa_drain_retries_total"], 1);
+        assert_eq!(snap.counters["dpa_fallback_escalations_total"], 1);
+        let hist = &snap.hists["dpa_backoff_polls"];
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 12);
     }
 }

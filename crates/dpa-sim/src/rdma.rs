@@ -133,6 +133,14 @@ pub enum PayloadKind {
         /// Bytes of head data piggybacked in the packet.
         piggyback: usize,
     },
+    /// Reliability acknowledgement: the receiver has accepted every
+    /// sequenced packet with `seq < cumulative` (i.e. `cumulative` is the
+    /// next sequence number it expects). Acks are transport control
+    /// traffic — they never reach the matching engine.
+    Ack {
+        /// The receiver's next expected sequence number.
+        cumulative: u64,
+    },
 }
 
 /// The matching-relevant message header.
@@ -154,6 +162,25 @@ pub struct WirePacket {
     pub header: MessageHeader,
     /// Inline bytes.
     pub inline: Vec<u8>,
+    /// Reliability sequence number, stamped by a `ReliableSender`. `None`
+    /// marks legacy/control traffic that bypasses the go-back-N protocol
+    /// (and is never touched by fault injection, which only targets
+    /// sequenced data packets).
+    pub seq: Option<u64>,
+}
+
+impl WirePacket {
+    /// Stamps a reliability sequence number on the packet.
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = Some(seq);
+        self
+    }
+
+    /// Whether the packet is a reliability acknowledgement.
+    pub fn is_ack(&self) -> bool {
+        matches!(self.header.kind, PayloadKind::Ack { .. })
+    }
 }
 
 /// One endpoint of a connected queue pair.
@@ -203,6 +230,23 @@ pub fn eager_packet(env: Envelope, payload: Vec<u8>) -> WirePacket {
             kind: PayloadKind::Eager { len: payload.len() },
         },
         inline: payload,
+        seq: None,
+    }
+}
+
+/// Convenience: builds a cumulative reliability acknowledgement. The
+/// envelope is a placeholder — acks are consumed by the transport layer
+/// and never matched.
+pub fn ack_packet(cumulative: u64) -> WirePacket {
+    let env = Envelope::world(otm_base::Rank(u32::MAX), otm_base::Tag(u32::MAX));
+    WirePacket {
+        header: MessageHeader {
+            env,
+            hashes: InlineHashes::of(&env),
+            kind: PayloadKind::Ack { cumulative },
+        },
+        inline: Vec::new(),
+        seq: None,
     }
 }
 
@@ -231,6 +275,7 @@ pub fn rendezvous_packet(
                 },
             },
             inline: head,
+            seq: None,
         },
         rkey,
     )
@@ -348,5 +393,24 @@ mod tests {
     fn header_carries_inline_hashes() {
         let pkt = eager_packet(env(), vec![]);
         assert_eq!(pkt.header.hashes, InlineHashes::of(&env()));
+    }
+
+    #[test]
+    fn packets_are_unsequenced_until_stamped() {
+        let pkt = eager_packet(env(), vec![1, 2]);
+        assert_eq!(pkt.seq, None);
+        assert_eq!(pkt.with_seq(7).seq, Some(7));
+    }
+
+    #[test]
+    fn ack_packets_are_control_traffic() {
+        let ack = ack_packet(41);
+        assert!(ack.is_ack());
+        assert_eq!(ack.seq, None, "acks are themselves unsequenced");
+        match ack.header.kind {
+            PayloadKind::Ack { cumulative } => assert_eq!(cumulative, 41),
+            _ => panic!("expected ack"),
+        }
+        assert!(!eager_packet(env(), vec![]).is_ack());
     }
 }

@@ -1,0 +1,385 @@
+//! Sender-side reliability: sequence numbers, cumulative acks, go-back-N
+//! retransmission with an exponential-backoff retry budget.
+//!
+//! The receive side ([`crate::nic::RecvNic`]) accepts sequenced packets
+//! only in order, discards duplicates and gaps, and returns cumulative
+//! acknowledgements. [`ReliableSender`] is the matching sender half: it
+//! stamps outgoing packets with consecutive sequence numbers, keeps the
+//! unacknowledged window, and — when an ack fails to arrive within a
+//! timeout — retransmits the whole window (go-back-N), doubling the
+//! timeout each attempt until a retry budget is exhausted.
+//!
+//! Together the two halves guarantee the property the chaos oracle
+//! checks: the receiver stages sequenced packets in exactly the order
+//! they were sent, no matter what the faulty wire dropped, duplicated,
+//! reordered or delayed. Message handles — and therefore every matching
+//! outcome — are identical to a fault-free run.
+//!
+//! Time is virtual: the "clock" is the number of [`ReliableSender::poll`]
+//! calls, mirroring the NIC's poll-driven delivery clock, so tests are
+//! deterministic and never sleep.
+
+use crate::obs::ServiceMetrics;
+use crate::rdma::{ack_packet, PayloadKind, QueuePair, RdmaError, WirePacket};
+use std::collections::VecDeque;
+
+/// Default number of polls without progress before the first retransmit.
+pub const DEFAULT_TIMEOUT_POLLS: u64 = 8;
+
+/// Default cap on consecutive retransmit attempts for one window.
+pub const DEFAULT_MAX_RETRIES: u32 = 16;
+
+/// Ceiling on the exponentially growing timeout, in polls.
+const MAX_TIMEOUT_POLLS: u64 = 1 << 20;
+
+/// Why a [`ReliableSender`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReliabilityError {
+    /// The transport failed outright.
+    Rdma(RdmaError),
+    /// The retry budget was exhausted: the window was retransmitted
+    /// `retries` times without the cumulative ack advancing.
+    BudgetExhausted {
+        /// Retransmit attempts performed.
+        retries: u32,
+        /// Packets still unacknowledged.
+        unacked: usize,
+    },
+}
+
+impl std::fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReliabilityError::Rdma(e) => write!(f, "transport: {e}"),
+            ReliabilityError::BudgetExhausted { retries, unacked } => write!(
+                f,
+                "retry budget exhausted after {retries} retransmits with {unacked} packets unacked"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {}
+
+/// Counters of what the reliability protocol did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Data packets sent for the first time.
+    pub sent: u64,
+    /// Packets retransmitted by go-back-N window resends.
+    pub retransmits: u64,
+    /// Window resend events (each may retransmit several packets).
+    pub resend_events: u64,
+    /// Cumulative acknowledgements consumed.
+    pub acks: u64,
+    /// Total polls spent backing off (the virtual-time analogue of
+    /// exponential-backoff delay).
+    pub backoff_polls: u64,
+}
+
+/// The sender half of the go-back-N reliability protocol.
+///
+/// Wraps one [`QueuePair`] endpoint. Application packets go out through
+/// [`ReliableSender::send`], which stamps them with the next sequence
+/// number and keeps a copy in the unacked window. [`ReliableSender::poll`]
+/// consumes incoming acks, returns any non-ack packets to the caller (the
+/// reverse direction may carry application traffic, as the ping-pong
+/// harness does), and drives the retransmit timer.
+#[derive(Debug)]
+pub struct ReliableSender {
+    qp: QueuePair,
+    next_seq: u64,
+    /// Every sequenced packet `<= cumulative` ack received so far.
+    acked: u64,
+    window: VecDeque<(u64, WirePacket)>,
+    timeout_polls: u64,
+    base_timeout: u64,
+    polls_since_progress: u64,
+    retries: u32,
+    max_retries: u32,
+    stats: ReliabilityStats,
+    metrics: Option<ServiceMetrics>,
+}
+
+impl ReliableSender {
+    /// Wraps `qp` with the default timeout and retry budget.
+    pub fn new(qp: QueuePair) -> Self {
+        Self::with_limits(qp, DEFAULT_TIMEOUT_POLLS, DEFAULT_MAX_RETRIES)
+    }
+
+    /// Wraps `qp` with an explicit base timeout (polls before the first
+    /// retransmit) and retry budget.
+    pub fn with_limits(qp: QueuePair, timeout_polls: u64, max_retries: u32) -> Self {
+        let timeout_polls = timeout_polls.max(1);
+        ReliableSender {
+            qp,
+            next_seq: 0,
+            acked: 0,
+            window: VecDeque::new(),
+            timeout_polls,
+            base_timeout: timeout_polls,
+            polls_since_progress: 0,
+            retries: 0,
+            max_retries,
+            stats: ReliabilityStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics handle so retransmits, acks and backoff show up
+    /// in an `otm-metrics` registry snapshot.
+    pub fn attach_metrics(&mut self, metrics: ServiceMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Sends one packet reliably: stamps it with the next sequence number,
+    /// stores it in the unacked window, transmits.
+    pub fn send(&mut self, packet: WirePacket) -> Result<(), ReliabilityError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let packet = packet.with_seq(seq);
+        self.window.push_back((seq, packet.clone()));
+        self.stats.sent += 1;
+        self.qp.send(packet).map_err(ReliabilityError::Rdma)
+    }
+
+    /// Drives the protocol one step: consumes acks, advances the window,
+    /// and retransmits on timeout. Returns any non-ack packets that
+    /// arrived on the reverse direction — they belong to the application.
+    pub fn poll(&mut self) -> Result<Vec<WirePacket>, ReliabilityError> {
+        let mut app_packets = Vec::new();
+        loop {
+            match self.qp.try_recv().map_err(ReliabilityError::Rdma)? {
+                None => break,
+                Some(packet) => match packet.header.kind {
+                    PayloadKind::Ack { cumulative } => {
+                        self.stats.acks += 1;
+                        if let Some(m) = &self.metrics {
+                            m.count_ack();
+                        }
+                        if cumulative > self.acked {
+                            self.acked = cumulative;
+                            while self
+                                .window
+                                .front()
+                                .is_some_and(|&(seq, _)| seq < cumulative)
+                            {
+                                self.window.pop_front();
+                            }
+                            // Progress: the backoff schedule resets.
+                            self.polls_since_progress = 0;
+                            self.retries = 0;
+                            self.timeout_polls = self.base_timeout;
+                        }
+                    }
+                    _ => app_packets.push(packet),
+                },
+            }
+        }
+        if self.window.is_empty() {
+            self.polls_since_progress = 0;
+            return Ok(app_packets);
+        }
+        self.polls_since_progress += 1;
+        self.stats.backoff_polls += 1;
+        if self.polls_since_progress >= self.timeout_polls {
+            if self.retries >= self.max_retries {
+                return Err(ReliabilityError::BudgetExhausted {
+                    retries: self.retries,
+                    unacked: self.window.len(),
+                });
+            }
+            // Go-back-N: resend the whole unacked window in order and
+            // double the timeout for the next attempt.
+            let resent = self.window.len() as u64;
+            for (_, packet) in &self.window {
+                self.qp
+                    .send(packet.clone())
+                    .map_err(ReliabilityError::Rdma)?;
+            }
+            self.stats.retransmits += resent;
+            self.stats.resend_events += 1;
+            if let Some(m) = &self.metrics {
+                m.add_retransmits(resent);
+                m.observe_backoff(self.timeout_polls);
+            }
+            self.retries += 1;
+            self.polls_since_progress = 0;
+            self.timeout_polls = (self.timeout_polls * 2).min(MAX_TIMEOUT_POLLS);
+        }
+        Ok(app_packets)
+    }
+
+    /// Polls until every sent packet is acknowledged or the retry budget
+    /// runs out. `max_polls` bounds the loop for safety.
+    pub fn flush(&mut self, max_polls: u64) -> Result<(), ReliabilityError> {
+        for _ in 0..max_polls {
+            if self.window.is_empty() {
+                return Ok(());
+            }
+            self.poll()?;
+        }
+        if self.window.is_empty() {
+            Ok(())
+        } else {
+            Err(ReliabilityError::BudgetExhausted {
+                retries: self.retries,
+                unacked: self.window.len(),
+            })
+        }
+    }
+
+    /// Packets sent but not yet cumulatively acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ReliabilityStats {
+        self.stats
+    }
+
+    /// The wrapped endpoint (e.g. for sending unsequenced control
+    /// traffic that bypasses the reliability protocol).
+    pub fn qp(&self) -> &QueuePair {
+        &self.qp
+    }
+}
+
+/// Builds the ack the receive side owes its peer and sends it on `qp`,
+/// ignoring disconnection (an unreachable peer cannot use the ack anyway).
+pub(crate) fn send_ack_best_effort(qp: &QueuePair, cumulative: u64) {
+    let _ = qp.send(ack_packet(cumulative));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdma::{connected_pair, eager_packet};
+    use otm_base::{Envelope, Rank, Tag};
+
+    fn env(tag: u32) -> Envelope {
+        Envelope::world(Rank(0), Tag(tag))
+    }
+
+    #[test]
+    fn send_stamps_consecutive_sequence_numbers() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::new(a);
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        s.send(eager_packet(env(1), vec![])).unwrap();
+        assert_eq!(b.recv().unwrap().seq, Some(0));
+        assert_eq!(b.recv().unwrap().seq, Some(1));
+        assert_eq!(s.unacked(), 2);
+    }
+
+    #[test]
+    fn cumulative_ack_advances_the_window() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::new(a);
+        for i in 0..4 {
+            s.send(eager_packet(env(i), vec![])).unwrap();
+        }
+        b.send(ack_packet(3)).unwrap();
+        s.poll().unwrap();
+        assert_eq!(s.unacked(), 1, "seqs 0..3 acked, seq 3 still out");
+        b.send(ack_packet(4)).unwrap();
+        s.poll().unwrap();
+        assert_eq!(s.unacked(), 0);
+        assert_eq!(s.stats().acks, 2);
+    }
+
+    #[test]
+    fn timeout_triggers_a_full_window_resend() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 2, 4);
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        s.send(eager_packet(env(1), vec![])).unwrap();
+        // Drain the original transmissions; the receiver stays silent.
+        assert!(b.try_recv().unwrap().is_some());
+        assert!(b.try_recv().unwrap().is_some());
+        s.poll().unwrap();
+        s.poll().unwrap(); // second silent poll hits the timeout
+        assert_eq!(s.stats().resend_events, 1);
+        assert_eq!(s.stats().retransmits, 2, "go-back-N resends the window");
+        assert_eq!(b.try_recv().unwrap().unwrap().seq, Some(0));
+        assert_eq!(b.try_recv().unwrap().unwrap().seq, Some(1));
+    }
+
+    #[test]
+    fn backoff_doubles_between_resends_and_resets_on_progress() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 1, 8);
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        s.poll().unwrap(); // timeout 1 → resend, timeout now 2
+        s.poll().unwrap(); // 1 of 2
+        assert_eq!(s.stats().resend_events, 1, "second resend not yet due");
+        s.poll().unwrap(); // 2 of 2 → resend, timeout now 4
+        assert_eq!(s.stats().resend_events, 2);
+        b.send(ack_packet(1)).unwrap();
+        s.poll().unwrap();
+        assert_eq!(s.unacked(), 0);
+        // Progress reset the schedule: a new packet gets the base timeout.
+        s.send(eager_packet(env(1), vec![])).unwrap();
+        s.poll().unwrap();
+        assert_eq!(s.stats().resend_events, 3, "base timeout again after reset");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_reported() {
+        let (a, _b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 1, 2);
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        let mut err = None;
+        for _ in 0..10 {
+            if let Err(e) = s.poll() {
+                err = Some(e);
+                break;
+            }
+        }
+        match err.expect("budget must run out") {
+            ReliabilityError::BudgetExhausted { retries, unacked } => {
+                assert_eq!(retries, 2);
+                assert_eq!(unacked, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ack_reverse_traffic_is_handed_back_to_the_caller() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::new(a);
+        b.send(eager_packet(env(9), vec![42])).unwrap();
+        b.send(ack_packet(0)).unwrap();
+        let app = s.poll().unwrap();
+        assert_eq!(app.len(), 1, "the eager packet belongs to the application");
+        assert_eq!(app[0].inline, vec![42]);
+    }
+
+    #[test]
+    fn flush_completes_once_acks_arrive() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::new(a);
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        b.send(ack_packet(1)).unwrap();
+        s.flush(16).unwrap();
+        assert_eq!(s.unacked(), 0);
+    }
+
+    #[test]
+    fn disconnected_peer_surfaces_a_transport_error() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::new(a);
+        drop(b);
+        assert!(matches!(
+            s.send(eager_packet(env(0), vec![])),
+            Err(ReliabilityError::Rdma(RdmaError::Disconnected))
+        ));
+    }
+}

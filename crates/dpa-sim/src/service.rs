@@ -62,6 +62,9 @@ pub enum ServiceError {
     /// replayed). The service stays poisoned: running on after a spurious
     /// match would silently corrupt the MPI matching order.
     FallbackReplay(String),
+    /// The sender-side reliability protocol gave up (transport failure or
+    /// retry-budget exhaustion on an unacknowledged window).
+    Reliability(crate::reliable::ReliabilityError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -72,11 +75,18 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Rdma(e) => write!(f, "rdma: {e}"),
             ServiceError::Protocol(e) => write!(f, "protocol: {e}"),
             ServiceError::FallbackReplay(msg) => write!(f, "fallback replay: {msg}"),
+            ServiceError::Reliability(e) => write!(f, "reliability: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<crate::reliable::ReliabilityError> for ServiceError {
+    fn from(e: crate::reliable::ReliabilityError) -> Self {
+        ServiceError::Reliability(e)
+    }
+}
 
 impl From<NicError> for ServiceError {
     fn from(e: NicError) -> Self {
@@ -170,19 +180,31 @@ pub struct MatchingService {
     /// Whether [`MatchingService::progress`] routes arrivals through the
     /// backend's command queue instead of matching blocks synchronously.
     use_queue: bool,
+    /// How many times a retryable drain error is retried within one
+    /// [`MatchingService::progress`] call before escalating to software
+    /// fallback. Transient device failures (a busy worker, a momentary
+    /// memory squeeze) clear on retry; genuine exhaustion burns through the
+    /// budget and migrates.
+    retry_budget: u32,
     fellback: bool,
     metrics: ServiceMetrics,
 }
+
+/// Default number of in-call retries for a retryable drain error before the
+/// service escalates to software fallback.
+pub const DEFAULT_DRAIN_RETRY_BUDGET: u32 = 3;
 
 impl MatchingService {
     /// Creates a service around an arbitrary matching backend. This is the
     /// single construction path: the named constructors below only pick the
     /// backend (and, for the offloaded one, charge the memory budget).
     pub fn with_backend(
-        nic: RecvNic,
+        mut nic: RecvNic,
         domain: RdmaDomain,
         backend: Box<dyn MatchingBackend>,
     ) -> Self {
+        let metrics = ServiceMetrics::new();
+        nic.attach_metrics(metrics.clone());
         MatchingService {
             backend,
             nic,
@@ -192,8 +214,9 @@ impl MatchingService {
             unexpected: HashMap::new(),
             inflight: HashMap::new(),
             use_queue: false,
+            retry_budget: DEFAULT_DRAIN_RETRY_BUDGET,
             fellback: false,
-            metrics: ServiceMetrics::new(),
+            metrics,
         }
     }
 
@@ -212,6 +235,22 @@ impl MatchingService {
         }
         self.use_queue = true;
         Ok(())
+    }
+
+    /// Sets how many times a retryable drain error is retried within a
+    /// single [`MatchingService::progress`] call before the service
+    /// escalates to software fallback (default
+    /// [`DEFAULT_DRAIN_RETRY_BUDGET`]). Each retry records one step of the
+    /// exponential backoff schedule in the `dpa_backoff_polls` histogram —
+    /// the simulator's clock is the poll count, so the backoff is recorded
+    /// rather than slept.
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget;
+    }
+
+    /// The current in-call drain retry budget.
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
     }
 
     /// Creates the offloaded service, charging the communicator's matching
@@ -349,7 +388,10 @@ impl MatchingService {
     /// Queued posts interleave with queued arrivals in one submission
     /// stream, which is what lets the drain's packing scheduler reorder
     /// across communicators under mixed traffic.
-    pub fn post_recv_queued(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
+    pub fn post_recv_queued(
+        &mut self,
+        pattern: ReceivePattern,
+    ) -> Result<RecvHandle, ServiceError> {
         if !(self.use_queue && self.backend.supports_command_queue()) {
             return self.post_recv(pattern);
         }
@@ -533,22 +575,39 @@ impl MatchingService {
                     .map_err(ServiceError::Match)?;
             }
         }
-        let report = self.backend.drain_commands();
-        for outcome in report.outcomes {
-            self.apply_queue_outcome(outcome)?;
-        }
-        match report.error {
-            None => Ok(()),
-            Some(e)
-                if self.backend.wants_offload_fallback()
-                    && (e.is_retryable() || e == MatchError::EngineStopped) =>
-            {
-                // Retryable exhaustion requeued the unapplied commands (the
-                // fallback snapshot folds them in); a terminal EngineStopped
-                // surfaced them in the report — hand those over explicitly.
-                self.fall_back_to_software(report.unapplied)
+        let mut attempt: u32 = 0;
+        loop {
+            let report = self.backend.drain_commands();
+            for outcome in report.outcomes {
+                self.apply_queue_outcome(outcome)?;
             }
-            Some(e) => Err(e.into()),
+            match report.error {
+                None => return Ok(()),
+                Some(e) if e.is_retryable() && attempt < self.retry_budget => {
+                    // A retryable drain error requeued the unapplied
+                    // commands, so re-draining is safe. Record one step of
+                    // the exponential backoff schedule (1, 2, 4, ... polls —
+                    // the simulator's clock is the poll count, so the delay
+                    // is recorded, not slept) and try again; transient
+                    // device faults clear, genuine exhaustion burns the
+                    // budget and escalates below.
+                    attempt += 1;
+                    self.metrics.count_drain_retry();
+                    self.metrics.observe_backoff(1u64 << (attempt - 1).min(20));
+                }
+                Some(e)
+                    if self.backend.wants_offload_fallback()
+                        && (e.is_retryable() || e == MatchError::EngineStopped) =>
+                {
+                    // Retryable exhaustion requeued the unapplied commands
+                    // (the fallback snapshot folds them in); a terminal
+                    // EngineStopped surfaced them in the report — hand those
+                    // over explicitly.
+                    self.metrics.count_fallback_escalation();
+                    return self.fall_back_to_software(report.unapplied);
+                }
+                Some(e) => return Err(e.into()),
+            }
         }
     }
 
@@ -568,10 +627,12 @@ impl MatchingService {
                 result: PostResult::Matched(msg),
             } => {
                 // A queued post matched a message already waiting in the
-                // engine's UMQ. Its payload sits in the unexpected store —
-                // outcomes apply in submission order, so the matching
-                // arrival's own outcome (which staged the payload there)
-                // has already been applied.
+                // engine's UMQ. Its payload normally sits in the unexpected
+                // store (the arrival's own outcome, applied earlier in
+                // submission order, moved it there), but a drain cut short
+                // by an error can leave the arrival applied inside the
+                // engine with its outcome unreported — the payload is then
+                // still in the in-flight stash, so consult both.
                 let stored = self
                     .unexpected
                     .remove(&msg)
@@ -693,6 +754,9 @@ impl MatchingService {
                 domain.deregister(rkey);
                 Ok(data)
             }
+            PayloadKind::Ack { .. } => {
+                unreachable!("acks are consumed by the NIC receive path and never staged")
+            }
         })();
         // The bounce buffer is NIC memory; leak it on an error path and the
         // receive ring eventually starves.
@@ -729,6 +793,9 @@ impl MatchingService {
                 },
                 head: nic.staged(completion.bounce).to_vec(),
             },
+            PayloadKind::Ack { .. } => {
+                unreachable!("acks are consumed by the NIC receive path and never staged")
+            }
         };
         nic.release(completion.bounce);
         store.insert(
@@ -1362,10 +1429,7 @@ mod tests {
                 self: Box<Self>,
             ) -> Result<mpi_matching::FallbackState, MatchError> {
                 Ok(mpi_matching::FallbackState {
-                    receives: vec![(
-                        ReceivePattern::exact(Rank(0), Tag(0)),
-                        RecvHandle(0),
-                    )],
+                    receives: vec![(ReceivePattern::exact(Rank(0), Tag(0)), RecvHandle(0))],
                     unexpected: vec![(Envelope::world(Rank(0), Tag(0)), MsgHandle(0))],
                     pending: Vec::new(),
                 })
@@ -1422,6 +1486,103 @@ mod tests {
         for (i, d) in done.iter().enumerate() {
             assert_eq!(d.recv, posted[i]);
             assert_eq!(d.data, vec![i as u8], "receive {i} must get message {i}");
+        }
+    }
+
+    #[test]
+    fn transient_drain_faults_clear_within_the_retry_budget() {
+        use crate::fault::FaultInjectingBackend;
+        use otm_base::FaultPlan;
+
+        // Two transient device failures, then a perfect device: the in-call
+        // retry loop absorbs them inside a single progress() and the
+        // offloaded engine keeps running — no fallback, no caller-visible
+        // error.
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let engine = OtmEngine::new(MatchConfig::small()).unwrap();
+        let plan = FaultPlan::new(0x7a11)
+            .with_transient_fail_permille(1000)
+            .with_max_faults(2);
+        let faulty = FaultInjectingBackend::new(Box::new(engine), plan);
+        let mut svc = MatchingService::with_backend(nic, domain, Box::new(faulty));
+        svc.enable_command_queue().unwrap();
+
+        let mut posted = Vec::new();
+        for i in 0..3u32 {
+            posted.push(
+                svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i)))
+                    .unwrap(),
+            );
+            tx.send(eager_packet(env(0, i), vec![i as u8])).unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), 3);
+        assert!(!svc.fell_back(), "transient faults must not escalate");
+        assert_eq!(svc.backend_name(), "Optimistic-DPA");
+        let done = svc.take_completed();
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i]);
+            assert_eq!(d.data, vec![i as u8]);
+        }
+        #[cfg(feature = "metrics")]
+        {
+            let snap = svc.metrics().snapshot();
+            assert_eq!(snap.counters["dpa_drain_retries_total"], 2);
+            assert_eq!(snap.counters["dpa_fallback_escalations_total"], 0);
+            assert_eq!(snap.hists["dpa_backoff_polls"].count, 2);
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_escalates_to_software_fallback() {
+        use crate::fault::FaultInjectingBackend;
+        use otm_base::FaultPlan;
+
+        // Every drain fails, forever: the retry budget burns down and the
+        // service escalates to software fallback on its own — not because a
+        // caller asked for it — with every queued post and arrival payload
+        // surviving the migration.
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let engine = OtmEngine::new(MatchConfig::small()).unwrap();
+        let plan = FaultPlan::new(0xdead).with_transient_fail_permille(1000);
+        let faulty = FaultInjectingBackend::new(Box::new(engine), plan);
+        let mut svc = MatchingService::with_backend(nic, domain, Box::new(faulty));
+        svc.enable_command_queue().unwrap();
+
+        let mut posted = Vec::new();
+        for i in 0..4u32 {
+            posted.push(
+                svc.post_recv_queued(ReceivePattern::exact(Rank(0), Tag(i)))
+                    .unwrap(),
+            );
+        }
+        for i in 0..4u32 {
+            tx.send(eager_packet(env(0, i), vec![i as u8])).unwrap();
+        }
+        assert!(!svc.fell_back());
+        assert_eq!(svc.progress().unwrap(), 4, "replay completes the pairs");
+        assert!(
+            svc.fell_back(),
+            "budget exhaustion must trigger the §IV-E fallback"
+        );
+        assert_eq!(svc.backend_name(), "MPI-CPU");
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 4, "no payload may be lost in the escalation");
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i]);
+            assert_eq!(d.data, vec![i as u8]);
+        }
+        #[cfg(feature = "metrics")]
+        {
+            let snap = svc.metrics().snapshot();
+            assert_eq!(
+                snap.counters["dpa_drain_retries_total"],
+                u64::from(DEFAULT_DRAIN_RETRY_BUDGET)
+            );
+            assert_eq!(snap.counters["dpa_fallback_escalations_total"], 1);
         }
     }
 }

@@ -105,7 +105,12 @@ pub enum CommandOutcome {
 /// deliveries the caller must act on.
 #[derive(Debug, Default)]
 pub struct DrainReport {
-    /// Outcome of every applied command, in submission order.
+    /// Outcome of every applied command. Outcomes appear in the order the
+    /// commands were applied, which under cross-communicator packing is not
+    /// necessarily the order they were submitted — each outcome therefore
+    /// carries its own handle ([`CommandOutcome::Post`]) or delivery
+    /// ([`CommandOutcome::Delivery`]) so the caller never has to replay the
+    /// submission sequence to attribute a result.
     pub outcomes: Vec<CommandOutcome>,
     /// The error that stopped the drain early, if any. On a *retryable*
     /// error ([`MatchError::is_retryable`]: resource exhaustion) the
@@ -144,6 +149,24 @@ impl DrainReport {
 /// (they are strictly younger than everything the backend applied), and —
 /// unlike the state, which is mutually non-matching by construction — they
 /// may legitimately produce matches during the replay.
+///
+/// ```
+/// use mpi_matching::backend::{FallbackState, MatchingBackend};
+/// use mpi_matching::traditional::TraditionalMatcher;
+/// use mpi_matching::{MsgHandle, RecvHandle};
+/// use otm_base::{Envelope, Rank, ReceivePattern, Tag};
+///
+/// let mut b: Box<dyn MatchingBackend> = Box::new(TraditionalMatcher::new());
+/// b.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(0))?;
+/// b.arrive_block(&[(Envelope::world(Rank(9), Tag(9)), MsgHandle(0))])?;
+///
+/// let state: FallbackState = b.drain_for_fallback()?;
+/// assert_eq!(state.receives.len(), 1);   // the still-pending receive
+/// assert_eq!(state.unexpected.len(), 1); // the unmatched message
+/// assert!(state.pending.is_empty());     // synchronous backend: no queue
+/// assert_eq!(state.len(), 2);
+/// # Ok::<(), otm_base::MatchError>(())
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FallbackState {
     /// Pending receives, per-communicator post order.
@@ -219,6 +242,32 @@ impl BlockDelivery {
 /// [`Matcher`]); within one [`MatchingBackend::arrive_block`] call, messages
 /// are matched in slice order (lane *i* is the *i*-th arrival) and the
 /// deliveries come back in that same order.
+///
+/// The optional capabilities degrade gracefully through the defaults: a
+/// plain host engine is a complete backend out of the box, refusing the
+/// command-queue and offload-fallback paths it does not have —
+///
+/// ```
+/// use mpi_matching::backend::{MatchingBackend, PendingCommand, RdmaNoOp};
+/// use mpi_matching::{MsgHandle, RecvHandle};
+/// use otm_base::{Envelope, Rank, ReceivePattern, Tag};
+///
+/// let mut b: Box<dyn MatchingBackend> = Box::new(RdmaNoOp::new());
+/// // The synchronous paths always work...
+/// b.post(ReceivePattern::exact(Rank(0), Tag(1)), RecvHandle(0))?;
+/// let d = b.arrive_block(&[(Envelope::world(Rank(0), Tag(1)), MsgHandle(0))])?;
+/// assert!(d[0].matched().is_some());
+/// // ...while the device-only capabilities report themselves absent.
+/// assert!(!b.supports_command_queue());
+/// assert!(!b.wants_offload_fallback());
+/// assert!(b
+///     .submit_command(PendingCommand::Arrival {
+///         env: Envelope::world(Rank(0), Tag(2)),
+///         msg: MsgHandle(1),
+///     })
+///     .is_err());
+/// # Ok::<(), otm_base::MatchError>(())
+/// ```
 pub trait MatchingBackend: Send {
     /// The label reports and Figure 8 use for this backend
     /// (e.g. `"Optimistic-DPA"`, `"MPI-CPU"`, `"RDMA-CPU"`).

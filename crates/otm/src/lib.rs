@@ -62,7 +62,7 @@ pub mod command;
 pub mod engine;
 pub mod index;
 pub mod metrics;
-pub(crate) mod scheduler;
+pub mod scheduler;
 pub mod shard;
 pub mod stats;
 pub mod table;

@@ -128,7 +128,10 @@ mod imp {
         /// per message, so the lookup is off the hot path.
         pub fn record_lane_depth(&self, comm: u16, depth: u64) {
             self.registry
-                .gauge_with("otm_drain_lane_depth_peak", vec![("comm", comm.to_string())])
+                .gauge_with(
+                    "otm_drain_lane_depth_peak",
+                    vec![("comm", comm.to_string())],
+                )
                 .set_max(depth as i64);
         }
 

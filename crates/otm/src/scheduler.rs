@@ -30,7 +30,7 @@ use crate::command::Command;
 /// of arrivals ready to match in parallel. Each element carries its global
 /// submission index.
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) enum PackingStep {
+pub enum PackingStep {
     /// Apply one posted receive.
     Post {
         /// Global submission index of the post command.
@@ -57,8 +57,45 @@ pub(crate) enum PackingStep {
 ///   drain loop that refills and steps cannot livelock;
 /// * [`PackingScheduler::into_unapplied`] returns everything still staged,
 ///   sorted by submission index — the requeue/fallback contract.
+///
+/// Under [`PackingPolicy::CrossComm`] a post on one communicator no longer
+/// cuts another communicator's arrival run short — the post is hoisted and
+/// the block refills across lanes:
+///
+/// ```
+/// use otm::scheduler::{PackingScheduler, PackingStep};
+/// use otm::Command;
+/// use otm_base::{CommId, Envelope, PackingPolicy, Rank, ReceivePattern, Tag};
+/// use mpi_matching::{MsgHandle, RecvHandle};
+///
+/// let arrival = |comm, i| Command::Arrival {
+///     env: Envelope::new(Rank(0), Tag(i as u32), CommId(comm)),
+///     msg: MsgHandle(i),
+/// };
+/// let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4);
+/// s.admit(
+///     vec![
+///         arrival(1, 0),
+///         // A comm-2 post interleaved into comm 1's arrival stream...
+///         Command::Post {
+///             pattern: ReceivePattern::new(Rank(0), Tag(9), CommId(2)),
+///             handle: RecvHandle(9),
+///         },
+///         arrival(1, 1),
+///     ]
+///     .into(),
+/// );
+/// // ...is emitted first (nothing earlier on comm 2 outranks it)...
+/// assert!(matches!(s.next_step(), Some(PackingStep::Post { idx: 1, .. })));
+/// // ...and comm 1's arrivals still form one uncut block.
+/// match s.next_step() {
+///     Some(PackingStep::Block { msgs }) => assert_eq!(msgs.len(), 2),
+///     other => panic!("expected a block, got {other:?}"),
+/// }
+/// assert_eq!(s.staged(), 0);
+/// ```
 #[derive(Debug)]
-pub(crate) struct PackingScheduler {
+pub struct PackingScheduler {
     policy: PackingPolicy,
     /// Block capacity (`block_threads`).
     capacity: usize,
@@ -82,7 +119,9 @@ fn comm_of(cmd: &Command) -> CommId {
 }
 
 impl PackingScheduler {
-    pub(crate) fn new(policy: PackingPolicy, capacity: usize) -> Self {
+    /// A scheduler for blocks of up to `capacity` (= `block_threads`)
+    /// arrivals, packed under `policy`.
+    pub fn new(policy: PackingPolicy, capacity: usize) -> Self {
         PackingScheduler {
             policy,
             capacity: capacity.max(1),
@@ -94,14 +133,14 @@ impl PackingScheduler {
     }
 
     /// Number of staged commands not yet emitted.
-    pub(crate) fn staged(&self) -> usize {
+    pub fn staged(&self) -> usize {
         self.staged
     }
 
     /// Admits a popped chunk, tagging each command with its global
     /// submission index. Chunks must be admitted in pop (= submission)
     /// order.
-    pub(crate) fn admit(&mut self, cmds: VecDeque<Command>) {
+    pub fn admit(&mut self, cmds: VecDeque<Command>) {
         self.staged += cmds.len();
         for cmd in cmds {
             let idx = self.next_idx;
@@ -119,7 +158,7 @@ impl PackingScheduler {
 
     /// Current per-lane staged depth, for the lane-depth gauge. Empty under
     /// the consecutive policy (there are no lanes to observe).
-    pub(crate) fn lane_depths(&self) -> impl Iterator<Item = (CommId, usize)> + '_ {
+    pub fn lane_depths(&self) -> impl Iterator<Item = (CommId, usize)> + '_ {
         self.lanes
             .iter()
             .filter(|(_, lane)| !lane.is_empty())
@@ -127,7 +166,7 @@ impl PackingScheduler {
     }
 
     /// Carves the next step off the staged window, or `None` when empty.
-    pub(crate) fn next_step(&mut self) -> Option<PackingStep> {
+    pub fn next_step(&mut self) -> Option<PackingStep> {
         match self.policy {
             PackingPolicy::Consecutive => self.next_step_consecutive(),
             PackingPolicy::CrossComm => self.next_step_cross_comm(),
@@ -208,7 +247,7 @@ impl PackingScheduler {
 
     /// Tears the scheduler down, returning every still-staged command with
     /// its submission index, sorted by index (= original submission order).
-    pub(crate) fn into_unapplied(self) -> Vec<(u64, Command)> {
+    pub fn into_unapplied(self) -> Vec<(u64, Command)> {
         let mut out: Vec<(u64, Command)> = match self.policy {
             PackingPolicy::Consecutive => self.fifo.into_iter().collect(),
             PackingPolicy::CrossComm => self

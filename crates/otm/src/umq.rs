@@ -512,8 +512,12 @@ mod tests {
         let mut u = UnexpectedStore::new(1, 32);
         for round in 0..300u64 {
             for i in 0..4u64 {
-                u.insert(env(0, i as u32), MsgHandle(round * 4 + i), ArrivalSeq(round * 4 + i))
-                    .unwrap();
+                u.insert(
+                    env(0, i as u32),
+                    MsgHandle(round * 4 + i),
+                    ArrivalSeq(round * 4 + i),
+                )
+                .unwrap();
             }
             for i in (0..4u64).rev() {
                 let m = u

@@ -427,9 +427,7 @@ impl mpi_matching::MatchingBackend for FourIndexMatcher {
         into.merge(Matcher::stats(self));
     }
 
-    fn drain_for_fallback(
-        self: Box<Self>,
-    ) -> Result<mpi_matching::FallbackState, MatchError> {
+    fn drain_for_fallback(self: Box<Self>) -> Result<mpi_matching::FallbackState, MatchError> {
         // Re-serialize the four PRQ structures into global post order by
         // label; the UMQ order list is already in arrival order (skip the
         // stale refs left by consumed messages).
@@ -452,7 +450,9 @@ impl mpi_matching::MatchingBackend for FourIndexMatcher {
                 (e.gen == r.gen && e.alive).then_some((e.env, e.handle))
             })
             .collect();
-        Ok(mpi_matching::FallbackState::from_state(receives, unexpected))
+        Ok(mpi_matching::FallbackState::from_state(
+            receives, unexpected,
+        ))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

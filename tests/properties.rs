@@ -353,4 +353,25 @@ proptest! {
         prop_assert_eq!(stats.matched_on_post + stats.posted, posts);
         prop_assert_eq!(stats.matched_on_arrival + stats.unexpected, arrivals);
     }
+
+    /// The chaos oracle over random seeds: a hostile wire (drops,
+    /// duplicates, reorders and delays at 10%+ each, recovered by the
+    /// go-back-N reliability protocol) never changes a matched
+    /// (receive, message) pair relative to the fault-free run — on the
+    /// synchronous path and through the command-queue drain alike. A fault
+    /// budget keeps every case live; past it the wire is perfect.
+    #[test]
+    fn chaos_faulty_wire_preserves_matched_pairs(
+        workload_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        queued in any::<bool>(),
+    ) {
+        let plan = otm_base::FaultPlan::new(fault_seed)
+            .with_drop_permille(120)
+            .with_duplicate_permille(120)
+            .with_reorder_permille(120)
+            .with_delay_permille(100)
+            .with_max_faults(300);
+        support::chaos::assert_chaos_equivalence(workload_seed, plan, 3, 16, queued);
+    }
 }

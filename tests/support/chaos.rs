@@ -1,0 +1,189 @@
+//! Shared harness for the fault-injection chaos oracle, used by the seeded
+//! deterministic tests (`tests/fault_chaos.rs`) and the proptest property
+//! (`tests/properties.rs`).
+//!
+//! The oracle: running a random multi-communicator post/send stream over a
+//! hostile wire (drops, duplicates, reorders, delays — recovered by the
+//! go-back-N reliability protocol) must produce *exactly* the matched
+//! (receive, message) pairs of the same stream over a perfect wire, plus
+//! the same residual unexpected-store population.
+//!
+//! The stream is phased: each phase posts a batch of receives, then sends a
+//! batch of messages, then drains the wire to quiescence. Posts of a phase
+//! precede its arrivals in both runs (faults can only delay packets, never
+//! deliver them early, and the quiescence barrier keeps a phase's traffic
+//! out of the next phase), so the matcher observes the same post/arrival
+//! order in both runs — which is what makes pair-for-pair equality a fair
+//! oracle rather than an MPI-legal-race coin flip.
+
+use dpa_sim::bounce::BouncePool;
+use dpa_sim::nic::RecvNic;
+use dpa_sim::rdma::{connected_pair, eager_packet, RdmaDomain};
+use dpa_sim::{DeviceMemory, MatchingService, ReliableSender};
+use otm_base::envelope::SourceSel;
+use otm_base::{CommId, Envelope, FaultPlan, FaultRng, MatchConfig, Rank, ReceivePattern, Tag};
+
+/// One phase of the chaos workload: receives posted first, messages sent
+/// after.
+pub struct Phase {
+    pub posts: Vec<ReceivePattern>,
+    pub sends: Vec<(Envelope, Vec<u8>)>,
+}
+
+/// What one run of the workload observed — the oracle compares these
+/// between the faulty and the fault-free run.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Every completed receive as (receive id, matched envelope, payload),
+    /// in completion order. Payloads encode the message index, so equality
+    /// here is matched-*pair* equality, not just equal counts.
+    pub completed: Vec<(u64, Envelope, Vec<u8>)>,
+    /// Messages left in the unexpected store when the wire quiesced.
+    pub unexpected: usize,
+}
+
+/// Counters proving the faulty run actually was faulty.
+pub struct ChaosEvidence {
+    pub injected_faults: u64,
+    pub retransmits: u64,
+}
+
+/// Generates a deterministic phased workload: `phases` phases of
+/// `per_phase` messages each, over 3 communicators, a 4-rank source space
+/// and an 8-value tag space (small, so duplicates and wildcard conflicts
+/// are common). Every message gets one receive that matches it — mostly
+/// exact, one in four `MPI_ANY_SOURCE` — posted in shuffled order, so some
+/// messages strand in the unexpected store until a later phase's wildcard
+/// frees them (or never, which the oracle also compares).
+pub fn workload(seed: u64, phases: usize, per_phase: usize) -> Vec<Phase> {
+    let mut rng = FaultRng::new(seed);
+    let mut msg_index = 0u32;
+    (0..phases)
+        .map(|_| {
+            let mut posts = Vec::new();
+            let mut sends = Vec::new();
+            for _ in 0..per_phase {
+                let comm = CommId(rng.below(3) as u16);
+                let src = Rank(rng.below(4) as u32);
+                let tag = Tag(rng.below(8) as u32);
+                let pattern = if rng.chance(250) {
+                    ReceivePattern::new(SourceSel::Any, tag, comm)
+                } else {
+                    ReceivePattern::new(src, tag, comm)
+                };
+                posts.push(pattern);
+                sends.push((
+                    Envelope::new(src, tag, comm),
+                    msg_index.to_le_bytes().to_vec(),
+                ));
+                msg_index += 1;
+            }
+            // Shuffle the posts (Fisher–Yates on the deterministic stream)
+            // so a message's receive is generally *not* posted at the
+            // matching position of the send batch.
+            for k in (1..posts.len()).rev() {
+                let j = rng.below(k as u64 + 1) as usize;
+                posts.swap(k, j);
+            }
+            Phase { posts, sends }
+        })
+        .collect()
+}
+
+/// Runs the workload through one service over one (possibly faulty) wire
+/// and returns the observed outcome plus the fault/recovery evidence.
+///
+/// `faults` installs the plan on the receiving NIC; the sender always goes
+/// through the [`ReliableSender`] so both runs stamp identical sequence
+/// numbers. `queued` routes arrivals through the backend's command queue
+/// (the packing-scheduler path) instead of synchronous block matching.
+pub fn run_chaos(
+    phases: &[Phase],
+    faults: Option<FaultPlan>,
+    queued: bool,
+) -> (RunOutcome, ChaosEvidence) {
+    let (tx, rx) = connected_pair();
+    let domain = RdmaDomain::new();
+    let mut nic = RecvNic::new(rx, BouncePool::new(64, 256));
+    if let Some(plan) = &faults {
+        nic.set_faults(plan.clone());
+    }
+    let mut budget = DeviceMemory::bluefield3_l3();
+    let config = MatchConfig::small()
+        .with_max_receives(1024)
+        .with_max_unexpected(1024)
+        .with_bins(32);
+    let mut svc = MatchingService::offloaded(nic, domain, config, &mut budget)
+        .expect("chaos config fits the budget");
+    if queued {
+        svc.enable_command_queue().expect("engine has a queue");
+    }
+    let mut sender = ReliableSender::new(tx);
+
+    for phase in phases {
+        for pattern in &phase.posts {
+            svc.post_recv_queued(*pattern).expect("tables are large");
+        }
+        for (env, data) in &phase.sends {
+            sender
+                .send(eager_packet(*env, data.clone()))
+                .expect("wire up");
+        }
+        // Quiescence barrier: every sequenced packet of this phase must be
+        // accepted (acked) before the next phase posts. The service's poll
+        // generates the acks the sender's poll consumes; faults bound the
+        // number of rounds this can take via the sender's retry budget.
+        let mut rounds = 0u32;
+        while sender.unacked() > 0 {
+            svc.progress().expect("progress under faults");
+            sender.poll().expect("retry budget holds");
+            rounds += 1;
+            assert!(rounds < 1_000_000, "wire failed to quiesce");
+        }
+        // Flush packets the fault layer still holds (reorder/delay slots
+        // are due within a bounded number of ticks once acks stop moving).
+        for _ in 0..32 {
+            svc.progress().expect("progress under faults");
+            sender.poll().expect("retry budget holds");
+        }
+    }
+
+    let injected = svc.nic().wire_fault_stats().map(|s| s.total()).unwrap_or(0);
+    let outcome = RunOutcome {
+        completed: svc
+            .take_completed()
+            .into_iter()
+            .map(|c| (c.recv.0, c.env, c.data))
+            .collect(),
+        unexpected: svc.unexpected_len(),
+    };
+    let evidence = ChaosEvidence {
+        injected_faults: injected,
+        retransmits: sender.stats().retransmits,
+    };
+    (outcome, evidence)
+}
+
+/// The full oracle: faulty run == fault-free run, and the faulty run must
+/// actually have injected faults. Returns the evidence for extra
+/// assertions (e.g. that drops forced retransmissions).
+pub fn assert_chaos_equivalence(
+    seed: u64,
+    plan: FaultPlan,
+    phases: usize,
+    per_phase: usize,
+    queued: bool,
+) -> ChaosEvidence {
+    let workload = workload(seed, phases, per_phase);
+    let (clean, _) = run_chaos(&workload, None, queued);
+    let (faulty, evidence) = run_chaos(&workload, Some(plan), queued);
+    assert!(
+        !clean.completed.is_empty(),
+        "the workload must complete something for the oracle to bite"
+    );
+    assert_eq!(
+        faulty, clean,
+        "matched (receive, message) pairs must be identical to the fault-free run"
+    );
+    evidence
+}

@@ -12,6 +12,8 @@
 
 #![allow(dead_code)]
 
+pub mod chaos;
+
 use mpi_matching::backend::DrainReport;
 use mpi_matching::oracle::MatchEvent;
 use mpi_matching::traditional::TraditionalMatcher;
@@ -63,7 +65,10 @@ pub fn apply_event(
         MatchEvent::Arrive(env) => {
             let msg = MsgHandle(*next_msg);
             *next_msg += 1;
-            match b.arrive_block(&[(env, msg)]).expect("tables sized for the run")[0] {
+            match b
+                .arrive_block(&[(env, msg)])
+                .expect("tables sized for the run")[0]
+            {
                 otm::Delivery::Matched { recv, .. } => {
                     asg.msg_to_recv.insert(msg, Some(recv));
                     asg.recv_to_msg.insert(recv, Some(msg));
@@ -342,7 +347,11 @@ pub fn assert_drain_failure_contract(
 
     let applied: Vec<(bool, u64)> = report.outcomes.iter().map(outcome_key).collect();
     let applied_set: HashSet<(bool, u64)> = applied.iter().copied().collect();
-    assert_eq!(applied_set.len(), applied.len(), "an outcome was reported twice");
+    assert_eq!(
+        applied_set.len(),
+        applied.len(),
+        "an outcome was reported twice"
+    );
     let left: Vec<(bool, u64)> = leftover.iter().map(command_key).collect();
     assert_eq!(
         applied.len() + left.len(),
@@ -350,7 +359,10 @@ pub fn assert_drain_failure_contract(
         "outcomes and leftovers must partition the submitted stream"
     );
     for k in &left {
-        assert!(!applied_set.contains(k), "command both applied and left over");
+        assert!(
+            !applied_set.contains(k),
+            "command both applied and left over"
+        );
     }
 
     let order: HashMap<(bool, u64), usize> = cmds
@@ -362,7 +374,9 @@ pub fn assert_drain_failure_contract(
         *order.get(k).expect("outcome refers to a submitted command")
     };
     assert!(
-        applied.windows(2).all(|w| position(&w[0]) < position(&w[1])),
+        applied
+            .windows(2)
+            .all(|w| position(&w[0]) < position(&w[1])),
         "outcomes must be reported in submission order"
     );
     assert!(
