@@ -44,11 +44,24 @@
 //! (receive, payload) sequence is identical in both runs, and everything
 //! lands in a dependency-free `fig8_faults.json` artifact.
 //!
+//! With `--series PATH`, the flight recorder's rolling time-series sampler
+//! rides along: the mixed-traffic drain is sampled once per drain round and
+//! the `--faults` service once per `progress()` poll (both deterministic
+//! virtual clocks), and the labeled columnar series land in one JSON
+//! artifact at PATH (schema per section: `t`, `queue_depth`,
+//! `block_occupancy`, `path_counts`, `matched`, `retransmits`,
+//! `fallbacks`). With `--spans PATH` (requires building with
+//! `--features trace-events`; otherwise a warning), per-message lifecycle
+//! span dumps are written per section as `PATH.<section>.jsonl` plus a
+//! Chrome `trace_event` file `PATH.<section>.trace.json` that
+//! <https://ui.perfetto.dev> opens directly.
+//!
 //! Run with: `cargo run --release -p otm-bench --bin fig8_message_rate`
 //! (`--quick` shrinks the repeat count for smoke testing; `--messages N`
 //! budgets ~N messages per series; `--repeats N` sets the count directly;
 //! `--shards N` / `--threads N` size the sharded section; `--packing P` /
-//! `--post-mix PCT` steer the mixed-traffic comparison; `--out PATH`
+//! `--post-mix PCT` steer the mixed-traffic comparison; `--series PATH` /
+//! `--spans PATH` capture the flight-recorder artifacts; `--out PATH`
 //! redirects the JSON report).
 //!
 //! The JSON report is a [`BenchReport`] whose `observability` object maps
@@ -67,12 +80,117 @@ use otm::{Command, OtmEngine};
 use otm_base::{
     CommId, Envelope, FaultPlan, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag,
 };
+#[cfg(feature = "trace-events")]
+use otm_bench::spans_sibling;
 use otm_bench::{
-    experiments_dir, header, observability_value, write_report, BenchReport, CommonArgs,
+    experiments_dir, header, observability_value, write_report, write_text_artifact, BenchReport,
+    CommonArgs,
 };
+use otm_metrics::SeriesRecorder;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Flight-recorder output accumulated across the fig8 sections: labeled
+/// rolling time series (`--series`) and labeled span dumps (`--spans`, only
+/// under the `trace-events` feature).
+#[derive(Default)]
+struct FlightRecorder {
+    /// `(section, series)` pairs, e.g. `("mixed cross-comm", ...)`.
+    series: Vec<(String, SeriesRecorder)>,
+    /// `(section, events, dropped)` per span dump.
+    #[cfg(feature = "trace-events")]
+    spans: Vec<(String, Vec<otm_metrics::SpanEvent>, u64)>,
+}
+
+impl FlightRecorder {
+    /// Writes the labeled series as one artifact at `--series PATH`:
+    /// `{"bench":"fig8_series","sections":{<label>:<columnar series>}}`,
+    /// hand-assembled from `SeriesRecorder::to_json` (no serde on this
+    /// path). Returns the path, or `None` when `--series` was not given or
+    /// nothing was sampled.
+    fn write_series(&self, args: &CommonArgs) -> Option<std::path::PathBuf> {
+        let path = args.series.as_ref()?;
+        if self.series.is_empty() {
+            return None;
+        }
+        let sections: Vec<String> = self
+            .series
+            .iter()
+            .map(|(label, s)| format!("\"{label}\":{}", s.to_json()))
+            .collect();
+        let json = format!(
+            "{{\"bench\":\"fig8_series\",\"sections\":{{{}}}}}\n",
+            sections.join(",")
+        );
+        Some(write_text_artifact(path, &json))
+    }
+
+    /// Self-consistency shape check for every recorded series: the terminal
+    /// point's per-path counts must sum to its matched total (the invariant
+    /// `otm_matched_total == Σ otm_resolutions_total{path}` carried into the
+    /// artifact), and `t` must be strictly increasing.
+    fn series_consistent(&self) -> bool {
+        self.series.iter().all(|(_, s)| {
+            let monotone = s.points().windows(2).all(|w| w[0].t < w[1].t);
+            let terminal_ok = match s.last() {
+                Some(p) => p.path_counts.iter().sum::<u64>() == p.matched,
+                None => true,
+            };
+            monotone && terminal_ok
+        })
+    }
+
+    /// Writes the span dumps next to the `--spans` stem (JSONL + Chrome
+    /// `trace_event` per section) and prints one summary line per section
+    /// with the per-path post→match latency means.
+    #[cfg(feature = "trace-events")]
+    fn write_spans(&self, args: &CommonArgs) {
+        let Some(stem) = args.spans.as_ref() else {
+            return;
+        };
+        for (section, events, dropped) in &self.spans {
+            let jsonl = spans_sibling(stem, section, "jsonl");
+            write_text_artifact(&jsonl, &otm_metrics::spans_to_jsonl(events));
+            let chrome = spans_sibling(stem, section, "trace.json");
+            write_text_artifact(&chrome, &otm_metrics::spans_to_chrome_trace(events));
+            let hists = otm_metrics::latency_by_path(events);
+            let lat: Vec<String> = otm_metrics::MATCH_PATHS
+                .iter()
+                .zip(&hists)
+                .filter(|(_, h)| h.count > 0)
+                .map(|(p, h)| {
+                    format!(
+                        "{} n={} mean={}ns",
+                        p.label(),
+                        h.count,
+                        h.sum / h.count.max(1)
+                    )
+                })
+                .collect();
+            println!(
+                "span dump [{section}]: {} events ({dropped} dropped) -> {} / {}   [{}]",
+                events.len(),
+                jsonl.display(),
+                chrome.display(),
+                lat.join(", ")
+            );
+        }
+    }
+
+    /// Without the `trace-events` feature the span layer is compiled out;
+    /// tell the operator why `--spans` produced nothing instead of failing
+    /// silently.
+    #[cfg(not(feature = "trace-events"))]
+    fn write_spans(&self, args: &CommonArgs) {
+        if args.spans.is_some() {
+            println!(
+                "WARNING: --spans requires building with --features trace-events; \
+                 span dump skipped"
+            );
+        }
+    }
+}
 
 /// The fig8 `results` payload: the classic per-series rows plus the sharded
 /// concurrent command-queue run.
@@ -86,6 +204,10 @@ struct Fig8Results {
     mixed: Vec<MixedRow>,
     /// The fault-injection sweep (`--faults`), if it ran.
     faults: Option<FaultSweep>,
+    /// Whether this build stamped lifecycle spans (`--features
+    /// trace-events`) — compare the sharded `msgs_per_sec` of a `true` and
+    /// a `false` artifact to measure the span layer's overhead.
+    trace_events: bool,
 }
 
 /// Aggregate + per-shard throughput of the concurrent command-queue run:
@@ -253,10 +375,20 @@ fn main() {
         results.push(result);
     }
 
+    let mut recorder = FlightRecorder::default();
     let sharded = run_sharded(&args, k * repeats);
-    let mixed = run_mixed(&args, k * repeats, &mut observability);
-    let faults = run_faults(&args, k * repeats, &mut observability);
-    finish(&args, quick, results, sharded, mixed, faults, observability);
+    let mixed = run_mixed(&args, k * repeats, &mut observability, &mut recorder);
+    let faults = run_faults(&args, k * repeats, &mut observability, &mut recorder);
+    finish(
+        &args,
+        quick,
+        results,
+        sharded,
+        mixed,
+        faults,
+        observability,
+        recorder,
+    );
 }
 
 /// True when command `i` of a lane's stream is a post under a `pct`-percent
@@ -278,6 +410,7 @@ fn run_mixed(
     args: &CommonArgs,
     budget: usize,
     observability: &mut BTreeMap<String, serde_json::Value>,
+    recorder: &mut FlightRecorder,
 ) -> Vec<(MixedRow, String)> {
     let shards = args.shards.unwrap_or(4).max(1);
     let threads = args.threads.unwrap_or(shards).clamp(1, shards);
@@ -312,6 +445,16 @@ fn run_mixed(
 
         let mut drained = 0usize;
         let mut error: Option<String> = None;
+        // The flight recorder's virtual clock for this section is the
+        // drained-command count: drain rounds are few and batchy (one
+        // `drain()` call applies the whole queued backlog), so progress
+        // through the fixed budget is the clock that yields an evenly
+        // spaced curve. Queue depth is the pending-work backlog (commands
+        // of the budget not yet applied).
+        let mut series = args
+            .series
+            .as_ref()
+            .map(|_| SeriesRecorder::new((total as u64 / 128).max(1)));
         let barrier = std::sync::Barrier::new(threads + 1);
         let start = Instant::now();
         std::thread::scope(|s| {
@@ -373,9 +516,30 @@ fn run_mixed(
                     std::thread::yield_now();
                 }
                 drained += report.outcomes.len();
+                if let Some(s) = series.as_mut() {
+                    let t = drained as u64;
+                    if s.due(t) {
+                        s.sample(t, (total - drained) as u64, &engine.metrics_snapshot());
+                    }
+                }
             }
         });
         let elapsed = start.elapsed().as_secs_f64();
+        if let Some(mut s) = series.take() {
+            s.force_sample(
+                drained as u64,
+                (total - drained) as u64,
+                &engine.metrics_snapshot(),
+            );
+            recorder.series.push((format!("mixed {name}"), s));
+        }
+        #[cfg(feature = "trace-events")]
+        if args.spans.is_some() {
+            let spans = engine.span_recorder();
+            recorder
+                .spans
+                .push((format!("mixed-{name}"), spans.dump(), spans.dropped()));
+        }
 
         let stats = engine.stats();
         let messages = (arrivals_per_lane * shards) as u64;
@@ -526,6 +690,13 @@ struct FaultRun {
     row: FaultRow,
     completed: Vec<(u64, Vec<u8>)>,
     observability_json: Option<String>,
+    /// The rolling time series sampled on the service's poll clock, when
+    /// `--series` asked for one.
+    series: Option<SeriesRecorder>,
+    /// Merged engine + service span dump and its total dropped-events
+    /// count, when `--spans` asked for one.
+    #[cfg(feature = "trace-events")]
+    spans: Option<(Vec<otm_metrics::SpanEvent>, u64)>,
 }
 
 /// Pushes `messages` eager packets through the full service path — queue
@@ -535,7 +706,12 @@ struct FaultRun {
 /// counters. The receives are pre-posted, so message `i` deterministically
 /// matches receive `i` (per-QP FIFO + FIFO matching), making the completed
 /// sequence directly comparable between the fault-free and hostile runs.
-fn fault_run(label: &str, plan: Option<&FaultPlan>, messages: usize) -> FaultRun {
+fn fault_run(
+    args: &CommonArgs,
+    label: &str,
+    plan: Option<&FaultPlan>,
+    messages: usize,
+) -> FaultRun {
     const WINDOW: usize = 64;
     let config = MatchConfig::default()
         .with_max_receives(messages.max(1))
@@ -550,6 +726,12 @@ fn fault_run(label: &str, plan: Option<&FaultPlan>, messages: usize) -> FaultRun
     let mut svc = MatchingService::with_backend(nic, domain, Box::new(engine));
     svc.enable_command_queue()
         .expect("the offloaded engine has a command queue");
+    if args.series.is_some() {
+        // The service samples itself on its poll clock; the cadence keeps
+        // the series to a few hundred points on the fault-free run (which
+        // completes up to a full reliability window per poll).
+        svc.attach_series(SeriesRecorder::new((messages as u64 / 512).max(1)));
+    }
 
     for i in 0..messages {
         let (src, tag) = (Rank(i as u32 % 8), Tag(i as u32 % 64));
@@ -592,6 +774,22 @@ fn fault_run(label: &str, plan: Option<&FaultPlan>, messages: usize) -> FaultRun
             .expect("retry budget covers the configured fault rates");
     }
     let elapsed = start.elapsed().as_secs_f64();
+    svc.force_series_sample();
+    #[cfg(feature = "trace-events")]
+    let spans = if args.spans.is_some() {
+        // Engine lifecycle spans (enqueued/packed/matched) and service
+        // reliability spans (retransmitted/fell_back) share one process
+        // timeline; merge them into a single chronological dump.
+        let mut events = svc.engine_span_events().unwrap_or_default();
+        events.extend(svc.metrics().spans().dump());
+        events.sort_by_key(|e| (e.t_ns, e.subject, e.seq));
+        let snap = svc.observability_snapshot();
+        let dropped_of = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
+        let dropped = dropped_of("otm_span_dropped_total") + dropped_of("dpa_span_dropped_total");
+        Some((events, dropped))
+    } else {
+        None
+    };
 
     let wire = svc.nic().wire_fault_stats().unwrap_or_default();
     let rx_stats = svc.nic().rx_stats();
@@ -616,6 +814,9 @@ fn fault_run(label: &str, plan: Option<&FaultPlan>, messages: usize) -> FaultRun
         },
         completed,
         observability_json: svc.observability_json(),
+        series: svc.take_series(),
+        #[cfg(feature = "trace-events")]
+        spans,
     }
 }
 
@@ -626,6 +827,7 @@ fn run_faults(
     args: &CommonArgs,
     budget: usize,
     observability: &mut BTreeMap<String, serde_json::Value>,
+    recorder: &mut FlightRecorder,
 ) -> Option<FaultSweep> {
     if !args.faults {
         return None;
@@ -642,9 +844,22 @@ fn run_faults(
          (10% drop, 10% dup, 10% reorder, 5% delay)"
     );
 
-    let clean = fault_run("fault-free", None, messages);
-    let hostile = fault_run("hostile-wire", Some(&plan), messages);
+    let mut clean = fault_run(args, "fault-free", None, messages);
+    let mut hostile = fault_run(args, "hostile-wire", Some(&plan), messages);
     let matched_equal = clean.completed == hostile.completed;
+    for run in [&mut clean, &mut hostile] {
+        if let Some(series) = run.series.take() {
+            recorder
+                .series
+                .push((format!("faults {}", run.row.label), series));
+        }
+        #[cfg(feature = "trace-events")]
+        if let Some((events, dropped)) = run.spans.take() {
+            recorder
+                .spans
+                .push((format!("faults-{}", run.row.label), events, dropped));
+        }
+    }
 
     for run in [&clean, &hostile] {
         let r = &run.row;
@@ -892,6 +1107,7 @@ fn print_result(result: &PingPongResult) {
     println!();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     args: &CommonArgs,
     quick: bool,
@@ -900,6 +1116,7 @@ fn finish(
     mixed: Vec<(MixedRow, String)>,
     faults: Option<FaultSweep>,
     observability: BTreeMap<String, serde_json::Value>,
+    recorder: FlightRecorder,
 ) {
     let mixed_path = write_mixed_artifact(&mixed);
     let results = Fig8Results {
@@ -907,6 +1124,7 @@ fn finish(
         sharded,
         mixed: mixed.into_iter().map(|(row, _)| row).collect(),
         faults,
+        trace_events: cfg!(feature = "trace-events"),
     };
     // Shape checks mirrored from the paper's discussion of Fig. 8.
     let rate = |label: &str| {
@@ -959,6 +1177,15 @@ fn finish(
             Some(observability)
         },
     );
+    if let Some(series_path) = recorder.write_series(args) {
+        println!(
+            "shape: series terminal points self-consistent (Σ path == matched, t monotone): {}",
+            recorder.series_consistent()
+        );
+        println!("flight-recorder series artifact: {}", series_path.display());
+    }
+    recorder.write_spans(args);
+
     let path = write_report(args, &report);
     println!("\nJSON artifact: {}", path.display());
     println!("mixed-traffic artifact: {}", mixed_path.display());

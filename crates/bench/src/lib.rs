@@ -58,6 +58,16 @@ pub struct CommonArgs {
     /// `--fault-seed N`: seed for the fault plan of the `--faults` sweep
     /// (default `0xf8`). Equal seeds inject identical faults.
     pub fault_seed: Option<u64>,
+    /// `--series PATH`: write the flight recorder's rolling time-series
+    /// artifact (columnar JSON; fig8 samples the mixed-traffic drain per
+    /// round and the `--faults` service per poll) to PATH.
+    pub series: Option<PathBuf>,
+    /// `--spans PATH`: write per-message lifecycle span dumps — JSONL plus a
+    /// Chrome `trace_event` file Perfetto opens directly — using PATH as the
+    /// stem (`PATH.<section>.jsonl`, `PATH.<section>.trace.json`). Requires
+    /// building with `--features trace-events`; otherwise the harness prints
+    /// a warning and skips the dump.
+    pub spans: Option<PathBuf>,
 }
 
 impl CommonArgs {
@@ -84,6 +94,8 @@ impl CommonArgs {
                 "--post-mix" => args.post_mix = it.next().and_then(|v| v.parse().ok()),
                 "--faults" => args.faults = true,
                 "--fault-seed" => args.fault_seed = it.next().and_then(|v| v.parse().ok()),
+                "--series" => args.series = it.next().map(PathBuf::from),
+                "--spans" => args.spans = it.next().map(PathBuf::from),
                 _ => {}
             }
         }
@@ -209,6 +221,35 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     path
 }
 
+/// Writes a hand-serialized flight-recorder artifact (series JSON, span
+/// JSONL/Chrome trace) to `path`, creating parent directories, and returns
+/// the path. Kept separate from [`write_report`] because these artifacts are
+/// rendered by `otm-metrics`' dependency-free writers, not serde.
+pub fn write_text_artifact(path: &std::path::Path, contents: &str) -> PathBuf {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create artifact directory");
+        }
+    }
+    std::fs::write(path, contents).expect("write flight-recorder artifact");
+    path.to_path_buf()
+}
+
+/// Derives a sibling path from a `--spans` stem: `stem.<section>.<ext>`
+/// (e.g. `fig8_spans` → `fig8_spans.mixed.jsonl`), preserving the stem's
+/// directory.
+pub fn spans_sibling(stem: &std::path::Path, section: &str, ext: &str) -> PathBuf {
+    let mut name = stem
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "spans".to_string());
+    name.push('.');
+    name.push_str(section);
+    name.push('.');
+    name.push_str(ext);
+    stem.with_file_name(name)
+}
+
 /// Prints a section header in a consistent style.
 pub fn header(title: &str) {
     println!("{}", "=".repeat(title.len().max(8)));
@@ -287,6 +328,39 @@ mod tests {
         let default = CommonArgs::from_iter(std::iter::empty());
         assert!(!default.faults);
         assert_eq!(default.fault_seed, None);
+    }
+
+    #[test]
+    fn common_args_parse_flight_recorder_paths() {
+        let args = CommonArgs::from_iter(
+            ["--series", "out/series.json", "--spans", "out/spans"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(
+            args.series.as_deref(),
+            Some(std::path::Path::new("out/series.json"))
+        );
+        assert_eq!(
+            args.spans.as_deref(),
+            Some(std::path::Path::new("out/spans"))
+        );
+        let default = CommonArgs::from_iter(std::iter::empty());
+        assert_eq!(default.series, None);
+        assert_eq!(default.spans, None);
+    }
+
+    #[test]
+    fn spans_sibling_derives_sectioned_names() {
+        let stem = std::path::Path::new("experiments/fig8_spans");
+        assert_eq!(
+            spans_sibling(stem, "mixed", "jsonl"),
+            std::path::Path::new("experiments/fig8_spans.mixed.jsonl")
+        );
+        assert_eq!(
+            spans_sibling(stem, "faults", "trace.json"),
+            std::path::Path::new("experiments/fig8_spans.faults.trace.json")
+        );
     }
 
     #[test]

@@ -19,6 +19,12 @@ mod imp {
     #[cfg(feature = "trace-events")]
     const TRACE_CAPACITY: usize = 16 * 1024;
 
+    /// Lifecycle span events retained before overwriting (retransmissions
+    /// and fallback replays are rare next to matches, so the service ring
+    /// can stay small).
+    #[cfg(feature = "trace-events")]
+    const SPAN_CAPACITY: usize = 64 * 1024;
+
     /// Cheap-to-clone handle to the service's metric instruments.
     #[derive(Debug, Clone)]
     pub struct ServiceMetrics {
@@ -43,8 +49,13 @@ mod imp {
         drain_retries: Arc<Counter>,
         fallback_escalations: Arc<Counter>,
         backoff_polls: Arc<Histogram>,
+        trace_dropped: Arc<Counter>,
         #[cfg(feature = "trace-events")]
         trace: Arc<otm_metrics::TraceRing>,
+        #[cfg(feature = "trace-events")]
+        spans: Arc<otm_metrics::SpanRecorder>,
+        #[cfg(feature = "trace-events")]
+        span_dropped: Arc<Counter>,
     }
 
     impl Default for ServiceMetrics {
@@ -78,8 +89,13 @@ mod imp {
                 drain_retries: registry.counter("dpa_drain_retries_total"),
                 fallback_escalations: registry.counter("dpa_fallback_escalations_total"),
                 backoff_polls: registry.histogram("dpa_backoff_polls"),
+                trace_dropped: registry.counter("dpa_trace_dropped_total"),
                 #[cfg(feature = "trace-events")]
                 trace: Arc::new(otm_metrics::TraceRing::new(TRACE_CAPACITY)),
+                #[cfg(feature = "trace-events")]
+                spans: Arc::new(otm_metrics::SpanRecorder::new(SPAN_CAPACITY)),
+                #[cfg(feature = "trace-events")]
+                span_dropped: registry.counter("dpa_span_dropped_total"),
                 registry,
             }
         }
@@ -201,18 +217,68 @@ mod imp {
         }
 
         /// Pushes a timeline event (no-op unless `trace-events` is on).
+        /// Overwritten events are accounted in `dpa_trace_dropped_total`
+        /// rather than lost silently.
         #[inline]
         pub fn trace_push(&self, worker: u32, kind: otm_metrics::EventKind) {
             #[cfg(feature = "trace-events")]
-            self.trace.push(worker, kind);
+            if self.trace.push(worker, kind) {
+                self.trace_dropped.inc();
+            }
             #[cfg(not(feature = "trace-events"))]
-            let _ = (worker, kind);
+            let _ = (worker, kind, &self.trace_dropped);
         }
 
         /// The timeline ring.
         #[cfg(feature = "trace-events")]
         pub fn trace_ring(&self) -> &otm_metrics::TraceRing {
             &self.trace
+        }
+
+        /// Stamps a `retransmitted{attempt}` lifecycle span on wire packet
+        /// `seq` (no-op unless `trace-events` is on). Ring overflow is
+        /// accounted in `dpa_span_dropped_total`.
+        #[inline]
+        pub fn span_retransmitted(&self, seq: u64, attempt: u32) {
+            #[cfg(feature = "trace-events")]
+            if self
+                .spans
+                .push(seq, otm_metrics::SpanKind::Retransmitted { attempt })
+            {
+                self.span_dropped.inc();
+            }
+            #[cfg(not(feature = "trace-events"))]
+            let _ = (seq, attempt);
+        }
+
+        /// Stamps a `fell_back` lifecycle span on `subject` — a message
+        /// being replayed into the software matcher during fallback (no-op
+        /// unless `trace-events` is on).
+        #[inline]
+        pub fn span_fell_back(&self, subject: u64) {
+            #[cfg(feature = "trace-events")]
+            if self.spans.push(subject, otm_metrics::SpanKind::FellBack) {
+                self.span_dropped.inc();
+            }
+            #[cfg(not(feature = "trace-events"))]
+            let _ = subject;
+        }
+
+        /// [`ServiceMetrics::span_fell_back`] for a *receive* handle: the
+        /// subject is namespaced with [`otm_metrics::RECV_SUBJECT_BIT`] so
+        /// it cannot collide with a message sharing the same raw id.
+        #[inline]
+        pub fn span_fell_back_recv(&self, recv: u64) {
+            #[cfg(feature = "trace-events")]
+            self.span_fell_back(otm_metrics::RECV_SUBJECT_BIT | recv);
+            #[cfg(not(feature = "trace-events"))]
+            let _ = recv;
+        }
+
+        /// The service's lifecycle span recorder.
+        #[cfg(feature = "trace-events")]
+        pub fn spans(&self) -> &otm_metrics::SpanRecorder {
+            &self.spans
         }
     }
 }
@@ -292,6 +358,18 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn observe_backoff(&self, _polls: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn span_retransmitted(&self, _seq: u64, _attempt: u32) {}
+
+        /// No-op.
+        #[inline]
+        pub fn span_fell_back(&self, _subject: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn span_fell_back_recv(&self, _recv: u64) {}
     }
 }
 
@@ -390,5 +468,25 @@ mod tests {
         let hist = &snap.hists["dpa_backoff_polls"];
         assert_eq!(hist.count, 2);
         assert_eq!(hist.sum, 12);
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn service_spans_capture_reliability_events() {
+        let m = ServiceMetrics::new();
+        m.span_retransmitted(9, 1);
+        m.span_fell_back(4);
+        let spans = m.spans().dump();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].subject, 9);
+        assert_eq!(
+            spans[0].kind,
+            otm_metrics::SpanKind::Retransmitted { attempt: 1 }
+        );
+        assert_eq!(spans[1].subject, 4);
+        assert_eq!(spans[1].kind, otm_metrics::SpanKind::FellBack);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["dpa_trace_dropped_total"], 0);
+        assert_eq!(snap.counters["dpa_span_dropped_total"], 0);
     }
 }

@@ -192,10 +192,15 @@ impl ReliableSender {
             // Go-back-N: resend the whole unacked window in order and
             // double the timeout for the next attempt.
             let resent = self.window.len() as u64;
-            for (_, packet) in &self.window {
+            for &(seq, ref packet) in &self.window {
                 self.qp
                     .send(packet.clone())
                     .map_err(ReliabilityError::Rdma)?;
+                if let Some(m) = &self.metrics {
+                    // Span subject = wire sequence number; the attempt index
+                    // is 1-based (attempt 1 is the first resend).
+                    m.span_retransmitted(seq, self.retries + 1);
+                }
             }
             self.stats.retransmits += resent;
             self.stats.resend_events += 1;
@@ -328,6 +333,36 @@ mod tests {
         s.send(eager_packet(env(1), vec![])).unwrap();
         s.poll().unwrap();
         assert_eq!(s.stats().resend_events, 3, "base timeout again after reset");
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn resends_stamp_retransmitted_spans_per_packet() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 1, 8);
+        let m = ServiceMetrics::new();
+        s.attach_metrics(m.clone());
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        s.send(eager_packet(env(1), vec![])).unwrap();
+        assert!(b.try_recv().unwrap().is_some());
+        assert!(b.try_recv().unwrap().is_some());
+        s.poll().unwrap(); // timeout → first resend of the 2-packet window
+        s.poll().unwrap();
+        s.poll().unwrap(); // doubled timeout elapses → second resend
+        let spans = m.spans().dump();
+        use otm_metrics::SpanKind;
+        let stamped: Vec<(u64, SpanKind)> = spans.iter().map(|s| (s.subject, s.kind)).collect();
+        assert_eq!(
+            stamped,
+            vec![
+                (0, SpanKind::Retransmitted { attempt: 1 }),
+                (1, SpanKind::Retransmitted { attempt: 1 }),
+                (0, SpanKind::Retransmitted { attempt: 2 }),
+                (1, SpanKind::Retransmitted { attempt: 2 }),
+            ],
+            "one span per resent packet, attempt index per window resend"
+        );
+        assert_eq!(m.snapshot().counters["dpa_span_dropped_total"], 0);
     }
 
     #[test]

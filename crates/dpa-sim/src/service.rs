@@ -188,6 +188,13 @@ pub struct MatchingService {
     retry_budget: u32,
     fellback: bool,
     metrics: ServiceMetrics,
+    /// Virtual clock: one tick per [`MatchingService::progress`] call (the
+    /// simulator measures time in polls).
+    polls: u64,
+    /// Rolling time-series sampler, when a caller attached one: snapshots
+    /// the combined registry at a fixed poll cadence.
+    #[cfg(feature = "metrics")]
+    series: Option<otm_metrics::SeriesRecorder>,
 }
 
 /// Default number of in-call retries for a retryable drain error before the
@@ -217,6 +224,9 @@ impl MatchingService {
             retry_budget: DEFAULT_DRAIN_RETRY_BUDGET,
             fellback: false,
             metrics,
+            polls: 0,
+            #[cfg(feature = "metrics")]
+            series: None,
         }
     }
 
@@ -326,6 +336,56 @@ impl MatchingService {
             Some(e) => snap.merge(&e.metrics_snapshot()),
             None => snap,
         }
+    }
+
+    /// Attaches a rolling time-series sampler: every `cadence` polls of
+    /// [`MatchingService::progress`], the combined registry snapshot is
+    /// distilled into one [`otm_metrics::SeriesPoint`]. The virtual clock
+    /// is the service's poll count, so a given workload produces the same
+    /// series on every run.
+    #[cfg(feature = "metrics")]
+    pub fn attach_series(&mut self, recorder: otm_metrics::SeriesRecorder) {
+        self.series = Some(recorder);
+    }
+
+    /// Detaches and returns the time-series sampler, if one was attached.
+    #[cfg(feature = "metrics")]
+    pub fn take_series(&mut self) -> Option<otm_metrics::SeriesRecorder> {
+        self.series.take()
+    }
+
+    /// Forces one terminal series sample at the current virtual time, so
+    /// the last point's cumulative values equal the end-of-run registry
+    /// snapshot regardless of where the cadence fell. No-op without an
+    /// attached sampler.
+    #[cfg(feature = "metrics")]
+    pub fn force_series_sample(&mut self) {
+        if self.series.is_some() {
+            let snap = self.observability_snapshot();
+            let depth = (self.nic.cq_len() + self.unexpected.len()) as u64;
+            if let Some(series) = &mut self.series {
+                series.force_sample(self.polls, depth, &snap);
+            }
+        }
+    }
+
+    /// The service's virtual clock: how many times
+    /// [`MatchingService::progress`] has run.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// The offloaded engine's lifecycle span events (posted / enqueued /
+    /// packed / matched), when the backend is the offloaded engine. The
+    /// service's own spans (retransmitted / fell_back) live in
+    /// [`MatchingService::metrics`]; both share one [`otm_metrics::now_ns`]
+    /// timeline, so a harness can merge the two dumps by timestamp.
+    #[cfg(feature = "trace-events")]
+    pub fn engine_span_events(&self) -> Option<Vec<otm_metrics::SpanEvent>> {
+        self.backend
+            .as_any()
+            .downcast_ref::<OtmEngine>()
+            .map(|e| e.span_events())
     }
 
     /// The combined observability snapshot rendered as a JSON string, or
@@ -438,6 +498,7 @@ impl MatchingService {
         let state = offloaded.drain_for_fallback()?;
         let mut matcher: Box<dyn MatchingBackend> = Box::new(TraditionalMatcher::new());
         for (env, msg) in state.unexpected {
+            self.metrics.span_fell_back(msg.0);
             let d = matcher
                 .arrive_block(&[(env, msg)])
                 .expect("software matcher is unbounded");
@@ -448,6 +509,7 @@ impl MatchingService {
             }
         }
         for (pattern, recv) in state.receives {
+            self.metrics.span_fell_back_recv(recv.0);
             let r = matcher
                 .post(pattern, recv)
                 .expect("software matcher is unbounded");
@@ -465,6 +527,7 @@ impl MatchingService {
         for cmd in extra_pending.into_iter().chain(state.pending) {
             match cmd {
                 PendingCommand::Post { pattern, handle } => {
+                    self.metrics.span_fell_back_recv(handle.0);
                     match matcher
                         .post(pattern, handle)
                         .expect("software matcher is unbounded")
@@ -474,6 +537,7 @@ impl MatchingService {
                     }
                 }
                 PendingCommand::Arrival { env, msg } => {
+                    self.metrics.span_fell_back(msg.0);
                     let d = matcher
                         .arrive_block(&[(env, msg)])
                         .expect("software matcher is unbounded");
@@ -519,6 +583,7 @@ impl MatchingService {
     /// Polls the NIC and matches everything that arrived. Returns the
     /// number of newly completed receives.
     pub fn progress(&mut self) -> Result<usize, ServiceError> {
+        self.polls += 1;
         self.metrics.count_poll();
         if let Err(e) = self.nic.poll() {
             if matches!(e, NicError::Staging(_)) {
@@ -546,6 +611,16 @@ impl MatchingService {
         self.observe_queues();
         let done = self.completed.len() - before;
         self.metrics.add_completions(done as u64);
+        #[cfg(feature = "metrics")]
+        if self.series.as_ref().is_some_and(|s| s.due(self.polls)) {
+            // Sampled post-drain: queue_depth is the backlog matching left
+            // behind (spilled CQ entries plus waiting unexpected messages).
+            let snap = self.observability_snapshot();
+            let depth = (self.nic.cq_len() + self.unexpected.len()) as u64;
+            if let Some(series) = &mut self.series {
+                series.sample(self.polls, depth, &snap);
+            }
+        }
         Ok(done)
     }
 
@@ -1255,6 +1330,42 @@ mod tests {
         assert_eq!(snap.counters["dpa_fallbacks_total"], 1);
         let json = svc.observability_json().expect("metrics enabled");
         assert!(json.contains("dpa_cq_depth_peak"));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn series_sampler_snapshots_at_poll_cadence() {
+        let (tx, _domain, mut svc) = setup("otm");
+        svc.attach_series(otm_metrics::SeriesRecorder::new(2));
+        for i in 0..4u32 {
+            svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i)))
+                .unwrap();
+        }
+        for round in 0..4u32 {
+            tx.send(eager_packet(env(0, round), vec![round as u8]))
+                .unwrap();
+            svc.progress().unwrap();
+        }
+        // One straggler the table never matches, so queue_depth is visible.
+        tx.send(eager_packet(env(9, 9), vec![])).unwrap();
+        svc.progress().unwrap();
+        svc.force_series_sample();
+        let series = svc.take_series().expect("sampler attached");
+        // The first sample is due immediately (poll 1), then every 2 polls;
+        // the forced terminal sample coincides with the t=5 grid point and
+        // replaces it, keeping `t` strictly increasing.
+        let ts: Vec<u64> = series.points().iter().map(|p| p.t).collect();
+        assert_eq!(ts, vec![1, 3, 5]);
+        // The terminal point's cumulative values equal the end-of-run
+        // registry snapshot — the artifact's self-consistency guarantee.
+        let last = series.last().expect("non-empty series");
+        let snap = svc.observability_snapshot();
+        let end = otm_metrics::SeriesPoint::distill(svc.polls(), 0, &snap);
+        assert_eq!(last.matched, end.matched);
+        assert_eq!(last.path_counts, end.path_counts);
+        assert_eq!(last.retransmits, end.retransmits);
+        assert_eq!(last.fallbacks, end.fallbacks);
+        assert_eq!(last.queue_depth, 1, "the straggler sits in the store");
     }
 
     #[test]

@@ -136,6 +136,22 @@ impl JsonWriter {
     }
 }
 
+/// Appends `s` with backslash, double-quote, and newline escaped — the
+/// exact three escapes the Prometheus text exposition format defines for
+/// label values. Shared by the registry's metric-identity renderer so
+/// every exposition path (Prometheus text and the JSON mirror, which keys
+/// metrics by the same rendered identity) escapes identically.
+pub fn escape_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 /// Appends `s` as a quoted, escaped JSON string.
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
@@ -201,6 +217,18 @@ mod tests {
         let mut w = JsonWriter::new();
         w.value_str("a\"b\\c\nd\u{1}");
         assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn label_value_escaping_covers_the_spec_triple() {
+        let mut out = String::new();
+        escape_label_value(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "a\\\"b\\\\c\\nd");
+        // Other control characters pass through untouched — the text
+        // format only defines the three escapes above.
+        let mut tab = String::new();
+        escape_label_value(&mut tab, "x\ty");
+        assert_eq!(tab, "x\ty");
     }
 
     #[test]

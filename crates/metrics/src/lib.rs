@@ -16,6 +16,17 @@
 //!   start/end, conflict detected, fast-path shift, slow-path serialize,
 //!   bounce-buffer spill) for post-mortem timeline dumps.
 //!
+//! On top of these sit the two flight-recorder layers:
+//!
+//! * [`SpanRecorder`] ([`span`]) — per-message lifecycle events
+//!   (`posted` → `enqueued` → `packed` → `matched{path}`, plus
+//!   `retransmitted`/`fell_back`) with explicit drop accounting, JSONL and
+//!   Chrome `trace_event` export, and derived per-path post→match latency
+//!   histograms.
+//! * [`SeriesRecorder`] ([`series`]) — a rolling sampler that distills
+//!   registry snapshots into Fig. 6/7-style time-series curves at a fixed
+//!   virtual-time cadence, rendered as a columnar JSON artifact.
+//!
 //! The crate deliberately has **no dependencies**: JSON is emitted by a
 //! tiny hand-rolled writer ([`json`]), timestamps come from a monotonic
 //! process-start epoch ([`now_ns`]). Consumers feature-gate their use of
@@ -28,10 +39,17 @@
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod series;
+pub mod span;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Labels, Registry, RegistrySnapshot};
+pub use series::{SeriesPoint, SeriesRecorder};
+pub use span::{
+    latency_by_path, spans_to_chrome_trace, spans_to_jsonl, MatchPath, SpanEvent, SpanKind,
+    SpanRecorder, MATCH_PATHS, RECV_SUBJECT_BIT,
+};
 pub use trace::{EventKind, TraceEvent, TraceRing};
 
 use std::sync::OnceLock;

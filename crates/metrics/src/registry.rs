@@ -99,14 +99,7 @@ impl Key {
             }
             out.push_str(k);
             out.push_str("=\"");
-            for c in v.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    c => out.push(c),
-                }
-            }
+            crate::json::escape_label_value(&mut out, v);
             out.push('"');
         }
         out.push('}');
@@ -465,6 +458,42 @@ mod tests {
         assert!(text.contains("otm_search_depth_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("otm_search_depth_sum 6\n"));
         assert!(text.contains("otm_search_depth_count 2\n"));
+    }
+
+    #[test]
+    fn exotic_label_values_stay_parseable() {
+        // Regression: backslash, quote, and newline in a label value must
+        // come out escaped per the Prometheus text-format spec on every
+        // exposition path, or the line is unparseable.
+        let hostile = "say \"hi\"\\\nbye".to_string();
+        let r = Registry::new();
+        r.counter_with("c_total", vec![("src", hostile.clone())])
+            .inc();
+        r.gauge_with("g", vec![("src", hostile.clone())]).set(2);
+        r.histogram_with("h", vec![("src", hostile.clone())])
+            .record(1);
+        let snap = r.snapshot();
+        let escaped = r#"src="say \"hi\"\\\nbye""#;
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains(&format!("c_total{{{escaped}}} 1\n")),
+            "{text}"
+        );
+        assert!(text.contains(&format!("g{{{escaped}}} 2\n")));
+        // Histogram exposition splices `le` into the same escaped set.
+        assert!(text.contains(&format!("h_bucket{{{escaped},le=\"1\"}} 1\n")));
+        assert!(text.contains(&format!("h_sum{{{escaped}}} 1\n")));
+        // No line may carry a raw (unescaped) newline from a label value.
+        for line in text.lines() {
+            assert!(!line.is_empty(), "label newline leaked into exposition");
+        }
+        // The JSON mirror re-escapes the rendered identity as JSON string
+        // content and must stay parseable too.
+        let json = snap.to_json();
+        assert!(
+            json.contains(r#"c_total{src=\"say \\\"hi\\\"\\\\\\nbye\"}"#),
+            "{json}"
+        );
     }
 
     #[test]

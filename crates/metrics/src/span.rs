@@ -1,0 +1,562 @@
+//! Per-message lifecycle spans — the event half of the flight recorder.
+//!
+//! A *span* is the sequence of stamped events one message (or receive, or
+//! wire packet) passes through on its way from submission to completion:
+//! `posted`, `enqueued`, `packed{block_id, occupancy}`, `matched{path}`,
+//! `retransmitted{attempt}`, `fell_back`. Components push [`SpanEvent`]s
+//! into a shared [`SpanRecorder`] — a bounded ring with an **explicit
+//! dropped-events counter** (unlike the silent-overwrite [`crate::TraceRing`],
+//! every overwritten event is accounted for) — and the recorder can replay
+//! the retained window as:
+//!
+//! * **JSONL** ([`SpanRecorder::to_jsonl`]): one JSON object per line, easy
+//!   to grep and to stream-parse;
+//! * **Chrome `trace_event` JSON** ([`SpanRecorder::to_chrome_trace`]): the
+//!   `{"traceEvents": [...]}` envelope that <https://ui.perfetto.dev> and
+//!   `chrome://tracing` open directly, with one track (`tid`) per subject;
+//! * **per-path post→match latency histograms**
+//!   ([`SpanRecorder::latency_by_path`]): for every subject whose span
+//!   contains a `Matched` event, the nanoseconds between its first recorded
+//!   event and the match, bucketed by resolution path — the data behind the
+//!   paper's NC / WC-FP / WC-SP latency split.
+//!
+//! Timestamps come from [`crate::now_ns`] (nanoseconds since the first
+//! observation in the process), so one run's engine- and service-side spans
+//! share a timeline. [`SpanRecorder::push_at`] accepts explicit timestamps
+//! for deterministic tests.
+//!
+//! The recorder itself carries no feature gates — the *instrumented* crates
+//! (`otm`, `dpa-sim`) only construct and feed one under their `trace-events`
+//! feature, and compile the calls away entirely otherwise.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::JsonWriter;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// The resolution path a match took (Fig. 8's series), plus the post-time
+/// UMQ hit the block paths never see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MatchPath {
+    /// No conflict: the optimistic booking was consumed outright (NC).
+    Nc,
+    /// With conflict, fast path: rank-shift along a compatible sequence
+    /// (WC-FP).
+    WcFp,
+    /// With conflict, slow path: serialize and re-search (WC-SP).
+    WcSp,
+    /// Matched at post time against the unexpected-message queue — the
+    /// receive-side path that never enters a block.
+    Post,
+}
+
+/// All match paths, in label order.
+pub const MATCH_PATHS: [MatchPath; 4] = [
+    MatchPath::Nc,
+    MatchPath::WcFp,
+    MatchPath::WcSp,
+    MatchPath::Post,
+];
+
+/// High bit set on span subjects that are *receive* handles, keeping them
+/// disjoint from message-handle subjects: a posted receive and an incoming
+/// message may share the same small integer id, and without the namespace
+/// split their spans would merge into one bogus lifecycle (and corrupt the
+/// [`latency_by_path`] pairing).
+pub const RECV_SUBJECT_BIT: u64 = 1 << 63;
+
+impl MatchPath {
+    /// The `path` label value used across the registry and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchPath::Nc => "nc",
+            MatchPath::WcFp => "wc_fp",
+            MatchPath::WcSp => "wc_sp",
+            MatchPath::Post => "post",
+        }
+    }
+
+    /// Dense index (for per-path arrays), matching [`MATCH_PATHS`] order.
+    pub fn index(self) -> usize {
+        match self {
+            MatchPath::Nc => 0,
+            MatchPath::WcFp => 1,
+            MatchPath::WcSp => 2,
+            MatchPath::Post => 3,
+        }
+    }
+}
+
+/// What happened to the subject at one point of its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A receive was posted into the engine's index structures.
+    Posted,
+    /// A command entered the submission queue.
+    Enqueued,
+    /// The drain packed the message into an optimistic block.
+    Packed {
+        /// Monotone per-engine block sequence number.
+        block_id: u64,
+        /// Arrivals the block carried (its fill level).
+        occupancy: u32,
+    },
+    /// The message (or receive) matched.
+    Matched {
+        /// Which resolution path produced the pairing.
+        path: MatchPath,
+    },
+    /// The reliability layer retransmitted the packet (go-back-N resend).
+    Retransmitted {
+        /// 1-based retransmit attempt for the current window.
+        attempt: u32,
+    },
+    /// The message was migrated to software matching by a fallback.
+    FellBack,
+}
+
+impl SpanKind {
+    /// Stable event name used in both export formats.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Posted => "posted",
+            SpanKind::Enqueued => "enqueued",
+            SpanKind::Packed { .. } => "packed",
+            SpanKind::Matched { .. } => "matched",
+            SpanKind::Retransmitted { .. } => "retransmitted",
+            SpanKind::FellBack => "fell_back",
+        }
+    }
+}
+
+/// One stamped lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Nanoseconds since the process's first observation ([`crate::now_ns`]).
+    pub t_ns: u64,
+    /// The subject's identity: message handle for arrivals, receive handle
+    /// for posts, sequence number for wire packets.
+    pub subject: u64,
+    /// What happened.
+    pub kind: SpanKind,
+    /// Global push order (gaps reveal nothing — the ring never skips; the
+    /// oldest retained event's `seq` reveals how many were dropped).
+    pub seq: u64,
+}
+
+/// Bounded, thread-safe ring of [`SpanEvent`]s with explicit drop
+/// accounting.
+///
+/// ```
+/// use otm_metrics::{MatchPath, SpanKind, SpanRecorder};
+///
+/// let spans = SpanRecorder::new(4);
+/// spans.push_at(10, 1, SpanKind::Enqueued);
+/// spans.push_at(25, 1, SpanKind::Matched { path: MatchPath::Nc });
+/// assert_eq!(spans.dropped(), 0);
+/// let hists = spans.latency_by_path();
+/// assert_eq!(hists[MatchPath::Nc.index()].count, 1);
+/// assert_eq!(hists[MatchPath::Nc.index()].sum, 15);
+/// ```
+#[derive(Debug)]
+pub struct SpanRecorder {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    /// Total events ever pushed (monotone).
+    pushed: AtomicU64,
+    /// Events overwritten because the ring was full (monotone). The
+    /// explicit counter the silent [`crate::TraceRing`] historically lacked.
+    dropped: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ring: VecDeque<SpanEvent>,
+    next_seq: u64,
+}
+
+impl SpanRecorder {
+    /// A recorder retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        SpanRecorder {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stamps and records one event. Returns `true` if an old event was
+    /// dropped to make room (so callers can mirror the loss into a registry
+    /// counter).
+    #[inline]
+    pub fn push(&self, subject: u64, kind: SpanKind) -> bool {
+        self.push_at(crate::now_ns(), subject, kind)
+    }
+
+    /// Records one event with an explicit timestamp (deterministic tests).
+    /// Returns `true` if an old event was dropped to make room.
+    pub fn push_at(&self, t_ns: u64, subject: u64, kind: SpanKind) -> bool {
+        let mut inner = self.inner.lock().expect("span ring lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let overflowed = inner.ring.len() == self.capacity;
+        if overflowed {
+            inner.ring.pop_front();
+            self.dropped.fetch_add(1, Relaxed);
+        }
+        inner.ring.push_back(SpanEvent {
+            t_ns,
+            subject,
+            kind,
+            seq,
+        });
+        self.pushed.fetch_add(1, Relaxed);
+        overflowed
+    }
+
+    /// Total events ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.pushed.load(Relaxed)
+    }
+
+    /// Events lost to ring overflow — the explicit dropped-events counter.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("span ring lock").ring.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the retained window out, oldest first.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        self.inner
+            .lock()
+            .expect("span ring lock")
+            .ring
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Empties the ring (drop accounting is preserved).
+    pub fn clear(&self) {
+        self.inner.lock().expect("span ring lock").ring.clear();
+    }
+
+    /// The retained window as JSON Lines (one event object per line).
+    pub fn to_jsonl(&self) -> String {
+        spans_to_jsonl(&self.dump())
+    }
+
+    /// The retained window in Chrome `trace_event` format (Perfetto-ready).
+    pub fn to_chrome_trace(&self) -> String {
+        spans_to_chrome_trace(&self.dump())
+    }
+
+    /// Per-path post→match latency histograms derived from the retained
+    /// spans (see [`latency_by_path`]).
+    pub fn latency_by_path(&self) -> [HistogramSnapshot; 4] {
+        latency_by_path(&self.dump())
+    }
+}
+
+/// Writes one event as a flat JSON object (shared by JSONL and the Chrome
+/// `args` payload writer below keeps its own shape).
+fn write_event_json(w: &mut JsonWriter, e: &SpanEvent) {
+    w.begin_object();
+    w.field_u64("t_ns", e.t_ns);
+    w.field_u64("seq", e.seq);
+    w.field_u64("subject", e.subject);
+    w.field_str("event", e.kind.name());
+    match e.kind {
+        SpanKind::Packed {
+            block_id,
+            occupancy,
+        } => {
+            w.field_u64("block_id", block_id);
+            w.field_u64("occupancy", occupancy as u64);
+        }
+        SpanKind::Matched { path } => w.field_str("path", path.label()),
+        SpanKind::Retransmitted { attempt } => w.field_u64("attempt", attempt as u64),
+        SpanKind::Posted | SpanKind::Enqueued | SpanKind::FellBack => {}
+    }
+    w.end_object();
+}
+
+/// Renders events (oldest first) as JSON Lines.
+pub fn spans_to_jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut w = JsonWriter::new();
+        write_event_json(&mut w, e);
+        out.push_str(&w.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events in the Chrome `trace_event` JSON format.
+///
+/// Each event becomes a thread-scoped instant (`"ph": "i"`) on the track of
+/// its subject, with the structured payload under `args` — load the file in
+/// Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` as-is.
+/// Timestamps are microseconds per the format, with sub-microsecond
+/// precision kept as fractions.
+pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.begin_array();
+    for e in events {
+        w.begin_object();
+        w.field_str("name", e.kind.name());
+        w.field_str("ph", "i");
+        w.field_str("s", "t");
+        w.field_f64("ts", e.t_ns as f64 / 1000.0);
+        w.field_u64("pid", 0);
+        w.field_u64("tid", e.subject);
+        w.key("args");
+        w.begin_object();
+        w.field_u64("seq", e.seq);
+        match e.kind {
+            SpanKind::Packed {
+                block_id,
+                occupancy,
+            } => {
+                w.field_u64("block_id", block_id);
+                w.field_u64("occupancy", occupancy as u64);
+            }
+            SpanKind::Matched { path } => w.field_str("path", path.label()),
+            SpanKind::Retransmitted { attempt } => w.field_u64("attempt", attempt as u64),
+            SpanKind::Posted | SpanKind::Enqueued | SpanKind::FellBack => {}
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Derives per-path post→match latency histograms from a span dump.
+///
+/// For every subject whose events include a `Matched{path}`, the latency is
+/// the nanoseconds from the subject's *earliest* retained event (its
+/// `posted`/`enqueued` stamp, or `packed` if the earlier ones were dropped
+/// by ring overflow) to the match. Indexed by [`MatchPath::index`].
+pub fn latency_by_path(events: &[SpanEvent]) -> [HistogramSnapshot; 4] {
+    use std::collections::BTreeMap;
+    let mut first_seen: BTreeMap<u64, u64> = BTreeMap::new();
+    let hists = [
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+    ];
+    for e in events {
+        if let SpanKind::Matched { path } = e.kind {
+            if let Some(&start) = first_seen.get(&e.subject) {
+                hists[path.index()].record(e.t_ns.saturating_sub(start));
+            }
+            first_seen.remove(&e.subject);
+        } else {
+            first_seen.entry(e.subject).or_insert(e.t_ns);
+        }
+    }
+    [
+        hists[0].snapshot(),
+        hists[1].snapshot(),
+        hists[2].snapshot(),
+        hists[3].snapshot(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let r = SpanRecorder::new(2);
+        assert!(!r.push_at(1, 10, SpanKind::Posted));
+        assert!(!r.push_at(2, 11, SpanKind::Posted));
+        assert!(r.push_at(3, 12, SpanKind::Posted), "third push overwrites");
+        assert_eq!(r.recorded(), 3);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.len(), 2);
+        let dump = r.dump();
+        assert_eq!(dump[0].subject, 11, "oldest retained is the second push");
+        assert_eq!(dump[0].seq, 1, "seq survives the overwrite");
+        assert_eq!(dump[1].subject, 12);
+    }
+
+    #[test]
+    fn jsonl_flattens_kind_payloads() {
+        let r = SpanRecorder::new(8);
+        r.push_at(5, 1, SpanKind::Enqueued);
+        r.push_at(
+            7,
+            1,
+            SpanKind::Packed {
+                block_id: 3,
+                occupancy: 12,
+            },
+        );
+        r.push_at(
+            9,
+            1,
+            SpanKind::Matched {
+                path: MatchPath::WcFp,
+            },
+        );
+        r.push_at(11, 40, SpanKind::Retransmitted { attempt: 2 });
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            r#"{"t_ns":5,"seq":0,"subject":1,"event":"enqueued"}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"t_ns":7,"seq":1,"subject":1,"event":"packed","block_id":3,"occupancy":12}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"t_ns":9,"seq":2,"subject":1,"event":"matched","path":"wc_fp"}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"t_ns":11,"seq":3,"subject":40,"event":"retransmitted","attempt":2}"#
+        );
+    }
+
+    #[test]
+    fn chrome_trace_has_the_trace_event_envelope() {
+        let r = SpanRecorder::new(8);
+        r.push_at(1500, 7, SpanKind::Posted);
+        r.push_at(
+            2500,
+            7,
+            SpanKind::Matched {
+                path: MatchPath::Nc,
+            },
+        );
+        let trace = r.to_chrome_trace();
+        assert!(trace.starts_with(r#"{"displayTimeUnit":"ns","traceEvents":["#));
+        assert!(trace.contains(r#""name":"posted""#));
+        assert!(trace.contains(r#""ph":"i""#));
+        assert!(trace.contains(r#""ts":1.5"#), "ns are converted to µs");
+        assert!(trace.contains(r#""tid":7"#));
+        assert!(trace.contains(r#""path":"nc""#));
+        assert!(trace.ends_with("]}"));
+    }
+
+    #[test]
+    fn latency_pairs_first_event_with_match_per_path() {
+        let r = SpanRecorder::new(16);
+        // Subject 1: enqueued → packed → matched (NC): latency 30-10 = 20.
+        r.push_at(10, 1, SpanKind::Enqueued);
+        r.push_at(
+            20,
+            1,
+            SpanKind::Packed {
+                block_id: 0,
+                occupancy: 2,
+            },
+        );
+        r.push_at(
+            30,
+            1,
+            SpanKind::Matched {
+                path: MatchPath::Nc,
+            },
+        );
+        // Subject 2: slow path, latency 100.
+        r.push_at(50, 2, SpanKind::Enqueued);
+        r.push_at(
+            150,
+            2,
+            SpanKind::Matched {
+                path: MatchPath::WcSp,
+            },
+        );
+        // Subject 3: never matched — contributes nothing.
+        r.push_at(60, 3, SpanKind::Enqueued);
+        let h = r.latency_by_path();
+        assert_eq!(h[MatchPath::Nc.index()].count, 1);
+        assert_eq!(h[MatchPath::Nc.index()].sum, 20);
+        assert_eq!(h[MatchPath::WcSp.index()].count, 1);
+        assert_eq!(h[MatchPath::WcSp.index()].sum, 100);
+        assert_eq!(h[MatchPath::WcFp.index()].count, 0);
+        assert_eq!(h[MatchPath::Post.index()].count, 0);
+    }
+
+    #[test]
+    fn matched_without_prior_events_is_not_a_latency_sample() {
+        // Ring overflow can drop a subject's early events; a bare `matched`
+        // must not produce a bogus zero-latency sample.
+        let r = SpanRecorder::new(4);
+        r.push_at(
+            9,
+            1,
+            SpanKind::Matched {
+                path: MatchPath::Nc,
+            },
+        );
+        assert_eq!(r.latency_by_path()[MatchPath::Nc.index()].count, 0);
+    }
+
+    #[test]
+    fn subjects_can_match_twice() {
+        // Handles are reused across phases in long runs: a second lifecycle
+        // for the same subject id starts a fresh pairing.
+        let r = SpanRecorder::new(16);
+        r.push_at(10, 1, SpanKind::Enqueued);
+        r.push_at(
+            15,
+            1,
+            SpanKind::Matched {
+                path: MatchPath::Nc,
+            },
+        );
+        r.push_at(40, 1, SpanKind::Enqueued);
+        r.push_at(
+            70,
+            1,
+            SpanKind::Matched {
+                path: MatchPath::Nc,
+            },
+        );
+        let h = r.latency_by_path();
+        assert_eq!(h[MatchPath::Nc.index()].count, 2);
+        assert_eq!(h[MatchPath::Nc.index()].sum, 5 + 30);
+    }
+
+    #[test]
+    fn clear_keeps_drop_accounting() {
+        let r = SpanRecorder::new(1);
+        r.push_at(1, 0, SpanKind::Posted);
+        r.push_at(2, 0, SpanKind::Posted);
+        assert_eq!(r.dropped(), 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1, "history of loss survives a clear");
+        assert_eq!(r.recorded(), 2);
+    }
+}

@@ -95,14 +95,18 @@ impl TraceRing {
         self.capacity
     }
 
-    /// Records an event with the current timestamp.
-    pub fn push(&self, worker: u32, kind: EventKind) {
-        self.push_at(crate::now_ns(), worker, kind);
+    /// Records an event with the current timestamp. Returns `true` when an
+    /// older event was overwritten to make room, so callers can account for
+    /// the loss (e.g. in an `*_trace_dropped_total` counter) instead of
+    /// dropping silently.
+    pub fn push(&self, worker: u32, kind: EventKind) -> bool {
+        self.push_at(crate::now_ns(), worker, kind)
     }
 
     /// Records an event with an explicit timestamp (useful in tests and
-    /// simulated-time contexts).
-    pub fn push_at(&self, ts_ns: u64, worker: u32, kind: EventKind) {
+    /// simulated-time contexts). Returns `true` when an older event was
+    /// overwritten to make room.
+    pub fn push_at(&self, ts_ns: u64, worker: u32, kind: EventKind) -> bool {
         let seq = self.seq.fetch_add(1, Relaxed);
         let ev = TraceEvent {
             ts_ns,
@@ -111,7 +115,8 @@ impl TraceRing {
             seq,
         };
         let mut inner = self.inner.lock().expect("trace ring lock");
-        if inner.buf.len() < self.capacity {
+        let overwrote = inner.buf.len() >= self.capacity;
+        if !overwrote {
             inner.buf.push(ev);
         } else {
             let at = inner.next;
@@ -119,6 +124,7 @@ impl TraceRing {
             inner.wrapped = true;
         }
         inner.next = (inner.next + 1) % self.capacity;
+        overwrote
     }
 
     /// Total number of events ever pushed (including overwritten ones).
@@ -256,5 +262,19 @@ mod tests {
         let evs = ring.dump();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].seq, 1);
+    }
+
+    #[test]
+    fn push_reports_overwrites() {
+        let ring = TraceRing::new(2);
+        assert!(!ring.push_at(1, 0, EventKind::Progress));
+        assert!(!ring.push_at(2, 0, EventKind::Progress));
+        assert!(ring.push_at(3, 0, EventKind::Progress));
+        assert!(ring.push_at(4, 0, EventKind::Progress));
+        ring.clear();
+        assert!(
+            !ring.push_at(5, 0, EventKind::Progress),
+            "a cleared ring has room again"
+        );
     }
 }

@@ -32,7 +32,7 @@
 
 use crate::block::{BlockShared, LaneData};
 use crate::command::{Command, CommandOutcome, CommandQueue, DrainReport};
-use crate::metrics::{trace_event, EngineMetrics};
+use crate::metrics::{span_event, trace_event, EngineMetrics};
 use crate::scheduler::{PackingScheduler, PackingStep};
 use crate::shard::{CommShard, ShardMap};
 use crate::stats::{OtmStats, StatsSnapshot};
@@ -173,6 +173,19 @@ impl OtmEngine {
         self.metrics.trace_ring().to_json()
     }
 
+    /// Copies out the retained lifecycle span events, oldest first.
+    #[cfg(feature = "trace-events")]
+    pub fn span_events(&self) -> Vec<otm_metrics::SpanEvent> {
+        self.metrics.spans().dump()
+    }
+
+    /// The engine's lifecycle span recorder (ring stats, JSONL and Chrome
+    /// `trace_event` export, per-path latency histograms).
+    #[cfg(feature = "trace-events")]
+    pub fn span_recorder(&self) -> &otm_metrics::SpanRecorder {
+        self.metrics.spans()
+    }
+
     fn check_running(&self) -> Result<(), MatchError> {
         if self.stopped.load(Ordering::SeqCst) || self.shared.poisoned.load(Ordering::SeqCst) {
             Err(MatchError::EngineStopped)
@@ -226,6 +239,18 @@ impl OtmEngine {
                 .fetch_add(m.depth as u64, Ordering::Relaxed);
             self.stats.umq_search_count.fetch_add(1, Ordering::Relaxed);
             self.metrics.record_umq_match_depth(m.depth as u64);
+            self.metrics.count_post_match();
+            self.metrics.count_matched();
+            // The subject is the *message* consumed from the UMQ: if it
+            // arrived through a block earlier, this closes the span those
+            // events opened.
+            span_event!(
+                self.metrics,
+                m.handle.0,
+                SpanKind::Matched {
+                    path: MatchPath::Post
+                }
+            );
             // The consumed receive is not indexed, so it breaks any ongoing
             // run of compatible receives.
             host.last_pattern = None;
@@ -253,6 +278,7 @@ impl OtmEngine {
         host.next_label = host.next_label.next();
         shard.shared.prq.insert(home, desc);
         self.stats.posted.fetch_add(1, Ordering::Relaxed);
+        span_event!(self.metrics, RECV_SUBJECT_BIT | handle.0, SpanKind::Posted);
         Ok(PostResult::Posted)
     }
 
@@ -270,6 +296,14 @@ impl OtmEngine {
     /// the next [`OtmEngine::drain`].
     pub fn submit(&self, cmd: Command) -> Result<(), MatchError> {
         self.check_running()?;
+        span_event!(
+            self.metrics,
+            match &cmd {
+                Command::Post { handle, .. } => RECV_SUBJECT_BIT | handle.0,
+                Command::Arrival { msg, .. } => msg.0,
+            },
+            SpanKind::Enqueued
+        );
         self.queue.submit(cmd);
         Ok(())
     }
@@ -523,6 +557,22 @@ impl OtmEngine {
         // single-lane engine, otherwise on the worker pool.
         let block_timer = self.metrics.timer();
         trace_event!(self.metrics, 0u32, BlockStart);
+        #[cfg(feature = "trace-events")]
+        {
+            // Block ids are the engine's running block count: serialized by
+            // the coordinator lock we hold, so the sequence is gap-free.
+            let block_id = self.stats.blocks.load(Ordering::Relaxed);
+            for &(_, handle) in msgs {
+                span_event!(
+                    self.metrics,
+                    handle.0,
+                    SpanKind::Packed {
+                        block_id,
+                        occupancy: n as u32
+                    }
+                );
+            }
+        }
         self.shared.reset_for_block();
         *self.shared.lanes.write() = lanes;
         self.shared.epoch.fetch_add(1, Ordering::Release);
@@ -1330,6 +1380,87 @@ mod tests {
         // The delta between consecutive snapshots isolates new activity.
         let later = e.metrics_snapshot();
         assert_eq!(later.delta(&snap).hists["otm_search_depth"].count, 0);
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn span_lifecycle_covers_enqueued_packed_matched() {
+        use otm_metrics::{MatchPath, SpanKind, RECV_SUBJECT_BIT};
+        let e = engine();
+        e.submit(Command::Post {
+            pattern: ReceivePattern::exact(Rank(0), Tag(1)),
+            handle: RecvHandle(3),
+        })
+        .unwrap();
+        e.submit(Command::Arrival {
+            env: env(0, 1),
+            msg: MsgHandle(3),
+        })
+        .unwrap();
+        let report = e.drain();
+        assert!(report.error.is_none());
+        let spans = e.span_events();
+        // The receive (namespaced subject) was enqueued then posted; the
+        // message — sharing the raw id 3, distinguishable only through the
+        // namespace bit — was enqueued, packed into a 1-message block, and
+        // matched without conflict.
+        let recv = RECV_SUBJECT_BIT | 3;
+        let kinds_of = |subject: u64| -> Vec<SpanKind> {
+            spans
+                .iter()
+                .filter(|s| s.subject == subject)
+                .map(|s| s.kind)
+                .collect()
+        };
+        assert_eq!(kinds_of(recv), vec![SpanKind::Enqueued, SpanKind::Posted]);
+        assert_eq!(
+            kinds_of(3),
+            vec![
+                SpanKind::Enqueued,
+                SpanKind::Packed {
+                    block_id: 0,
+                    occupancy: 1
+                },
+                SpanKind::Matched {
+                    path: MatchPath::Nc
+                }
+            ]
+        );
+        // A later post consuming the UMQ closes the unexpected message's
+        // span with a post-path match.
+        e.submit(Command::Arrival {
+            env: env(9, 9),
+            msg: MsgHandle(50),
+        })
+        .unwrap();
+        e.drain();
+        let r = e
+            .post_shared(ReceivePattern::exact(Rank(9), Tag(9)), RecvHandle(8))
+            .unwrap();
+        assert_eq!(r, PostResult::Matched(MsgHandle(50)));
+        let spans = e.span_events();
+        assert!(spans.iter().any(|s| s.subject == 50
+            && s.kind
+                == SpanKind::Matched {
+                    path: MatchPath::Post
+                }));
+        // Flight-recorder invariants: nothing dropped, matched spans agree
+        // with the matched counter, and the path counters sum to it.
+        assert_eq!(e.span_recorder().dropped(), 0);
+        let matched_spans = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Matched { .. }))
+            .count() as u64;
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counters["otm_matched_total"], matched_spans);
+        let path_sum: u64 = otm_metrics::MATCH_PATHS
+            .iter()
+            .map(|p| {
+                let key = format!("otm_resolutions_total{{path=\"{}\"}}", p.label());
+                snap.counters.get(&key).copied().unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(path_sum, snap.counters["otm_matched_total"]);
     }
 
     #[cfg(feature = "trace-events")]

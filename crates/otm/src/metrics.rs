@@ -22,6 +22,11 @@ mod imp {
     #[cfg(feature = "trace-events")]
     const TRACE_CAPACITY: usize = 64 * 1024;
 
+    /// Lifecycle span events retained before overwriting (each message
+    /// contributes a handful: posted/enqueued/packed/matched).
+    #[cfg(feature = "trace-events")]
+    pub(crate) const SPAN_CAPACITY: usize = 256 * 1024;
+
     /// Cheap-to-clone handle to the engine's metric instruments.
     #[derive(Debug, Clone)]
     pub struct EngineMetrics {
@@ -33,9 +38,16 @@ mod imp {
         no_conflict: Arc<Counter>,
         fast_path: Arc<Counter>,
         slow_path: Arc<Counter>,
+        post_match: Arc<Counter>,
+        matched: Arc<Counter>,
         conflicts: Arc<Counter>,
+        trace_dropped: Arc<Counter>,
         #[cfg(feature = "trace-events")]
         trace: Arc<otm_metrics::TraceRing>,
+        #[cfg(feature = "trace-events")]
+        spans: Arc<otm_metrics::SpanRecorder>,
+        #[cfg(feature = "trace-events")]
+        span_dropped: Arc<Counter>,
     }
 
     impl Default for EngineMetrics {
@@ -59,9 +71,17 @@ mod imp {
                     .counter_with("otm_resolutions_total", vec![("path", "wc_fp".into())]),
                 slow_path: registry
                     .counter_with("otm_resolutions_total", vec![("path", "wc_sp".into())]),
+                post_match: registry
+                    .counter_with("otm_resolutions_total", vec![("path", "post".into())]),
+                matched: registry.counter("otm_matched_total"),
                 conflicts: registry.counter("otm_conflicts_total"),
+                trace_dropped: registry.counter("otm_trace_dropped_total"),
                 #[cfg(feature = "trace-events")]
                 trace: Arc::new(otm_metrics::TraceRing::new(TRACE_CAPACITY)),
+                #[cfg(feature = "trace-events")]
+                spans: Arc::new(otm_metrics::SpanRecorder::new(SPAN_CAPACITY)),
+                #[cfg(feature = "trace-events")]
+                span_dropped: registry.counter("otm_span_dropped_total"),
                 registry,
             }
         }
@@ -94,6 +114,21 @@ mod imp {
         #[inline]
         pub fn count_slow_path(&self) {
             self.slow_path.inc();
+        }
+
+        /// Counts a receive matched at post time against the UMQ — the
+        /// fourth resolution path, which never enters a block.
+        #[inline]
+        pub fn count_post_match(&self) {
+            self.post_match.inc();
+        }
+
+        /// Counts one matched (receive, message) pair, whatever the path.
+        /// The flight recorder's invariant: this total equals the sum of
+        /// the four `otm_resolutions_total` path counters.
+        #[inline]
+        pub fn count_matched(&self) {
+            self.matched.inc();
         }
 
         /// Counts a directly detected booking conflict.
@@ -146,18 +181,39 @@ mod imp {
         }
 
         /// Pushes a timeline event (no-op unless `trace-events` is on).
+        /// Overwritten events are accounted in `otm_trace_dropped_total`
+        /// rather than lost silently.
         #[inline]
         pub fn trace_push(&self, worker: u32, kind: otm_metrics::EventKind) {
             #[cfg(feature = "trace-events")]
-            self.trace.push(worker, kind);
+            if self.trace.push(worker, kind) {
+                self.trace_dropped.inc();
+            }
             #[cfg(not(feature = "trace-events"))]
-            let _ = (worker, kind);
+            let _ = (worker, kind, &self.trace_dropped);
         }
 
         /// The timeline ring.
         #[cfg(feature = "trace-events")]
         pub fn trace_ring(&self) -> &otm_metrics::TraceRing {
             &self.trace
+        }
+
+        /// Stamps a lifecycle span event on `subject` (a message or
+        /// receive handle). Ring overflow is accounted in
+        /// `otm_span_dropped_total`.
+        #[cfg(feature = "trace-events")]
+        #[inline]
+        pub fn span_push(&self, subject: u64, kind: otm_metrics::SpanKind) {
+            if self.spans.push(subject, kind) {
+                self.span_dropped.inc();
+            }
+        }
+
+        /// The lifecycle span recorder.
+        #[cfg(feature = "trace-events")]
+        pub fn spans(&self) -> &otm_metrics::SpanRecorder {
+            &self.spans
         }
     }
 
@@ -201,6 +257,14 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn count_slow_path(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_post_match(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_matched(&self) {}
 
         /// No-op.
         #[inline]
@@ -249,6 +313,31 @@ macro_rules! trace_event {
 
 pub(crate) use trace_event;
 
+/// Stamps a lifecycle span event when `trace-events` is enabled; expands
+/// to nothing otherwise. `SpanKind`, `MatchPath` and `RECV_SUBJECT_BIT`
+/// are in scope inside the `$subject` and `$kind` expressions, so call
+/// sites read `span_event!(m, h, SpanKind::Matched { path: MatchPath::Nc })`.
+#[cfg(feature = "trace-events")]
+macro_rules! span_event {
+    ($metrics:expr, $subject:expr, $kind:expr) => {{
+        #[allow(unused_imports)]
+        use ::otm_metrics::{MatchPath, SpanKind, RECV_SUBJECT_BIT};
+        $metrics.span_push(($subject) as u64, $kind)
+    }};
+}
+
+/// No-op expansion: `trace-events` is disabled (the `$subject` and `$kind`
+/// tokens are discarded unevaluated, so they may reference `otm_metrics`
+/// items that do not exist in this configuration).
+#[cfg(not(feature = "trace-events"))]
+macro_rules! span_event {
+    ($metrics:expr, $subject:expr, $kind:expr) => {{
+        let _ = &$metrics;
+    }};
+}
+
+pub(crate) use span_event;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +360,9 @@ mod tests {
         m.count_no_conflict();
         m.count_fast_path();
         m.count_slow_path();
+        m.count_post_match();
+        m.count_matched();
+        m.count_matched();
         m.count_conflict();
         let t = m.timer();
         m.observe_block(t);
@@ -286,7 +378,10 @@ mod tests {
         assert_eq!(snap.counters["otm_resolutions_total{path=\"nc\"}"], 1);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_fp\"}"], 1);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_sp\"}"], 1);
+        assert_eq!(snap.counters["otm_resolutions_total{path=\"post\"}"], 1);
+        assert_eq!(snap.counters["otm_matched_total"], 2);
         assert_eq!(snap.counters["otm_conflicts_total"], 1);
+        assert_eq!(snap.counters["otm_trace_dropped_total"], 0);
     }
 
     #[cfg(feature = "metrics")]
@@ -307,5 +402,41 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].worker, 2);
         assert_eq!(events[0].kind, ::otm_metrics::EventKind::ConflictDetected);
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn span_macro_stamps_lifecycle_events() {
+        let m = EngineMetrics::new();
+        span_event!(m, 7u32, SpanKind::Posted);
+        span_event!(
+            m,
+            7u32,
+            SpanKind::Matched {
+                path: MatchPath::Nc
+            }
+        );
+        let spans = m.spans().dump();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].subject, 7);
+        assert_eq!(spans[0].kind, ::otm_metrics::SpanKind::Posted);
+        assert_eq!(
+            spans[1].kind,
+            ::otm_metrics::SpanKind::Matched {
+                path: ::otm_metrics::MatchPath::Nc
+            }
+        );
+        assert_eq!(m.snapshot().counters["otm_span_dropped_total"], 0);
+    }
+
+    #[cfg(feature = "trace-events")]
+    #[test]
+    fn span_overflow_is_accounted_not_silent() {
+        let m = EngineMetrics::new();
+        for i in 0..(super::imp::SPAN_CAPACITY as u64 + 5) {
+            m.span_push(i, ::otm_metrics::SpanKind::Enqueued);
+        }
+        assert_eq!(m.spans().dropped(), 5);
+        assert_eq!(m.snapshot().counters["otm_span_dropped_total"], 5);
     }
 }

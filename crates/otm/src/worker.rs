@@ -7,7 +7,7 @@
 //! enforced end-to-end by the oracle property tests.
 
 use crate::block::{below_mask, result_code, BlockShared, LaneData};
-use crate::metrics::{trace_event, EngineMetrics};
+use crate::metrics::{span_event, trace_event, EngineMetrics};
 use crate::stats::OtmStats;
 use crate::table::{state, DescId};
 use otm_base::MatchConfig;
@@ -184,6 +184,14 @@ pub(crate) fn run_lane(ctx: &WorkerCtx, lane_data: &LaneData) {
                 if ok {
                     ctx.stats.optimistic_ok.fetch_add(1, Ordering::Relaxed);
                     ctx.metrics.count_no_conflict();
+                    ctx.metrics.count_matched();
+                    span_event!(
+                        ctx.metrics,
+                        lane_data.handle.0,
+                        SpanKind::Matched {
+                            path: MatchPath::Nc
+                        }
+                    );
                     finish_consume(ctx, lane_data, cand.desc);
                     cand.desc as u64
                 } else {
@@ -240,6 +248,14 @@ fn run_lane_relaxed(ctx: &WorkerCtx, lane_data: &LaneData, epoch: u64) {
                 if comm.table.slot(c.desc).try_consume(epoch) {
                     ctx.stats.optimistic_ok.fetch_add(1, Ordering::Relaxed);
                     ctx.metrics.count_no_conflict();
+                    ctx.metrics.count_matched();
+                    span_event!(
+                        ctx.metrics,
+                        lane_data.handle.0,
+                        SpanKind::Matched {
+                            path: MatchPath::Nc
+                        }
+                    );
                     finish_consume(ctx, lane_data, c.desc);
                     break c.desc as u64;
                 }
@@ -291,6 +307,14 @@ fn resolve_conflict(
                     if table.slot(target).try_consume(epoch) {
                         ctx.stats.fast_path.fetch_add(1, Ordering::Relaxed);
                         ctx.metrics.count_fast_path();
+                        ctx.metrics.count_matched();
+                        span_event!(
+                            ctx.metrics,
+                            lane_data.handle.0,
+                            SpanKind::Matched {
+                                path: MatchPath::WcFp
+                            }
+                        );
                         trace_event!(ctx.metrics, ctx.lane, FastPathShift);
                         finish_consume(ctx, lane_data, target);
                         return target as u64;
@@ -314,7 +338,6 @@ fn resolve_slow(ctx: &WorkerCtx, lane_data: &LaneData, below: u64, epoch: u64) -
 
     BlockShared::wait_bits(&shared.settled, below);
     ctx.stats.slow_path.fetch_add(1, Ordering::Relaxed);
-    ctx.metrics.count_slow_path();
     trace_event!(ctx.metrics, ctx.lane, SlowPathSerialize);
     loop {
         let out = prq.research(
@@ -327,6 +350,20 @@ fn resolve_slow(ctx: &WorkerCtx, lane_data: &LaneData, below: u64, epoch: u64) -
             None => return result_code::UNEXPECTED,
             Some(c) => {
                 if table.slot(c.desc).try_consume(epoch) {
+                    // The WC-SP *resolution* counter fires only on a
+                    // successful consume (a slow-path entry that goes
+                    // unexpected resolved nothing), keeping the invariant
+                    // `otm_matched_total == Σ otm_resolutions_total{path}`.
+                    // `stats.slow_path` above still counts entries.
+                    ctx.metrics.count_slow_path();
+                    ctx.metrics.count_matched();
+                    span_event!(
+                        ctx.metrics,
+                        lane_data.handle.0,
+                        SpanKind::Matched {
+                            path: MatchPath::WcSp
+                        }
+                    );
                     finish_consume(ctx, lane_data, c.desc);
                     return c.desc as u64;
                 }

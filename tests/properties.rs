@@ -53,6 +53,29 @@ fn comm_event_strategy() -> impl Strategy<Value = (u16, MatchEvent)> {
     })
 }
 
+/// Strategy: an arbitrary engine-stats snapshot with fields bounded to 32
+/// bits, so `merge`'s component-wise sums can never overflow.
+fn stats_snapshot_strategy() -> impl Strategy<Value = otm::StatsSnapshot> {
+    proptest::collection::vec(0u64..(1 << 32), 16).prop_map(|v| otm::StatsSnapshot {
+        blocks: v[0],
+        messages: v[1],
+        matched: v[2],
+        unexpected: v[3],
+        optimistic_ok: v[4],
+        direct_conflicts: v[5],
+        induced_resolutions: v[6],
+        fast_path: v[7],
+        slow_path: v[8],
+        search_depth_sum: v[9],
+        search_count: v[10],
+        search_depth_max: v[11],
+        matched_on_post: v[12],
+        posted: v[13],
+        umq_depth_sum: v[14],
+        umq_search_count: v[15],
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -373,5 +396,33 @@ proptest! {
             .with_delay_permille(100)
             .with_max_faults(300);
         support::chaos::assert_chaos_equivalence(workload_seed, plan, 3, 16, queued);
+    }
+
+    /// `StatsSnapshot::merge` followed by `delta` recovers the merged-in
+    /// contribution exactly: the algebra behind interval measurement
+    /// (flight-recorder deltas) and per-rank aggregation. The search-depth
+    /// high-water mark is the one non-counter field — `delta` keeps the
+    /// current (merged) maximum rather than subtracting.
+    #[test]
+    fn stats_merge_then_delta_roundtrips(
+        a in stats_snapshot_strategy(),
+        b in stats_snapshot_strategy(),
+    ) {
+        let merged = a.merge(&b);
+        let recovered = merged.delta(&a);
+        let expected = otm::StatsSnapshot {
+            search_depth_max: a.search_depth_max.max(b.search_depth_max),
+            ..b.clone()
+        };
+        prop_assert_eq!(recovered, expected);
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        // Delta against itself zeroes every counter; the high-water mark
+        // stays (it upper-bounds the empty interval's maximum).
+        let self_delta = a.delta(&a);
+        let zeroed = otm::StatsSnapshot {
+            search_depth_max: a.search_depth_max,
+            ..Default::default()
+        };
+        prop_assert_eq!(self_delta, zeroed);
     }
 }

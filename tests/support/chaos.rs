@@ -46,6 +46,12 @@ pub struct RunOutcome {
 pub struct ChaosEvidence {
     pub injected_faults: u64,
     pub retransmits: u64,
+    /// Flight-recorder loss counters summed across the run:
+    /// `otm_trace_dropped_total` + `dpa_trace_dropped_total` plus the span
+    /// equivalents. The chaos workloads are sized well inside the ring
+    /// capacities, so a nonzero value means the recorder lost events it
+    /// should have retained.
+    pub trace_dropped: u64,
 }
 
 /// Generates a deterministic phased workload: `phases` phases of
@@ -149,6 +155,12 @@ pub fn run_chaos(
     }
 
     let injected = svc.nic().wire_fault_stats().map(|s| s.total()).unwrap_or(0);
+    let snap = svc.observability_snapshot();
+    let dropped_of = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
+    let trace_dropped = dropped_of("otm_trace_dropped_total")
+        + dropped_of("dpa_trace_dropped_total")
+        + dropped_of("otm_span_dropped_total")
+        + dropped_of("dpa_span_dropped_total");
     let outcome = RunOutcome {
         completed: svc
             .take_completed()
@@ -160,6 +172,7 @@ pub fn run_chaos(
     let evidence = ChaosEvidence {
         injected_faults: injected,
         retransmits: sender.stats().retransmits,
+        trace_dropped,
     };
     (outcome, evidence)
 }
@@ -184,6 +197,10 @@ pub fn assert_chaos_equivalence(
     assert_eq!(
         faulty, clean,
         "matched (receive, message) pairs must be identical to the fault-free run"
+    );
+    assert_eq!(
+        evidence.trace_dropped, 0,
+        "flight-recorder rings must not drop events at chaos-test scale"
     );
     evidence
 }
