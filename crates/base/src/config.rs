@@ -65,6 +65,15 @@ pub struct MatchConfig {
     /// cross-communicator reordering; see [`PackingPolicy`]).
     #[serde(default)]
     pub packing: PackingPolicy,
+    /// Cap on the number of arrivals one communicator lane may contribute to
+    /// a single block under [`PackingPolicy::CrossComm`]. `None` (the
+    /// default) keeps the greedy fill — one deep lane may own the whole
+    /// block. A fair scheduler layered above (the `matchd` deficit
+    /// round-robin) sets this so a flooding tenant's lane cannot crowd the
+    /// other lanes out of every block. Ignored under
+    /// [`PackingPolicy::Consecutive`].
+    #[serde(default)]
+    pub lane_quota: Option<usize>,
 }
 
 impl Default for MatchConfig {
@@ -81,6 +90,7 @@ impl Default for MatchConfig {
             early_booking_check: false,
             lazy_removal: true,
             packing: PackingPolicy::CrossComm,
+            lane_quota: None,
         }
     }
 }
@@ -154,6 +164,14 @@ impl MatchConfig {
         self
     }
 
+    /// Caps the arrivals one lane contributes per cross-comm block
+    /// (`None` = unlimited greedy fill).
+    #[must_use]
+    pub fn with_lane_quota(mut self, quota: Option<usize>) -> Self {
+        self.lane_quota = quota;
+        self
+    }
+
     /// Validates the configuration, returning a descriptive error for any
     /// parameter outside its legal range.
     pub fn validate(&self) -> Result<(), MatchError> {
@@ -175,6 +193,11 @@ impl MatchConfig {
                 "block_threads must be in 1..={MAX_BLOCK_THREADS}, got {}",
                 self.block_threads
             )));
+        }
+        if self.lane_quota == Some(0) {
+            return Err(MatchError::InvalidConfig(
+                "lane_quota must be >= 1 when set".into(),
+            ));
         }
         Ok(())
     }

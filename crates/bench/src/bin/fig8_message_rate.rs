@@ -44,6 +44,17 @@
 //! (receive, payload) sequence is identical in both runs, and everything
 //! lands in a dependency-free `fig8_faults.json` artifact.
 //!
+//! With `--tenants N`, a tenth section promotes the service into a matchd
+//! server and runs N tenant sessions against it for the same message
+//! budget: each tenant submits (post, self-send) pairs per deterministic
+//! tick, with `--flood-tenant I` turning tenant I into a flooder that
+//! pushes far past its bounded ingress. The rows put each tenant's
+//! admission counters (admitted / backpressured) next to its completed
+//! throughput and, for well-behaved tenants, the fraction of their *solo*
+//! throughput retained under contention — the fair-drain headline. The
+//! numbers land in a dependency-free `fig8_tenants.json` artifact (with the
+//! per-tenant series sections embedded when `--series` is also given).
+//!
 //! With `--series PATH`, the flight recorder's rolling time-series sampler
 //! rides along: the mixed-traffic drain is sampled once per drain round and
 //! the `--faults` service once per `progress()` poll (both deterministic
@@ -73,7 +84,8 @@ use dpa_sim::bounce::BouncePool;
 use dpa_sim::nic::RecvNic;
 use dpa_sim::rdma::{connected_pair, eager_packet, QueuePair, RdmaDomain};
 use dpa_sim::{
-    MatchMode, MatchingService, PingPongConfig, PingPongResult, ReliableSender, Scenario,
+    Admission, MatchMode, MatchServer, MatchdConfig, MatchingService, PingPongConfig,
+    PingPongResult, ReliableSender, Scenario, TenantConfig, TenantSession,
 };
 use mpi_matching::{MsgHandle, RecvHandle};
 use otm::{Command, OtmEngine};
@@ -204,6 +216,8 @@ struct Fig8Results {
     mixed: Vec<MixedRow>,
     /// The fault-injection sweep (`--faults`), if it ran.
     faults: Option<FaultSweep>,
+    /// The multi-tenant matchd fairness sweep (`--tenants`), if it ran.
+    tenants: Option<TenantsSweep>,
     /// Whether this build stamped lifecycle spans (`--features
     /// trace-events`) — compare the sharded `msgs_per_sec` of a `true` and
     /// a `false` artifact to measure the span layer's overhead.
@@ -379,6 +393,7 @@ fn main() {
     let sharded = run_sharded(&args, k * repeats);
     let mixed = run_mixed(&args, k * repeats, &mut observability, &mut recorder);
     let faults = run_faults(&args, k * repeats, &mut observability, &mut recorder);
+    let tenants = run_tenants(&args, k * repeats, &mut observability);
     finish(
         &args,
         quick,
@@ -386,6 +401,7 @@ fn main() {
         sharded,
         mixed,
         faults,
+        tenants,
         observability,
         recorder,
     );
@@ -936,6 +952,352 @@ fn write_faults_artifact(sweep: &FaultSweep, snapshots: &[&Option<String>]) -> s
     path
 }
 
+/// One tenant's row of the `--tenants` fairness sweep.
+#[derive(Debug, Clone, Serialize)]
+struct TenantRow {
+    /// The tenant's id (open order on the server).
+    tenant: u16,
+    /// `flooder` or `well-behaved`.
+    role: String,
+    /// Submission attempts the harness made for this tenant (pairs).
+    attempted_pairs: u64,
+    /// Requests the session admitted into its ingress.
+    admitted: u64,
+    /// Submissions answered with `Admission::Backpressured`.
+    backpressured: u64,
+    /// Requests the fair drain moved into the engine.
+    drained: u64,
+    /// Receives completed and delivered back to the session.
+    completed: u64,
+    /// Completions of the identical workload running alone on its own
+    /// server for the same tick count (`None` for the flooder).
+    solo_completed: Option<u64>,
+    /// `completed / solo_completed` — the fairness headline (`None` for
+    /// the flooder).
+    retained: Option<f64>,
+    /// Completed receives per wall-clock second of the contended run.
+    msgs_per_sec: f64,
+}
+
+impl TenantRow {
+    /// Hand-rolled serialization for the dependency-free artifact (the
+    /// same idiom as [`MixedRow::to_json`]).
+    fn to_json(&self) -> String {
+        let solo = self
+            .solo_completed
+            .map_or("null".to_string(), |v| v.to_string());
+        let retained = self
+            .retained
+            .map_or("null".to_string(), |v| format!("{v:.4}"));
+        format!(
+            concat!(
+                "{{\"tenant\":{},\"role\":\"{}\",\"attempted_pairs\":{},",
+                "\"admitted\":{},\"backpressured\":{},\"drained\":{},",
+                "\"completed\":{},\"solo_completed\":{},\"retained\":{},",
+                "\"msgs_per_sec\":{:.1}}}"
+            ),
+            self.tenant,
+            self.role,
+            self.attempted_pairs,
+            self.admitted,
+            self.backpressured,
+            self.drained,
+            self.completed,
+            solo,
+            retained,
+            self.msgs_per_sec,
+        )
+    }
+}
+
+/// The `--tenants` sweep: knobs, per-tenant rows, and the two fairness
+/// verdicts the paper-style shape checks assert.
+#[derive(Debug, Serialize)]
+struct TenantsSweep {
+    /// Tenant sessions on the shared server.
+    tenants: usize,
+    /// Index of the flooding tenant (`--flood-tenant`), if any.
+    flood_tenant: Option<usize>,
+    /// Scheduling rounds the contended (and each solo) run executed.
+    ticks: u64,
+    /// (post, self-send) pairs each well-behaved tenant submits per tick.
+    pairs_per_tick: usize,
+    /// Pairs the flooder attempts per tick.
+    flood_pairs_per_tick: usize,
+    /// Well-behaved ingress bound / DRR quantum.
+    capacity: usize,
+    /// Well-behaved DRR quantum.
+    quantum: usize,
+    /// Flooder ingress bound.
+    flood_capacity: usize,
+    /// Flooder DRR quantum.
+    flood_quantum: usize,
+    /// Deficit cap, in quanta.
+    deficit_cap_quanta: u64,
+    /// True when the flooder was answered with backpressure at admission.
+    flooder_backpressured: bool,
+    /// True when every well-behaved tenant kept at least half of its solo
+    /// throughput at the same virtual time.
+    fairness_retained: bool,
+    /// One row per tenant.
+    rows: Vec<TenantRow>,
+}
+
+/// Knobs of one tenants-sweep run, shared by the solo baseline and the
+/// contended run so the comparison is apples to apples.
+struct TenantBenchPlan {
+    ticks: u64,
+    pairs_per_tick: usize,
+    flood_pairs_per_tick: usize,
+    well: TenantConfig,
+    flood: TenantConfig,
+    matchd: MatchdConfig,
+}
+
+/// An engine sized so only admission — never table pressure — shapes the
+/// tenants sweep, with cross-communicator packing and a per-lane quota so
+/// both fairness layers (DRR at ingress, lane quota inside the drain) are
+/// on the measured path.
+fn tenants_match_config() -> MatchConfig {
+    MatchConfig::default()
+        .with_block_threads(4)
+        .with_max_receives(1 << 15)
+        .with_max_unexpected(1 << 15)
+        .with_bins(1024)
+        .with_packing(PackingPolicy::CrossComm)
+        .with_lane_quota(Some(8))
+}
+
+/// Submits up to `pairs` (post, self-send) pairs on the session's
+/// communicator and returns how many were attempted (backpressure refusals
+/// are counted by the session itself).
+fn submit_tenant_pairs(session: &TenantSession, pairs: usize, round: u64) -> u64 {
+    let src = Rank(session.tenant().0 as u32);
+    let comm = session.comm().expect("bench tenants are pinned");
+    for i in 0..pairs {
+        let tag = Tag((round as u32).wrapping_mul(31).wrapping_add(i as u32) % 61);
+        match session.submit_post(ReceivePattern::new(src, tag, comm)) {
+            Admission::Admitted(_) => {}
+            // A refused post never sends: pairs stay matched 1:1 and the
+            // ingress pressure shows up in the admission counters.
+            _ => continue,
+        }
+        // The send half may hit the bound the post just squeezed under; the
+        // orphaned post then waits for a later round's duplicate tag.
+        let _ = session.submit_send(tag, vec![(i % 251) as u8]);
+    }
+    pairs as u64
+}
+
+/// The well-behaved workload running alone on its own server: the
+/// throughput baseline the contended run is measured against.
+fn tenant_solo_baseline(plan: &TenantBenchPlan) -> u64 {
+    let mut server =
+        MatchServer::new(tenants_match_config(), plan.matchd).expect("standalone matchd server");
+    let session = server.open_tenant_with(TenantConfig {
+        comm: Some(CommId(1)),
+        ..plan.well
+    });
+    for round in 0..plan.ticks {
+        submit_tenant_pairs(&session, plan.pairs_per_tick, round);
+        server.tick().expect("solo tick");
+    }
+    session.stats().completed
+}
+
+/// Runs the `--tenants` sweep: a solo baseline, then N tenant sessions on
+/// one matchd server — one of them (`--flood-tenant`) flooding far past its
+/// ingress bound — for the same tick count. Returns the sweep plus the
+/// multi-section series artifact when `--series` asked for one.
+fn run_tenants(
+    args: &CommonArgs,
+    budget: usize,
+    observability: &mut BTreeMap<String, serde_json::Value>,
+) -> Option<(TenantsSweep, Option<String>)> {
+    let tenants = args.tenants?.max(2);
+    let flood_tenant = args.flood_tenant.filter(|&i| i < tenants);
+    let pairs_per_tick = 8usize;
+    let plan = TenantBenchPlan {
+        ticks: (budget / (pairs_per_tick * tenants)).clamp(40, 500) as u64,
+        pairs_per_tick,
+        flood_pairs_per_tick: 200,
+        well: TenantConfig {
+            capacity: 1024,
+            quantum: 64,
+            comm: None,
+        },
+        flood: TenantConfig {
+            capacity: 64,
+            quantum: 16,
+            comm: None,
+        },
+        matchd: MatchdConfig {
+            tenant: TenantConfig::default(),
+            deficit_cap_quanta: 4,
+        },
+    };
+    println!(
+        "\nMulti-tenant matchd: {tenants} tenants x {} ticks, {} pairs/tick each{}",
+        plan.ticks,
+        plan.pairs_per_tick,
+        match flood_tenant {
+            Some(i) => format!(
+                ", tenant {i} flooding {} pairs/tick through a {}-slot ingress",
+                plan.flood_pairs_per_tick, plan.flood.capacity
+            ),
+            None => String::new(),
+        }
+    );
+
+    let solo = tenant_solo_baseline(&plan);
+
+    let mut server =
+        MatchServer::new(tenants_match_config(), plan.matchd).expect("standalone matchd server");
+    if args.series.is_some() {
+        server.attach_series((plan.ticks / 64).max(1));
+    }
+    let sessions: Vec<TenantSession> = (0..tenants)
+        .map(|i| {
+            let knobs = if flood_tenant == Some(i) {
+                plan.flood
+            } else {
+                plan.well
+            };
+            server.open_tenant_with(TenantConfig {
+                comm: Some(CommId(i as u16 + 1)),
+                ..knobs
+            })
+        })
+        .collect();
+
+    let mut attempted = vec![0u64; tenants];
+    let start = Instant::now();
+    for round in 0..plan.ticks {
+        for (i, session) in sessions.iter().enumerate() {
+            let pairs = if flood_tenant == Some(i) {
+                plan.flood_pairs_per_tick
+            } else {
+                plan.pairs_per_tick
+            };
+            attempted[i] += submit_tenant_pairs(session, pairs, round);
+        }
+        server.tick().expect("contended tick");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let rows: Vec<TenantRow> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, session)| {
+            let stats = session.stats();
+            let flooding = flood_tenant == Some(i);
+            TenantRow {
+                tenant: session.tenant().0,
+                role: if flooding { "flooder" } else { "well-behaved" }.to_string(),
+                attempted_pairs: attempted[i],
+                admitted: stats.admitted,
+                backpressured: stats.backpressured,
+                drained: stats.drained,
+                completed: stats.completed,
+                solo_completed: (!flooding).then_some(solo),
+                retained: (!flooding).then(|| stats.completed as f64 / (solo as f64).max(1.0)),
+                msgs_per_sec: stats.completed as f64 / elapsed.max(f64::EPSILON),
+            }
+        })
+        .collect();
+    for row in &rows {
+        println!(
+            "  tenant {:<2} {:<13} {:>12.0} msgs/s   admitted {:>7}  backpressured {:>7}  \
+             completed {:>7}{}",
+            row.tenant,
+            row.role,
+            row.msgs_per_sec,
+            row.admitted,
+            row.backpressured,
+            row.completed,
+            match row.retained {
+                Some(r) => format!("  retained {:.0}% of solo", r * 100.0),
+                None => String::new(),
+            }
+        );
+    }
+
+    let flooder_backpressured = flood_tenant.is_none()
+        || rows
+            .iter()
+            .any(|r| r.role == "flooder" && r.backpressured > 0);
+    let fairness_retained = rows
+        .iter()
+        .filter_map(|r| r.retained)
+        .all(|r| 2.0 * r >= 1.0);
+    println!("shape: flooder answered with backpressure: {flooder_backpressured}");
+    println!("shape: well-behaved tenants retained >= 50% of solo: {fairness_retained}");
+
+    if let Some(v) = observability_value(server.service().observability_json().as_deref()) {
+        observability.insert("tenants".to_string(), v);
+    }
+    let series = server.finish_series();
+    Some((
+        TenantsSweep {
+            tenants,
+            flood_tenant,
+            ticks: plan.ticks,
+            pairs_per_tick: plan.pairs_per_tick,
+            flood_pairs_per_tick: plan.flood_pairs_per_tick,
+            capacity: plan.well.capacity,
+            quantum: plan.well.quantum,
+            flood_capacity: plan.flood.capacity,
+            flood_quantum: plan.flood.quantum,
+            deficit_cap_quanta: plan.matchd.deficit_cap_quanta,
+            flooder_backpressured,
+            fairness_retained,
+            rows,
+        },
+        series,
+    ))
+}
+
+/// Writes the tenants sweep to `fig8_tenants.json`, serialized by hand with
+/// the per-tenant series sections embedded verbatim when `--series` sampled
+/// them — the same dependency-free idiom as [`write_mixed_artifact`].
+fn write_tenants_artifact(sweep: &TenantsSweep, series: Option<&str>) -> std::path::PathBuf {
+    let row_objs: Vec<String> = sweep.rows.iter().map(TenantRow::to_json).collect();
+    let flood = sweep
+        .flood_tenant
+        .map_or("null".to_string(), |v| v.to_string());
+    let series_field = match series {
+        Some(s) => format!(",\"series\":{}", s.trim_end()),
+        None => String::new(),
+    };
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"fig8_tenants\",\"tenants\":{},\"flood_tenant\":{},",
+            "\"ticks\":{},\"pairs_per_tick\":{},\"flood_pairs_per_tick\":{},",
+            "\"capacity\":{},\"quantum\":{},\"flood_capacity\":{},",
+            "\"flood_quantum\":{},\"deficit_cap_quanta\":{},",
+            "\"flooder_backpressured\":{},\"fairness_retained\":{},",
+            "\"rows\":[{}]{}}}\n"
+        ),
+        sweep.tenants,
+        flood,
+        sweep.ticks,
+        sweep.pairs_per_tick,
+        sweep.flood_pairs_per_tick,
+        sweep.capacity,
+        sweep.quantum,
+        sweep.flood_capacity,
+        sweep.flood_quantum,
+        sweep.deficit_cap_quanta,
+        sweep.flooder_backpressured,
+        sweep.fairness_retained,
+        row_objs.join(","),
+        series_field,
+    );
+    let path = experiments_dir().join("fig8_tenants.json");
+    std::fs::write(&path, json).expect("write tenants artifact");
+    path
+}
+
 /// Drives the full receive path from multiple sender threads: shard `i` is
 /// the communicator `CommId(i + 1)` terminating its own queue pair on one
 /// receive NIC; its receives are pre-posted through the service (handle
@@ -1115,15 +1477,20 @@ fn finish(
     sharded: ShardedReport,
     mixed: Vec<(MixedRow, String)>,
     faults: Option<FaultSweep>,
+    tenants: Option<(TenantsSweep, Option<String>)>,
     observability: BTreeMap<String, serde_json::Value>,
     recorder: FlightRecorder,
 ) {
     let mixed_path = write_mixed_artifact(&mixed);
+    let tenants_path = tenants
+        .as_ref()
+        .map(|(sweep, series)| write_tenants_artifact(sweep, series.as_deref()));
     let results = Fig8Results {
         series: results,
         sharded,
         mixed: mixed.into_iter().map(|(row, _)| row).collect(),
         faults,
+        tenants: tenants.map(|(sweep, _)| sweep),
         trace_events: cfg!(feature = "trace-events"),
     };
     // Shape checks mirrored from the paper's discussion of Fig. 8.
@@ -1189,4 +1556,7 @@ fn finish(
     let path = write_report(args, &report);
     println!("\nJSON artifact: {}", path.display());
     println!("mixed-traffic artifact: {}", mixed_path.display());
+    if let Some(p) = tenants_path {
+        println!("tenants artifact: {}", p.display());
+    }
 }

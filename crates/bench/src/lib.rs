@@ -68,6 +68,15 @@ pub struct CommonArgs {
     /// building with `--features trace-events`; otherwise the harness prints
     /// a warning and skips the dump.
     pub spans: Option<PathBuf>,
+    /// `--tenants N`: run the multi-tenant matchd fairness section (fig8)
+    /// with N tenant sessions on one matching server, and write the
+    /// `fig8_tenants.json` artifact.
+    pub tenants: Option<usize>,
+    /// `--flood-tenant I`: make tenant I of the `--tenants` section a
+    /// flooder — it submits far past its ingress bound every tick, so the
+    /// admission path answers with backpressure while the fair drain
+    /// protects the other tenants' throughput.
+    pub flood_tenant: Option<usize>,
 }
 
 impl CommonArgs {
@@ -96,6 +105,8 @@ impl CommonArgs {
                 "--fault-seed" => args.fault_seed = it.next().and_then(|v| v.parse().ok()),
                 "--series" => args.series = it.next().map(PathBuf::from),
                 "--spans" => args.spans = it.next().map(PathBuf::from),
+                "--tenants" => args.tenants = it.next().and_then(|v| v.parse().ok()),
+                "--flood-tenant" => args.flood_tenant = it.next().and_then(|v| v.parse().ok()),
                 _ => {}
             }
         }

@@ -10,6 +10,7 @@
 //! receive path (wire → bounce buffer → CQ → matching → protocol).
 
 use crate::bounce::BouncePool;
+use crate::matchd::{Admission, MatchServer, MatchdConfig, TenantConfig, TenantSession};
 use crate::memory::DeviceMemory;
 use crate::nic::RecvNic;
 use crate::rdma::{
@@ -89,11 +90,21 @@ impl PeerSender {
     }
 }
 
-/// One simulated node: its matching service plus send endpoints to every
-/// peer.
+/// One simulated node: a `matchd` client around its matching server, plus
+/// send endpoints to every peer.
+///
+/// Since the matchd refactor a node no longer calls its
+/// [`MatchingService`] directly: it runs a private [`MatchServer`] with a
+/// single generously-sized tenant session, posts through the session's
+/// admission path, and advances matching by ticking the server. The
+/// node-facing API is unchanged; what changed is that every receive now
+/// travels the same admission → fair drain → completion-delivery pipeline
+/// a multi-tenant deployment uses.
 pub struct ClusterNode {
     rank: Rank,
-    service: MatchingService,
+    server: MatchServer,
+    /// The node's private tenant session on its own server.
+    session: TenantSession,
     /// Send endpoint towards each peer (`None` at our own index).
     peers: Vec<Option<PeerSender>>,
     domain: RdmaDomain,
@@ -107,9 +118,20 @@ impl ClusterNode {
         self.rank
     }
 
-    /// Posts a receive on this node.
+    /// Posts a receive on this node, through the node's tenant session.
+    /// The node's private tenant is sized so admission always succeeds; a
+    /// refusal (which would take a pathological backlog) surfaces as
+    /// [`ServiceError::Admission`] rather than being retried.
     pub fn post_recv(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
-        self.service.post_recv(pattern)
+        match self.session.submit_post(pattern) {
+            Admission::Admitted(handle) => Ok(handle),
+            Admission::Backpressured { retry_after } => Err(ServiceError::Admission(format!(
+                "node tenant backpressured (retry_after={retry_after})"
+            ))),
+            Admission::Rejected { reason } => Err(ServiceError::Admission(format!(
+                "node tenant rejected: {reason}"
+            ))),
+        }
     }
 
     /// Sends `payload` to `dest` with `tag`, choosing eager or rendezvous
@@ -127,13 +149,15 @@ impl ClusterNode {
         }
     }
 
-    /// Polls the NIC, matches, runs protocols; returns newly completed
-    /// receives. Also drives this node's reliable senders (acks in,
-    /// retransmits out) when the cluster runs a fault plan.
+    /// Ticks this node's matching server (fair drain of the node tenant's
+    /// queued posts, one NIC poll + match round, completion delivery) and
+    /// returns the newly delivered receives. Also drives this node's
+    /// reliable senders (acks in, retransmits out) when the cluster runs a
+    /// fault plan.
     pub fn progress(&mut self) -> Result<Vec<CompletedReceive>, ServiceError> {
-        self.service.progress()?;
+        self.server.tick()?;
         self.pump_senders()?;
-        Ok(self.service.take_completed())
+        Ok(self.session.take_completions())
     }
 
     /// Drives every reliable send endpoint one step without touching the
@@ -165,17 +189,28 @@ impl ClusterNode {
     /// What this node's receive-side fault interpreter injected so far
     /// (`None` when the cluster runs no fault plan).
     pub fn wire_fault_stats(&self) -> Option<crate::fault::WireFaultStats> {
-        self.service.nic().wire_fault_stats()
+        self.server.service().nic().wire_fault_stats()
     }
 
     /// Engine statistics when offloaded.
     pub fn engine_stats(&self) -> Option<otm::StatsSnapshot> {
-        self.service.engine_stats()
+        self.server.service().engine_stats()
     }
 
     /// The backend label.
     pub fn backend_name(&self) -> &'static str {
-        self.service.backend_name()
+        self.server.service().backend_name()
+    }
+
+    /// The node's matchd server (tick clock, Prometheus scrape, the
+    /// wrapped service).
+    pub fn server(&self) -> &MatchServer {
+        &self.server
+    }
+
+    /// The node's tenant session stats (admissions, drains, completions).
+    pub fn tenant_stats(&self) -> crate::matchd::TenantStats {
+        self.session.stats()
     }
 }
 
@@ -277,9 +312,21 @@ impl Cluster {
                     .collect();
                 let service =
                     MatchingService::with_backend(nic, domain.clone(), backend.build(&config));
+                // The node is a matchd client of its own server: one
+                // private tenant, sized so a node can queue a full job's
+                // posts without ever seeing backpressure, drained whole
+                // every tick (quantum = capacity). No loopback wire — the
+                // node's sends go to its peers, never to itself.
+                let mut server = MatchServer::with_service(service, None, MatchdConfig::default());
+                let session = server.open_tenant_with(TenantConfig {
+                    capacity: 1 << 16,
+                    quantum: 1 << 16,
+                    comm: None,
+                });
                 ClusterNode {
                     rank: Rank(i as u32),
-                    service,
+                    server,
+                    session,
                     peers,
                     domain,
                     eager_threshold: mpi_matching::protocol::DEFAULT_EAGER_THRESHOLD,

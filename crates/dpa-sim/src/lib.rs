@@ -30,7 +30,11 @@
 //!   each driving the eager/rendezvous protocol handling of §IV-B;
 //! * [`pingpong`] — the Fig. 8 message-rate harness: k-message sequences,
 //!   acknowledged per sequence, with no-conflict and with-conflict receive
-//!   scenarios.
+//!   scenarios;
+//! * [`matchd`] — the long-lived multi-tenant matching server: tenant
+//!   sessions with bounded ingress and explicit admission control, a
+//!   deficit-round-robin fair drain over one shared engine, and a
+//!   deterministic tick loop with live Prometheus exposition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@ pub mod bounce;
 pub mod cluster;
 pub mod collectives;
 pub mod fault;
+pub mod matchd;
 pub mod memory;
 pub mod nic;
 pub mod obs;
@@ -49,6 +54,9 @@ pub mod service;
 
 pub use cluster::{Cluster, ClusterBackend, ClusterNode};
 pub use fault::{BackendFaultStats, FaultInjectingBackend, WireFaultStats, WireFaults};
+pub use matchd::{
+    Admission, MatchServer, MatchdConfig, TenantConfig, TenantId, TenantSession, TenantStats,
+};
 pub use memory::DeviceMemory;
 pub use obs::ServiceMetrics;
 pub use pingpong::{MatchMode, PingPongConfig, PingPongResult, Scenario};

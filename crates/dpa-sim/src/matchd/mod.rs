@@ -1,0 +1,29 @@
+//! `matchd` — the long-lived multi-tenant matching server layer.
+//!
+//! The paper's offloaded matcher (§IV-E) is a shared NIC-resident resource:
+//! many communicators — and, one level up, many *tenants* — contend on one
+//! sharded engine with fixed descriptor tables. Everything above a
+//! per-test harness therefore needs three things the bare
+//! [`crate::service::MatchingService`] does not provide:
+//!
+//! * a **server** that owns the engine for the long haul and drives it on a
+//!   deterministic tick loop ([`server::MatchServer`]);
+//! * **tenant sessions** with bounded ingress queues and explicit
+//!   admission — `Admitted` / `Backpressured` / `Rejected` — so flow
+//!   control lives at the offload boundary instead of in each caller
+//!   ([`tenant::TenantSession`]);
+//! * a **fair drain**: deficit round-robin across tenants, composed with
+//!   the engine's per-lane block quota
+//!   ([`otm_base::MatchConfig::lane_quota`]), so one flooding tenant is
+//!   provably unable to starve the rest.
+//!
+//! The loss-free software fallback is untouched by this layer: commands
+//! from every tenant share the service's single submission queue, so a
+//! mid-tick migration replays them all through the existing
+//! `FallbackState::pending` path, per-tenant FIFO intact.
+
+pub mod server;
+pub mod tenant;
+
+pub use server::{MatchServer, MatchdConfig, TenantConfig, TickReport};
+pub use tenant::{Admission, TenantId, TenantSession, TenantStats};

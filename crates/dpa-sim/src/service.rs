@@ -65,6 +65,12 @@ pub enum ServiceError {
     /// The sender-side reliability protocol gave up (transport failure or
     /// retry-budget exhaustion on an unacknowledged window).
     Reliability(crate::reliable::ReliabilityError),
+    /// A `matchd` tenant session refused the request at admission
+    /// (backpressured or rejected). Callers that treat their session as
+    /// always-admitting — the cluster nodes run one private tenant with a
+    /// generous ingress — surface the refusal as this error instead of
+    /// retrying.
+    Admission(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -76,6 +82,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Protocol(e) => write!(f, "protocol: {e}"),
             ServiceError::FallbackReplay(msg) => write!(f, "fallback replay: {msg}"),
             ServiceError::Reliability(e) => write!(f, "reliability: {e}"),
+            ServiceError::Admission(msg) => write!(f, "admission: {msg}"),
         }
     }
 }
@@ -403,6 +410,23 @@ impl MatchingService {
         }
     }
 
+    /// The combined observability snapshot rendered in the Prometheus text
+    /// exposition format, or `None` when the `metrics` feature is disabled.
+    /// This is what the `matchd` tick loop serves as its live `/metrics`
+    /// endpoint: every scrape is a fresh walk of the registries, so
+    /// per-tenant labeled instruments appear as soon as a tenant session
+    /// touches them.
+    pub fn observability_prometheus(&self) -> Option<String> {
+        #[cfg(feature = "metrics")]
+        {
+            Some(self.observability_snapshot().to_prometheus())
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            None
+        }
+    }
+
     /// Posts a receive. If an unexpected message already matches, the
     /// protocol runs immediately and the receive completes.
     ///
@@ -412,8 +436,35 @@ impl MatchingService {
     /// capacity, the application must fall back to software tag matching"
     /// (§III-B).
     pub fn post_recv(&mut self, pattern: ReceivePattern) -> Result<RecvHandle, ServiceError> {
+        let handle = self.reserve_recv();
+        self.post_recv_reserved(pattern, handle)?;
+        Ok(handle)
+    }
+
+    /// Reserves the next receive handle from the service's own counter
+    /// without posting anything. Client layers that must know a receive's
+    /// identity *before* the post reaches the engine (the `matchd` tenant
+    /// sessions hand handles out at admission time, ticks before the drain
+    /// applies the post) reserve here — or mint handles in a disjoint
+    /// namespace of their own — and post through
+    /// [`MatchingService::post_recv_reserved`].
+    pub fn reserve_recv(&mut self) -> RecvHandle {
         let handle = RecvHandle(self.next_recv);
         self.next_recv += 1;
+        handle
+    }
+
+    /// Posts a receive under a caller-supplied handle — the engine-facing
+    /// half of [`MatchingService::post_recv`]. The handle must be unique
+    /// for the service's lifetime (reserved via
+    /// [`MatchingService::reserve_recv`] or minted in a namespace that
+    /// cannot collide with it); matching-order and fallback semantics are
+    /// identical to `post_recv`.
+    pub fn post_recv_reserved(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<(), ServiceError> {
         let matched = match self.backend.post(pattern, handle) {
             Ok(PostResult::Matched(msg)) => Some(msg),
             Ok(PostResult::Posted) => None,
@@ -434,7 +485,7 @@ impl MatchingService {
             let completed = self.run_protocol_from_store(handle, stored)?;
             self.completed.push(completed);
         }
-        Ok(handle)
+        Ok(())
     }
 
     /// Posts a receive through the backend's command queue (§IV-E's
@@ -452,15 +503,27 @@ impl MatchingService {
         &mut self,
         pattern: ReceivePattern,
     ) -> Result<RecvHandle, ServiceError> {
+        let handle = self.reserve_recv();
+        self.post_recv_queued_reserved(pattern, handle)?;
+        Ok(handle)
+    }
+
+    /// Posts a receive under a caller-supplied handle through the command
+    /// queue — the session path the `matchd` server drains tenants into.
+    /// Degrades to the synchronous
+    /// [`MatchingService::post_recv_reserved`] when the queue is not
+    /// enabled, exactly as [`MatchingService::post_recv_queued`] does.
+    pub fn post_recv_queued_reserved(
+        &mut self,
+        pattern: ReceivePattern,
+        handle: RecvHandle,
+    ) -> Result<(), ServiceError> {
         if !(self.use_queue && self.backend.supports_command_queue()) {
-            return self.post_recv(pattern);
+            return self.post_recv_reserved(pattern, handle);
         }
-        let handle = RecvHandle(self.next_recv);
-        self.next_recv += 1;
         self.backend
             .submit_command(PendingCommand::Post { pattern, handle })
-            .map_err(ServiceError::Match)?;
-        Ok(handle)
+            .map_err(ServiceError::Match)
     }
 
     /// Migrates all matching state from the offloaded backend to a host

@@ -257,6 +257,36 @@ impl SeriesRecorder {
     }
 }
 
+/// Renders one multi-tenant series artifact: a `global` section holding the
+/// server-wide series plus a `tenants` object with one section per tenant
+/// label, each in the same columnar [`SeriesRecorder::write_json`] schema.
+///
+/// ```json
+/// {"global": {...}, "tenants": {"0": {...}, "1": {...}}}
+/// ```
+///
+/// Sections are emitted in the order given; the `matchd` server passes its
+/// tenants in id order, so a deterministic run renders byte-identical
+/// artifacts.
+pub fn tenant_sections_json(
+    global: &SeriesRecorder,
+    sections: &[(String, &SeriesRecorder)],
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("global");
+    global.write_json(&mut w);
+    w.key("tenants");
+    w.begin_object();
+    for (label, series) in sections {
+        w.key(label);
+        series.write_json(&mut w);
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

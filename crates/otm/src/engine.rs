@@ -357,7 +357,8 @@ impl OtmEngine {
         // Bound the drain to what was queued at entry (racing submissions
         // land behind this count and belong to the next drain).
         let mut remaining = self.queue.len();
-        let mut sched = PackingScheduler::new(self.config.packing, self.config.block_threads);
+        let mut sched = PackingScheduler::new(self.config.packing, self.config.block_threads)
+            .with_lane_quota(self.config.lane_quota);
         let mut outcomes: Vec<(u64, CommandOutcome)> = Vec::with_capacity(remaining);
         loop {
             // Refill the window before every step so blocks are assembled

@@ -99,6 +99,13 @@ pub struct PackingScheduler {
     policy: PackingPolicy,
     /// Block capacity (`block_threads`).
     capacity: usize,
+    /// Cap on the arrivals one lane may contribute to a single cross-comm
+    /// block (`None` = greedy fill up to `capacity`). The fairness hook the
+    /// matchd deficit round-robin composes with: with a quota of `q`, a
+    /// block drawn from `k` non-empty lanes carries at most `q` messages of
+    /// any one communicator, so a deep (flooding) lane cannot monopolise
+    /// block after block while shallow lanes wait.
+    lane_quota: Option<usize>,
     /// Next global submission index to assign on admission.
     next_idx: u64,
     /// Total staged commands across all lanes / the FIFO.
@@ -125,11 +132,23 @@ impl PackingScheduler {
         PackingScheduler {
             policy,
             capacity: capacity.max(1),
+            lane_quota: None,
             next_idx: 0,
             staged: 0,
             fifo: VecDeque::new(),
             lanes: BTreeMap::new(),
         }
+    }
+
+    /// Caps the arrivals one lane contributes per cross-comm block. A quota
+    /// of `Some(0)` is clamped to 1 — every step must still be able to
+    /// consume a command (the no-livelock invariant). No effect under
+    /// [`PackingPolicy::Consecutive`], which has a single lane by
+    /// construction.
+    #[must_use]
+    pub fn with_lane_quota(mut self, quota: Option<usize>) -> Self {
+        self.lane_quota = quota.map(|q| q.max(1));
+        self
     }
 
     /// Number of staged commands not yet emitted.
@@ -218,13 +237,16 @@ impl PackingScheduler {
                 });
             }
         }
+        let quota = self.lane_quota.unwrap_or(self.capacity);
         let mut msgs = Vec::new();
         for lane in self.lanes.values_mut() {
-            while msgs.len() < self.capacity {
+            let mut taken = 0;
+            while msgs.len() < self.capacity && taken < quota {
                 match lane.front() {
                     Some(&(idx, Command::Arrival { env, msg })) => {
                         lane.pop_front();
                         self.staged -= 1;
+                        taken += 1;
                         msgs.push((idx, env, msg));
                     }
                     // A post (or lane exhaustion) ends this lane's run; the
@@ -385,6 +407,60 @@ mod tests {
         ));
         let rest: Vec<Command> = s.into_unapplied().into_iter().map(|(_, c)| c).collect();
         assert_eq!(rest, vec![cmds[0], cmds[2], cmds[3], cmds[4]]);
+    }
+
+    #[test]
+    fn lane_quota_bounds_one_lanes_share_of_a_block() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 8).with_lane_quota(Some(2));
+        // Lane 1 is flooded (5 arrivals), lane 2 has one message behind it.
+        admit_all(
+            &mut s,
+            vec![
+                arrival(1, 0),
+                arrival(1, 1),
+                arrival(1, 2),
+                arrival(1, 3),
+                arrival(1, 4),
+                arrival(2, 5),
+            ],
+        );
+        // Each block carries at most 2 of lane 1's arrivals, so lane 2's
+        // message rides in the very first block instead of waiting out the
+        // flood.
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![0, 1, 5]);
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![2, 3]);
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![4]);
+        assert_eq!(s.next_step(), None);
+        assert_eq!(s.staged(), 0);
+    }
+
+    #[test]
+    fn lane_quota_zero_is_clamped_so_steps_still_consume() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4).with_lane_quota(Some(0));
+        admit_all(&mut s, vec![arrival(1, 0), arrival(1, 1)]);
+        while s.staged() > 0 {
+            let before = s.staged();
+            assert!(s.next_step().is_some());
+            assert!(s.staged() < before, "a step must consume commands");
+        }
+    }
+
+    #[test]
+    fn lane_quota_preserves_per_lane_fifo() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4).with_lane_quota(Some(1));
+        admit_all(
+            &mut s,
+            vec![arrival(1, 0), arrival(2, 1), arrival(1, 2), arrival(2, 3)],
+        );
+        let mut seen: Vec<u64> = Vec::new();
+        while let Some(step) = s.next_step() {
+            seen.extend(block_indices(step));
+        }
+        // Per-lane order: 0 before 2 (lane 1), 1 before 3 (lane 2).
+        let pos = |i: u64| seen.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert_eq!(seen.len(), 4);
     }
 
     #[test]

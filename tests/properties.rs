@@ -425,4 +425,97 @@ proptest! {
         };
         prop_assert_eq!(self_delta, zeroed);
     }
+
+    /// The matchd fairness property (deterministic companion:
+    /// `tests/tenant_fairness.rs`): arbitrary multi-tenant submission
+    /// schedules with arbitrary per-tenant quanta, pushed through the fair
+    /// drain, (a) never let one tenant drain more than its deficit cap in a
+    /// single round, (b) lose nothing — every admitted pair completes once
+    /// the schedule settles — and (c) keep per-tenant FIFO: completions
+    /// come back in handle-mint order.
+    #[test]
+    fn matchd_fair_drain_is_bounded_lossless_and_fifo(
+        rounds in prop::collection::vec(prop::collection::vec(0usize..5, 3), 1..25),
+        quanta in prop::collection::vec(1usize..9, 3),
+    ) {
+        use dpa_sim::{MatchServer, MatchdConfig, TenantConfig};
+        const CAPACITY: usize = 32;
+        const CAP_QUANTA: u64 = 4;
+        let config = MatchConfig::default()
+            .with_block_threads(4)
+            .with_max_receives(1 << 14)
+            .with_max_unexpected(1 << 14)
+            .with_bins(16)
+            .with_packing(PackingPolicy::CrossComm)
+            .with_lane_quota(Some(4));
+        let mut server = MatchServer::new(
+            config,
+            MatchdConfig {
+                tenant: TenantConfig::default(),
+                deficit_cap_quanta: CAP_QUANTA,
+            },
+        )
+        .unwrap();
+        let sessions: Vec<dpa_sim::TenantSession> = quanta
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                server.open_tenant_with(TenantConfig {
+                    capacity: CAPACITY,
+                    quantum: q,
+                    comm: Some(CommId(i as u16 + 1)),
+                })
+            })
+            .collect();
+        let mut admitted = vec![0u64; sessions.len()];
+        let mut drained_before = vec![0u64; sessions.len()];
+        for (r, round) in rounds.iter().enumerate() {
+            for (i, (&pairs, session)) in round.iter().zip(&sessions).enumerate() {
+                for p in 0..pairs {
+                    // Pairs are admitted atomically: skip when the ingress
+                    // cannot hold both halves, so every admitted post has
+                    // its message and "lossless" means `completed == admitted`.
+                    if session.stats().ingress_depth + 2 > CAPACITY {
+                        break;
+                    }
+                    let tag = Tag(((r * 31 + p) % 11) as u32);
+                    let src = Rank(session.tenant().0 as u32);
+                    let pattern = ReceivePattern::new(src, tag, session.comm().unwrap());
+                    prop_assert!(session.submit_post(pattern).is_admitted());
+                    prop_assert!(session.submit_send(tag, vec![p as u8]).is_admitted());
+                    admitted[i] += 1;
+                }
+            }
+            server.tick().unwrap();
+            for (i, session) in sessions.iter().enumerate() {
+                let drained = session.stats().drained;
+                prop_assert!(
+                    drained - drained_before[i] <= quanta[i] as u64 * CAP_QUANTA,
+                    "tenant {} drained {} in one round (quantum {}, cap {})",
+                    i, drained - drained_before[i], quanta[i], CAP_QUANTA
+                );
+                drained_before[i] = drained;
+            }
+        }
+        for _ in 0..200 {
+            if sessions.iter().all(|s| s.stats().ingress_depth == 0) {
+                break;
+            }
+            server.tick().unwrap();
+        }
+        server.run_ticks(2).unwrap();
+        for (i, session) in sessions.iter().enumerate() {
+            let stats = session.stats();
+            prop_assert_eq!(stats.ingress_depth, 0, "tenant {} never settled", i);
+            prop_assert_eq!(stats.completed, admitted[i], "tenant {} lost work", i);
+            let seqs: Vec<u64> = session
+                .take_completions()
+                .iter()
+                .map(|d| d.recv.0 & ((1u64 << 48) - 1))
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seqs, sorted, "tenant {} completions out of mint order", i);
+        }
+    }
 }
