@@ -34,6 +34,29 @@ pub enum PackingPolicy {
     CrossComm,
 }
 
+/// How host threads hand commands to the drain coordinator (§IV-E's QP
+/// command queues).
+///
+/// The submission path decides what a concurrent post/arrival submitter
+/// contends on: the legacy mutex FIFO serializes every submitter *and* the
+/// drain on one lock, while the per-communicator rings make submission
+/// wait-free — a submitter only CASes its own communicator's ring tail, and
+/// the drain consumes from the other end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubmissionPath {
+    /// One mutex-guarded global FIFO (the pre-ring behaviour, kept for A/B
+    /// comparison). Submission blocks on the queue lock; ring capacity is
+    /// ignored and submissions never report
+    /// [`MatchError::SubmissionRingFull`].
+    Mutex,
+    /// One bounded MPSC ring per communicator shard. Submission is
+    /// wait-free; a full ring reports the retryable
+    /// [`MatchError::SubmissionRingFull`] backpressure signal instead of
+    /// blocking.
+    #[default]
+    Ring,
+}
+
 /// Tunable parameters of the optimistic matching engine and of the bin-based
 /// baseline matcher.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +97,24 @@ pub struct MatchConfig {
     /// [`PackingPolicy::Consecutive`].
     #[serde(default)]
     pub lane_quota: Option<usize>,
+    /// How submitters hand commands to the drain coordinator (defaults to
+    /// per-communicator wait-free rings; see [`SubmissionPath`]).
+    #[serde(default)]
+    pub submission: SubmissionPath,
+    /// Capacity of each communicator's submission ring under
+    /// [`SubmissionPath::Ring`] (rounded up to a power of two by the ring).
+    /// A full ring reports the retryable
+    /// [`MatchError::SubmissionRingFull`] backpressure signal. Ignored under
+    /// [`SubmissionPath::Mutex`]. Must be >= 1.
+    #[serde(default = "default_ring_capacity")]
+    pub ring_capacity: usize,
+}
+
+/// Serde default for [`MatchConfig::ring_capacity`]: configs serialized
+/// before the field existed load with the same 1024-slot rings as
+/// [`MatchConfig::default`].
+fn default_ring_capacity() -> usize {
+    1024
 }
 
 impl Default for MatchConfig {
@@ -91,6 +132,8 @@ impl Default for MatchConfig {
             lazy_removal: true,
             packing: PackingPolicy::CrossComm,
             lane_quota: None,
+            submission: SubmissionPath::Ring,
+            ring_capacity: default_ring_capacity(),
         }
     }
 }
@@ -172,6 +215,21 @@ impl MatchConfig {
         self
     }
 
+    /// Selects the command submission path (mutex FIFO vs per-comm rings).
+    #[must_use]
+    pub fn with_submission(mut self, path: SubmissionPath) -> Self {
+        self.submission = path;
+        self
+    }
+
+    /// Sets the per-communicator submission-ring capacity (rounded up to a
+    /// power of two by the ring; ignored under [`SubmissionPath::Mutex`]).
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
     /// Validates the configuration, returning a descriptive error for any
     /// parameter outside its legal range.
     pub fn validate(&self) -> Result<(), MatchError> {
@@ -197,6 +255,11 @@ impl MatchConfig {
         if self.lane_quota == Some(0) {
             return Err(MatchError::InvalidConfig(
                 "lane_quota must be >= 1 when set".into(),
+            ));
+        }
+        if self.ring_capacity == 0 {
+            return Err(MatchError::InvalidConfig(
+                "ring_capacity must be >= 1".into(),
             ));
         }
         Ok(())
@@ -485,7 +548,9 @@ mod tests {
             .with_fast_path(false)
             .with_early_booking_check(true)
             .with_lazy_removal(false)
-            .with_packing(PackingPolicy::Consecutive);
+            .with_packing(PackingPolicy::Consecutive)
+            .with_submission(SubmissionPath::Mutex)
+            .with_ring_capacity(256);
         assert_eq!(c.bins, 64);
         assert_eq!(c.max_receives, 128);
         assert_eq!(c.max_unexpected, 256);
@@ -494,6 +559,8 @@ mod tests {
         assert!(c.early_booking_check);
         assert!(!c.lazy_removal);
         assert_eq!(c.packing, PackingPolicy::Consecutive);
+        assert_eq!(c.submission, SubmissionPath::Mutex);
+        assert_eq!(c.ring_capacity, 256);
         c.validate().unwrap();
     }
 
@@ -505,6 +572,30 @@ mod tests {
         assert_eq!(PackingPolicy::default(), PackingPolicy::CrossComm);
         assert_eq!(MatchConfig::default().packing, PackingPolicy::CrossComm);
         assert_eq!(MatchConfig::small().packing, PackingPolicy::CrossComm);
+    }
+
+    #[test]
+    fn submission_defaults_to_rings() {
+        // Same serde-compat contract as `packing`: the enum default, the
+        // struct default, and the serde field default must all agree so that
+        // configs serialized before the field existed load identically.
+        assert_eq!(SubmissionPath::default(), SubmissionPath::Ring);
+        assert_eq!(MatchConfig::default().submission, SubmissionPath::Ring);
+        assert_eq!(MatchConfig::small().submission, SubmissionPath::Ring);
+        assert_eq!(MatchConfig::default().ring_capacity, 1024);
+        assert_eq!(MatchConfig::small().ring_capacity, 1024);
+    }
+
+    #[test]
+    fn zero_ring_capacity_is_rejected() {
+        assert!(MatchConfig::default()
+            .with_ring_capacity(0)
+            .validate()
+            .is_err());
+        assert!(MatchConfig::default()
+            .with_ring_capacity(1)
+            .validate()
+            .is_ok());
     }
 
     #[test]

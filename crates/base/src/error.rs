@@ -31,6 +31,14 @@ pub enum MatchError {
     /// `mpi_assert_no_any_source`. Per MPI, violating an assertion is an
     /// application error.
     HintViolation(String),
+    /// A communicator's bounded submission ring is full: the submitter is
+    /// producing faster than the drain coordinator consumes. Retryable
+    /// backpressure — draining the command queue frees slots, so the
+    /// submission can succeed later without any state change.
+    SubmissionRingFull {
+        /// The communicator whose ring rejected the submission.
+        comm: u16,
+    },
     /// An engine operation was attempted after the engine was shut down.
     EngineStopped,
 }
@@ -47,6 +55,7 @@ impl MatchError {
             MatchError::ReceiveTableFull
                 | MatchError::UnexpectedStoreFull
                 | MatchError::OutOfDeviceMemory { .. }
+                | MatchError::SubmissionRingFull { .. }
         )
     }
 
@@ -86,6 +95,10 @@ impl std::fmt::Display for MatchError {
             MatchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MatchError::UnknownCommunicator(id) => write!(f, "unknown communicator comm{id}"),
             MatchError::HintViolation(msg) => write!(f, "communicator hint violated: {msg}"),
+            MatchError::SubmissionRingFull { comm } => write!(
+                f,
+                "submission ring for comm{comm} is full: drain the command queue and retry"
+            ),
             MatchError::EngineStopped => write!(f, "matching engine already stopped"),
         }
     }
@@ -127,6 +140,7 @@ mod tests {
             available: 0
         }
         .is_retryable());
+        assert!(MatchError::SubmissionRingFull { comm: 1 }.is_retryable());
         assert!(MatchError::EngineStopped.is_terminal());
         assert!(MatchError::InvalidConfig("x".into()).is_terminal());
         assert!(MatchError::UnknownCommunicator(3).is_terminal());

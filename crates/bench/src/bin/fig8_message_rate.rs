@@ -90,7 +90,8 @@ use dpa_sim::{
 use mpi_matching::{MsgHandle, RecvHandle};
 use otm::{Command, OtmEngine};
 use otm_base::{
-    CommId, Envelope, FaultPlan, MatchConfig, PackingPolicy, Rank, ReceivePattern, Tag,
+    CommId, Envelope, FaultPlan, MatchConfig, MatchError, PackingPolicy, Rank, ReceivePattern,
+    SubmissionPath, Tag,
 };
 #[cfg(feature = "trace-events")]
 use otm_bench::spans_sibling;
@@ -210,8 +211,12 @@ impl FlightRecorder {
 struct Fig8Results {
     /// The six ping-pong series plus the 1-exec-unit row.
     series: Vec<PingPongResult>,
-    /// Throughput of concurrent posting through the sharded engine.
+    /// Throughput of concurrent posting through the sharded engine, on the
+    /// wait-free per-communicator ring submission path (the default).
     sharded: ShardedReport,
+    /// The same sharded workload on the legacy global mutex submission
+    /// path — the A/B baseline the ring path is measured against.
+    sharded_mutex: ShardedReport,
     /// The mixed-traffic packing-policy comparison (one row per policy).
     mixed: Vec<MixedRow>,
     /// The fault-injection sweep (`--faults`), if it ran.
@@ -236,6 +241,11 @@ struct ShardedReport {
     shards: usize,
     /// Number of sender threads feeding them.
     threads: usize,
+    /// The submission path the run used (`ring` or `mutex`).
+    submission: String,
+    /// Per-communicator submission-ring slots (`--ring-capacity`; the
+    /// engine default when unset). Meaningless on the mutex path.
+    ring_capacity: usize,
     /// Total receives completed across all shards.
     messages: u64,
     /// Wall-clock for the whole run (sending + service progress overlap).
@@ -390,7 +400,8 @@ fn main() {
     }
 
     let mut recorder = FlightRecorder::default();
-    let sharded = run_sharded(&args, k * repeats);
+    let sharded = run_sharded(&args, k * repeats, SubmissionPath::Ring);
+    let sharded_mutex = run_sharded(&args, k * repeats, SubmissionPath::Mutex);
     let mixed = run_mixed(&args, k * repeats, &mut observability, &mut recorder);
     let faults = run_faults(&args, k * repeats, &mut observability, &mut recorder);
     let tenants = run_tenants(&args, k * repeats, &mut observability);
@@ -399,6 +410,7 @@ fn main() {
         quick,
         results,
         sharded,
+        sharded_mutex,
         mixed,
         faults,
         tenants,
@@ -505,7 +517,19 @@ fn run_mixed(
                                     msg,
                                 }
                             };
-                            engine.submit(cmd).expect("engine running");
+                            // A full per-communicator submission ring is
+                            // backpressure, not failure: the concurrent
+                            // drain below is what frees slots, so yield and
+                            // push the same command again.
+                            loop {
+                                match engine.submit(cmd) {
+                                    Ok(()) => break,
+                                    Err(MatchError::SubmissionRingFull { .. }) => {
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("engine running: {e}"),
+                                }
+                            }
                             // Submission is orders of magnitude cheaper than
                             // matching, so on few-core hosts an unyielding
                             // submitter timeslice would enqueue its whole
@@ -1308,7 +1332,7 @@ fn write_tenants_artifact(sweep: &TenantsSweep, series: Option<&str>) -> std::pa
 /// arrivals to the engine's command queue, and the pipelined drain all run
 /// concurrently with the senders. Per-shard wire order is per-QP FIFO, so
 /// every message finds its pre-posted receive.
-fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
+fn run_sharded(args: &CommonArgs, budget: usize, submission: SubmissionPath) -> ShardedReport {
     let shards = args.shards.unwrap_or(4).max(1);
     let threads = args.threads.unwrap_or(shards).clamp(1, shards);
     let per_shard = (budget / shards).max(1);
@@ -1317,9 +1341,14 @@ fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
     // Worst case every receive is outstanding at once (sending outruns the
     // service), so the table — and the bounce pool — must hold the full
     // budget.
-    let config = MatchConfig::default()
+    let mut config = MatchConfig::default()
         .with_max_receives(total)
-        .with_bins((2 * total).next_power_of_two());
+        .with_bins((2 * total).next_power_of_two())
+        .with_submission(submission);
+    if let Some(capacity) = args.ring_capacity {
+        config = config.with_ring_capacity(capacity);
+    }
+    let ring_capacity = config.ring_capacity;
     let engine = OtmEngine::new(config).expect("sharded bench configuration");
 
     let domain = RdmaDomain::new();
@@ -1356,8 +1385,13 @@ fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
         plans[shard % threads].push((shard, senders[shard].take().expect("unclaimed endpoint")));
     }
 
+    let path_name = match submission {
+        SubmissionPath::Ring => "ring",
+        SubmissionPath::Mutex => "mutex",
+    };
     println!(
-        "\nSharded command queue: {shards} shards x {per_shard} msgs, {threads} sender threads"
+        "\nSharded command queue ({path_name} submission): {shards} shards x {per_shard} msgs, \
+         {threads} sender threads"
     );
 
     let mut delivered = vec![0u64; shards];
@@ -1427,6 +1461,8 @@ fn run_sharded(args: &CommonArgs, budget: usize) -> ShardedReport {
     let report = ShardedReport {
         shards,
         threads,
+        submission: path_name.to_string(),
+        ring_capacity,
         messages: matched,
         elapsed_secs: elapsed,
         msgs_per_sec: matched as f64 / elapsed.max(f64::EPSILON),
@@ -1475,6 +1511,7 @@ fn finish(
     quick: bool,
     results: Vec<PingPongResult>,
     sharded: ShardedReport,
+    sharded_mutex: ShardedReport,
     mixed: Vec<(MixedRow, String)>,
     faults: Option<FaultSweep>,
     tenants: Option<(TenantsSweep, Option<String>)>,
@@ -1488,6 +1525,7 @@ fn finish(
     let results = Fig8Results {
         series: results,
         sharded,
+        sharded_mutex,
         mixed: mixed.into_iter().map(|(row, _)| row).collect(),
         faults,
         tenants: tenants.map(|(sweep, _)| sweep),
@@ -1519,6 +1557,23 @@ fn finish(
     println!(
         "shape: sharded drain delivered every message: {}",
         results.sharded.error.is_none() && results.sharded.messages == submitted
+    );
+    let mutex_submitted: u64 = results
+        .sharded_mutex
+        .per_shard
+        .iter()
+        .map(|r| r.posts)
+        .sum();
+    println!(
+        "shape: mutex-path A/B delivered every message: {}",
+        results.sharded_mutex.error.is_none() && results.sharded_mutex.messages == mutex_submitted
+    );
+    println!(
+        "shape: ring submission keeps pace with the mutex path: {} \
+         (ring {:.0} msgs/s vs mutex {:.0} msgs/s)",
+        results.sharded.msgs_per_sec >= results.sharded_mutex.msgs_per_sec * 0.9,
+        results.sharded.msgs_per_sec,
+        results.sharded_mutex.msgs_per_sec,
     );
     let occupancy = |name: &str| {
         results

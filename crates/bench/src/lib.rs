@@ -77,6 +77,11 @@ pub struct CommonArgs {
     /// admission path answers with backpressure while the fair drain
     /// protects the other tenants' throughput.
     pub flood_tenant: Option<usize>,
+    /// `--ring-capacity N`: per-communicator submission-ring slots for the
+    /// sharded fig8 section (default: the engine's config default). The
+    /// sharded run reports the wait-free ring path against the legacy mutex
+    /// queue A/B-style.
+    pub ring_capacity: Option<usize>,
 }
 
 impl CommonArgs {
@@ -107,6 +112,7 @@ impl CommonArgs {
                 "--spans" => args.spans = it.next().map(PathBuf::from),
                 "--tenants" => args.tenants = it.next().and_then(|v| v.parse().ok()),
                 "--flood-tenant" => args.flood_tenant = it.next().and_then(|v| v.parse().ok()),
+                "--ring-capacity" => args.ring_capacity = it.next().and_then(|v| v.parse().ok()),
                 _ => {}
             }
         }
@@ -325,6 +331,19 @@ mod tests {
         assert_eq!(default.post_mix, None);
         let bad = CommonArgs::from_iter(["--post-mix", "lots"].into_iter().map(String::from));
         assert_eq!(bad.post_mix, None);
+    }
+
+    #[test]
+    fn common_args_parse_ring_capacity() {
+        let args = CommonArgs::from_iter(
+            ["--ring-capacity", "256"].into_iter().map(String::from),
+        );
+        assert_eq!(args.ring_capacity, Some(256));
+        let default = CommonArgs::from_iter(std::iter::empty());
+        assert_eq!(default.ring_capacity, None);
+        let bad =
+            CommonArgs::from_iter(["--ring-capacity", "many"].into_iter().map(String::from));
+        assert_eq!(bad.ring_capacity, None);
     }
 
     #[test]

@@ -223,7 +223,9 @@ impl MatchServer {
         for i in 0..self.tenants.len() {
             // Pop this round's batch under the tenant lock, apply it after
             // dropping the lock (sessions submitting concurrently only ever
-            // contend on the short pop).
+            // contend on the short pop). Drain accounting happens *after*
+            // dispatch: a post bounced by engine backpressure is requeued
+            // below and must not count as drained.
             let batch: Vec<TenantRequest> = {
                 let entry = &mut self.tenants[i];
                 let mut shared = entry.shared.lock().expect("tenant lock");
@@ -241,22 +243,34 @@ impl MatchServer {
                 if shared.ingress.is_empty() {
                     entry.deficit = 0;
                 }
-                shared.stats.drained += batch.len() as u64;
-                #[cfg(feature = "metrics")]
-                {
-                    shared.instruments.drained.add(batch.len() as u64);
-                    shared
-                        .instruments
-                        .ingress_depth
-                        .set(shared.ingress.len() as i64);
-                }
                 batch
             };
-            drained += batch.len();
-            for req in batch {
+            let mut batch: VecDeque<TenantRequest> = batch.into();
+            let mut dispatched = 0usize;
+            while let Some(req) = batch.pop_front() {
                 match req {
                     TenantRequest::Post { pattern, handle } => {
-                        self.service.post_recv_queued_reserved(pattern, handle)?;
+                        match self.service.post_recv_queued_reserved(pattern, handle) {
+                            Ok(()) => {}
+                            Err(ServiceError::Match(MatchError::SubmissionRingFull {
+                                ..
+                            })) => {
+                                // The engine's per-communicator submission
+                                // ring is full — retryable backpressure, not
+                                // a failure. The bounced post and the rest of
+                                // the batch go back to the FRONT of the
+                                // tenant's ingress (they stay oldest, so
+                                // per-tenant order holds) with their DRR
+                                // credit refunded; this tick's progress call
+                                // drains the ring, and until then the deeper
+                                // ingress surfaces Admission::Backpressured
+                                // with a retry hint to the tenant.
+                                batch.push_front(TenantRequest::Post { pattern, handle });
+                                break;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                        dispatched += 1;
                     }
                     TenantRequest::Send { env, payload } => {
                         let wire = self
@@ -265,8 +279,25 @@ impl MatchServer {
                             .expect("sends are rejected at admission on wireless servers");
                         wire.send(eager_packet(env, payload))
                             .map_err(ServiceError::Rdma)?;
+                        dispatched += 1;
                     }
                 }
+            }
+            drained += dispatched;
+            let entry = &mut self.tenants[i];
+            entry.deficit += batch.len() as u64;
+            let mut shared = entry.shared.lock().expect("tenant lock");
+            for req in batch.into_iter().rev() {
+                shared.ingress.push_front(req);
+            }
+            shared.stats.drained += dispatched as u64;
+            #[cfg(feature = "metrics")]
+            {
+                shared.instruments.drained.add(dispatched as u64);
+                shared
+                    .instruments
+                    .ingress_depth
+                    .set(shared.ingress.len() as i64);
             }
         }
         let completed = self.service.progress()?;

@@ -47,6 +47,7 @@ mod imp {
         acks: Arc<Counter>,
         retransmits: Arc<Counter>,
         drain_retries: Arc<Counter>,
+        ring_backpressure: Arc<Counter>,
         fallback_escalations: Arc<Counter>,
         backoff_polls: Arc<Histogram>,
         trace_dropped: Arc<Counter>,
@@ -87,6 +88,7 @@ mod imp {
                 acks: registry.counter("dpa_acks_total"),
                 retransmits: registry.counter("dpa_retransmits_total"),
                 drain_retries: registry.counter("dpa_drain_retries_total"),
+                ring_backpressure: registry.counter("dpa_ring_backpressure_total"),
                 fallback_escalations: registry.counter("dpa_fallback_escalations_total"),
                 backoff_polls: registry.histogram("dpa_backoff_polls"),
                 trace_dropped: registry.counter("dpa_trace_dropped_total"),
@@ -190,6 +192,14 @@ mod imp {
         #[inline]
         pub fn count_drain_retry(&self) {
             self.drain_retries.inc();
+        }
+
+        /// Counts one submission rejected by a full per-communicator ring
+        /// (the engine's wait-free backpressure signal): the service drains
+        /// inline to free slots and retries the push.
+        #[inline]
+        pub fn count_ring_backpressure(&self) {
+            self.ring_backpressure.inc();
         }
 
         /// Counts one retry-budget exhaustion that escalated to software
@@ -350,6 +360,10 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn count_drain_retry(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_ring_backpressure(&self) {}
 
         /// No-op.
         #[inline]

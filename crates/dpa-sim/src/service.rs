@@ -705,14 +705,69 @@ impl MatchingService {
             for completion in &block {
                 let msg = completion.msg;
                 Self::stash_unexpected(&mut self.nic, &mut self.inflight, msg, completion);
-                self.backend
-                    .submit_command(PendingCommand::Arrival {
-                        env: completion.header.env,
-                        msg,
-                    })
-                    .map_err(ServiceError::Match)?;
+                if self.fellback {
+                    // An inline drain below already migrated to software
+                    // matching mid-poll; the software matcher has no command
+                    // queue, so the staged arrival goes in directly.
+                    self.deliver_stashed(completion.header.env, msg)?;
+                } else {
+                    self.submit_arrival(completion.header.env, msg)?;
+                }
             }
         }
+        if self.fellback {
+            return Ok(());
+        }
+        self.drain_and_apply()
+    }
+
+    /// Submits one staged arrival into the backend's command queue. A full
+    /// per-communicator submission ring is not an error but backpressure
+    /// (§IV-E): the drain is the only consumer that frees slots, so run it
+    /// inline and retry the push, bounded by the drain retry budget (an
+    /// inline drain stalled by injected faults could otherwise spin here
+    /// forever without freeing a slot).
+    fn submit_arrival(&mut self, env: Envelope, msg: MsgHandle) -> Result<(), ServiceError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.backend.submit_command(PendingCommand::Arrival { env, msg }) {
+                Ok(()) => return Ok(()),
+                Err(MatchError::SubmissionRingFull { .. }) if attempt <= self.retry_budget => {
+                    attempt += 1;
+                    self.metrics.count_ring_backpressure();
+                    self.drain_and_apply()?;
+                    if self.fellback {
+                        // The inline drain escalated to software fallback;
+                        // the arrival is already staged host-side, so it
+                        // bypasses the (gone) command queue.
+                        return self.deliver_stashed(env, msg);
+                    }
+                }
+                Err(e) => return Err(ServiceError::Match(e)),
+            }
+        }
+    }
+
+    /// Delivers one already-staged arrival straight through the matcher,
+    /// bypassing the command queue. Used after a mid-poll software
+    /// fallback: the payload sits in the in-flight stash (its bounce buffer
+    /// was released when it was staged), so the delivery applies exactly
+    /// like a queued outcome would.
+    fn deliver_stashed(&mut self, env: Envelope, msg: MsgHandle) -> Result<(), ServiceError> {
+        let deliveries = self
+            .backend
+            .arrive_block(&[(env, msg)])
+            .map_err(ServiceError::Match)?;
+        for delivery in deliveries {
+            self.apply_queue_outcome(CommandOutcome::Delivery(delivery))?;
+        }
+        Ok(())
+    }
+
+    /// Drains the backend's command queue and applies every outcome,
+    /// retrying retryable drain errors up to the budget and escalating to
+    /// software fallback when the backend asks for it.
+    fn drain_and_apply(&mut self) -> Result<(), ServiceError> {
         let mut attempt: u32 = 0;
         loop {
             let report = self.backend.drain_commands();
@@ -1705,6 +1760,48 @@ mod tests {
             assert_eq!(snap.counters["dpa_drain_retries_total"], 2);
             assert_eq!(snap.counters["dpa_fallback_escalations_total"], 0);
             assert_eq!(snap.hists["dpa_backoff_polls"].count, 2);
+        }
+    }
+
+    #[test]
+    fn tiny_submission_ring_backpressure_drains_inline_and_loses_nothing() {
+        // A 2-slot submission ring cannot hold a whole arrival burst: the
+        // third push bounces with SubmissionRingFull, the service drains
+        // inline to free slots, and every message still completes in order
+        // on the offloaded path — backpressure, not breakage.
+        let (tx, rx) = connected_pair();
+        let domain = RdmaDomain::new();
+        let nic = RecvNic::new(rx, BouncePool::new(64, 256));
+        let engine = OtmEngine::new(MatchConfig::small().with_ring_capacity(2)).unwrap();
+        let mut svc = MatchingService::with_backend(nic, domain, Box::new(engine));
+        svc.enable_command_queue().unwrap();
+
+        let n = 8u32;
+        let mut posted = Vec::new();
+        for i in 0..n {
+            posted.push(
+                svc.post_recv(ReceivePattern::exact(Rank(0), Tag(i)))
+                    .unwrap(),
+            );
+            tx.send(eager_packet(env(0, i), vec![i as u8])).unwrap();
+        }
+        assert_eq!(svc.progress().unwrap(), n as usize);
+        assert!(!svc.fell_back(), "ring backpressure must not escalate");
+        assert_eq!(svc.backend_name(), "Optimistic-DPA");
+        let done = svc.take_completed();
+        assert_eq!(done.len(), n as usize);
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.recv, posted[i]);
+            assert_eq!(d.data, vec![i as u8]);
+        }
+        #[cfg(feature = "metrics")]
+        {
+            let snap = svc.metrics().snapshot();
+            assert!(
+                snap.counters["dpa_ring_backpressure_total"] > 0,
+                "the tiny ring must have rejected at least one push"
+            );
+            assert_eq!(snap.counters["dpa_fallback_escalations_total"], 0);
         }
     }
 

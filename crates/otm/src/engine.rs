@@ -123,12 +123,12 @@ impl OtmEngine {
             })
             .collect();
         Ok(OtmEngine {
+            queue: CommandQueue::new(&config),
             config,
             shared,
             stats,
             metrics,
             shards: ShardMap::new(),
-            queue: CommandQueue::new(),
             coord: Mutex::new(CoordState {
                 next_arrival: ArrivalSeq::ZERO,
             }),
@@ -294,23 +294,30 @@ impl OtmEngine {
     /// Enqueues a command into the engine's submission queue (§IV-E's QP
     /// command path). Callable from any thread; the command takes effect at
     /// the next [`OtmEngine::drain`].
+    ///
+    /// On the default ring submission path a full communicator ring rejects
+    /// the command with the retryable
+    /// [`MatchError::SubmissionRingFull`] — nothing is enqueued; draining
+    /// frees slots, after which the same submit succeeds.
     pub fn submit(&self, cmd: Command) -> Result<(), MatchError> {
         self.check_running()?;
-        span_event!(
-            self.metrics,
-            match &cmd {
-                Command::Post { handle, .. } => RECV_SUBJECT_BIT | handle.0,
-                Command::Arrival { msg, .. } => msg.0,
-            },
-            SpanKind::Enqueued
-        );
-        self.queue.submit(cmd);
+        // The span subject must be captured before `cmd` moves into the
+        // queue; the event itself is stamped only once the submit succeeded
+        // (a ring-full rejection enqueues nothing, so it opens no span).
+        #[cfg(feature = "trace-events")]
+        let subject = match &cmd {
+            Command::Post { handle, .. } => ::otm_metrics::RECV_SUBJECT_BIT | handle.0,
+            Command::Arrival { msg, .. } => msg.0,
+        };
+        self.queue.submit(cmd, &self.shards, &self.config)?;
+        #[cfg(feature = "trace-events")]
+        span_event!(self.metrics, subject, SpanKind::Enqueued);
         Ok(())
     }
 
     /// Number of submitted commands not yet drained.
     pub fn pending_commands(&self) -> usize {
-        self.queue.len()
+        self.queue.len(&self.shards)
     }
 
     /// Drains the command queue — the coordinator half of the QP command
@@ -356,16 +363,20 @@ impl OtmEngine {
         let window = self.config.block_threads.saturating_mul(8).max(32);
         // Bound the drain to what was queued at entry (racing submissions
         // land behind this count and belong to the next drain).
-        let mut remaining = self.queue.len();
+        let mut remaining = self.queue.len(&self.shards);
         let mut sched = PackingScheduler::new(self.config.packing, self.config.block_threads)
             .with_lane_quota(self.config.lane_quota);
         let mut outcomes: Vec<(u64, CommandOutcome)> = Vec::with_capacity(remaining);
+        // Lanes whose depth gauge was set by the previous iteration: a lane
+        // that empties must decay its current-depth gauge back to 0 (the
+        // peak gauge keeps the high-water mark regardless).
+        let mut live_lanes: Vec<u16> = Vec::new();
         loop {
             // Refill the window before every step so blocks are assembled
             // from the fullest lanes we are entitled to see.
             while remaining > 0 && sched.staged() < window {
                 let take = chunk.min(remaining).min(window - sched.staged());
-                let cmds = self.queue.take_chunk(take);
+                let cmds = self.queue.take_chunk(take, &self.shards);
                 if cmds.is_empty() {
                     // A concurrent drain_for_fallback emptied the queue.
                     remaining = 0;
@@ -374,10 +385,30 @@ impl OtmEngine {
                 remaining -= cmds.len();
                 sched.admit(cmds);
             }
-            for (comm, depth) in sched.lane_depths() {
-                self.metrics.record_lane_depth(comm.0, depth as u64);
+            for (comm, depth) in self.queue.lane_occupancy(&self.shards) {
+                self.metrics.record_ring_depth(comm, depth as u64);
             }
-            let Some(step) = sched.next_step() else { break };
+            let live_now: Vec<u16> = {
+                let mut now = Vec::new();
+                for (comm, depth) in sched.lane_depths() {
+                    self.metrics.record_lane_depth(comm.0, depth as u64);
+                    now.push(comm.0);
+                }
+                now
+            };
+            for &comm in &live_lanes {
+                if !live_now.contains(&comm) {
+                    self.metrics.record_lane_depth(comm, 0);
+                }
+            }
+            live_lanes = live_now;
+            let Some(step) = sched.next_step() else {
+                // The window is drained: every lane gauge decays to 0.
+                for &comm in &live_lanes {
+                    self.metrics.record_lane_depth(comm, 0);
+                }
+                break;
+            };
             match step {
                 PackingStep::Post {
                     idx,
@@ -443,7 +474,7 @@ impl OtmEngine {
         unprocessed.sort_unstable_by_key(|&(idx, _)| idx);
         outcomes.sort_unstable_by_key(|&(idx, _)| idx);
         let outcomes = outcomes.into_iter().map(|(_, o)| o).collect();
-        let unprocessed: VecDeque<Command> = unprocessed.into_iter().map(|(_, c)| c).collect();
+        let unprocessed: VecDeque<(u64, Command)> = unprocessed.into_iter().collect();
         if error.is_retryable() {
             self.queue.requeue_front(unprocessed);
             DrainReport {
@@ -452,8 +483,14 @@ impl OtmEngine {
                 unapplied: Vec::new(),
             }
         } else {
-            let mut unapplied: Vec<Command> = unprocessed.into_iter().collect();
-            unapplied.extend(self.queue.take_all());
+            let mut unapplied: Vec<Command> =
+                unprocessed.into_iter().map(|(_, cmd)| cmd).collect();
+            unapplied.extend(
+                self.queue
+                    .take_all(&self.shards)
+                    .into_iter()
+                    .map(|(_, cmd)| cmd),
+            );
             DrainReport {
                 outcomes,
                 error: Some(error),
@@ -705,7 +742,12 @@ impl OtmEngine {
     pub fn drain_for_fallback(self) -> FallbackState {
         // Take the queue first: it holds the youngest accepted work, and
         // consuming `self` guarantees no submitter can race in behind us.
-        let pending: Vec<Command> = self.queue.take_all().into_iter().collect();
+        let pending: Vec<Command> = self
+            .queue
+            .take_all(&self.shards)
+            .into_iter()
+            .map(|(_, cmd)| cmd)
+            .collect();
         let mut receives = Vec::new();
         let mut unexpected = Vec::new();
         for (_, shard) in self.shards.all_sorted() {

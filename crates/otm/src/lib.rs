@@ -62,6 +62,7 @@ pub mod command;
 pub mod engine;
 pub mod index;
 pub mod metrics;
+pub mod ring;
 pub mod scheduler;
 pub mod shard;
 pub mod stats;

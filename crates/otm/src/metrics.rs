@@ -158,13 +158,42 @@ mod imp {
         }
 
         /// Records a per-communicator staged-lane depth observed during a
-        /// drain; the gauge keeps the high-water mark. Resolves the labeled
-        /// gauge through the registry — called once per drain refill, not
-        /// per message, so the lookup is off the hot path.
+        /// drain. Two gauges per lane: `otm_drain_lane_depth` follows the
+        /// *current* depth — the drain resets it to 0 when the lane empties,
+        /// so a communicator that goes quiet reads 0 and the drain is
+        /// visible in Fig. 6/7-style artifacts — while
+        /// `otm_drain_lane_depth_peak` keeps the all-time high-water mark
+        /// (`set_max` never lowers it). Resolves the labeled gauges through
+        /// the registry — called once per drain refill, not per message, so
+        /// the lookup is off the hot path.
         pub fn record_lane_depth(&self, comm: u16, depth: u64) {
+            self.registry
+                .gauge_with("otm_drain_lane_depth", vec![("comm", comm.to_string())])
+                .set(depth as i64);
             self.registry
                 .gauge_with(
                     "otm_drain_lane_depth_peak",
+                    vec![("comm", comm.to_string())],
+                )
+                .set_max(depth as i64);
+        }
+
+        /// Records a communicator's submission-ring occupancy observed at a
+        /// drain refill: `otm_submission_ring_depth` follows the current
+        /// occupancy, `otm_submission_ring_depth_peak` the high-water mark.
+        /// Persistently high occupancy (near the configured ring capacity)
+        /// means submitters are outrunning the drain and seeing
+        /// `SubmissionRingFull` backpressure.
+        pub fn record_ring_depth(&self, comm: u16, depth: u64) {
+            self.registry
+                .gauge_with(
+                    "otm_submission_ring_depth",
+                    vec![("comm", comm.to_string())],
+                )
+                .set(depth as i64);
+            self.registry
+                .gauge_with(
+                    "otm_submission_ring_depth_peak",
                     vec![("comm", comm.to_string())],
                 )
                 .set_max(depth as i64);
@@ -287,6 +316,10 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn record_lane_depth(&self, _comm: u16, _depth: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn record_ring_depth(&self, _comm: u16, _depth: u64) {}
     }
 }
 
@@ -368,12 +401,22 @@ mod tests {
         m.observe_block(t);
         m.record_block_occupancy(4);
         m.record_lane_depth(1, 7);
-        m.record_lane_depth(1, 3); // peak gauge keeps the high-water mark
+        m.record_lane_depth(1, 3); // peak keeps the high-water mark, current follows
+        m.record_ring_depth(1, 5);
+        m.record_ring_depth(1, 2);
         let snap = m.snapshot();
         assert_eq!(snap.hists["otm_search_depth"].count, 1);
         assert_eq!(snap.hists["otm_block_latency_ns"].count, 1);
         assert_eq!(snap.hists["otm_block_occupancy"].count, 1);
         assert_eq!(snap.hists["otm_block_occupancy"].sum, 4);
+        assert_eq!(snap.gauges["otm_drain_lane_depth_peak{comm=\"1\"}"], 7);
+        assert_eq!(snap.gauges["otm_drain_lane_depth{comm=\"1\"}"], 3);
+        assert_eq!(snap.gauges["otm_submission_ring_depth_peak{comm=\"1\"}"], 5);
+        assert_eq!(snap.gauges["otm_submission_ring_depth{comm=\"1\"}"], 2);
+        // A lane that empties decays the current gauge to 0; the peak stays.
+        m.record_lane_depth(1, 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauges["otm_drain_lane_depth{comm=\"1\"}"], 0);
         assert_eq!(snap.gauges["otm_drain_lane_depth_peak{comm=\"1\"}"], 7);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"nc\"}"], 1);
         assert_eq!(snap.counters["otm_resolutions_total{path=\"wc_fp\"}"], 1);

@@ -10,21 +10,28 @@
 //! from lane heads *across* communicators into one block of up to
 //! `block_threads` messages.
 //!
+//! Lane service order rotates: a cursor advances by one lane per emitted
+//! block, so under sustained capacity pressure every lane periodically gets
+//! first claim on block slots (and on post emission) instead of the lowest
+//! `CommId` persistently winning. The rotation is deterministic — a given
+//! admission sequence always produces the same steps.
+//!
 //! With [`PackingPolicy::Consecutive`] the scheduler degrades to the
 //! pre-reordering behaviour — a single global FIFO where any post (or the
 //! window edge) cuts the arrival run short — which is what the fig8 A/B
 //! comparison measures.
 //!
-//! Every staged command keeps its global submission index, so the drain can
-//! report outcomes in submission order and, on error, requeue the unapplied
-//! tail exactly as the strict-FIFO drain did.
+//! Every staged command keeps the global submission ticket the command
+//! queue stamped it with, so the drain can report outcomes in submission
+//! order and, on error, requeue the unapplied tail exactly as the
+//! strict-FIFO drain did.
 
 use mpi_matching::{MsgHandle, RecvHandle};
 use otm_base::config::PackingPolicy;
 use otm_base::{CommId, Envelope, ReceivePattern};
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::command::Command;
+use crate::command::{comm_of, Command};
 
 /// One unit of work the scheduler hands the drain: a single post, or a block
 /// of arrivals ready to match in parallel. Each element carries its global
@@ -83,7 +90,10 @@ pub enum PackingStep {
 ///         },
 ///         arrival(1, 1),
 ///     ]
-///     .into(),
+///     .into_iter()
+///     .enumerate()
+///     .map(|(ticket, cmd)| (ticket as u64, cmd))
+///     .collect(),
 /// );
 /// // ...is emitted first (nothing earlier on comm 2 outranks it)...
 /// assert!(matches!(s.next_step(), Some(PackingStep::Post { idx: 1, .. })));
@@ -106,8 +116,10 @@ pub struct PackingScheduler {
     /// any one communicator, so a deep (flooding) lane cannot monopolise
     /// block after block while shallow lanes wait.
     lane_quota: Option<usize>,
-    /// Next global submission index to assign on admission.
-    next_idx: u64,
+    /// Rotation cursor: which lane (in ascending-`CommId` rank) is served
+    /// first. Advances by one per emitted block, never on posts, so the
+    /// rotation cadence is one lane per unit of block capacity handed out.
+    cursor: usize,
     /// Total staged commands across all lanes / the FIFO.
     staged: usize,
     /// Consecutive policy: the single global FIFO.
@@ -118,13 +130,6 @@ pub struct PackingScheduler {
     lanes: BTreeMap<CommId, VecDeque<(u64, Command)>>,
 }
 
-fn comm_of(cmd: &Command) -> CommId {
-    match cmd {
-        Command::Post { pattern, .. } => pattern.comm,
-        Command::Arrival { env, .. } => env.comm,
-    }
-}
-
 impl PackingScheduler {
     /// A scheduler for blocks of up to `capacity` (= `block_threads`)
     /// arrivals, packed under `policy`.
@@ -133,7 +138,7 @@ impl PackingScheduler {
             policy,
             capacity: capacity.max(1),
             lane_quota: None,
-            next_idx: 0,
+            cursor: 0,
             staged: 0,
             fifo: VecDeque::new(),
             lanes: BTreeMap::new(),
@@ -156,14 +161,12 @@ impl PackingScheduler {
         self.staged
     }
 
-    /// Admits a popped chunk, tagging each command with its global
-    /// submission index. Chunks must be admitted in pop (= submission)
-    /// order.
-    pub fn admit(&mut self, cmds: VecDeque<Command>) {
+    /// Admits a popped chunk of ticketed commands — the ticket is the global
+    /// submission sequence number the command queue stamped at submit time.
+    /// Chunks must be admitted in pop (= per-communicator submission) order.
+    pub fn admit(&mut self, cmds: VecDeque<(u64, Command)>) {
         self.staged += cmds.len();
-        for cmd in cmds {
-            let idx = self.next_idx;
-            self.next_idx += 1;
+        for (idx, cmd) in cmds {
             match self.policy {
                 PackingPolicy::Consecutive => self.fifo.push_back((idx, cmd)),
                 PackingPolicy::CrossComm => self
@@ -182,6 +185,24 @@ impl PackingScheduler {
             .iter()
             .filter(|(_, lane)| !lane.is_empty())
             .map(|(&comm, lane)| (comm, lane.len()))
+    }
+
+    /// Number of lanes currently held in the map. Emptied lanes are pruned
+    /// on both the post and the block path, so this tracks the *live*
+    /// communicators in the window, not every communicator ever staged.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane keys in service order: ascending `CommId` rotated so the lane at
+    /// the cursor is served first.
+    fn rotated_keys(&self) -> Vec<CommId> {
+        let mut keys: Vec<CommId> = self.lanes.keys().copied().collect();
+        if !keys.is_empty() {
+            let start = self.cursor % keys.len();
+            keys.rotate_left(start);
+        }
+        keys
     }
 
     /// Carves the next step off the staged window, or `None` when empty.
@@ -223,13 +244,21 @@ impl PackingScheduler {
     /// Cross-communicator packing. Posts first: emitting every lane-head
     /// post before assembling a block guarantees no arrival is matched ahead
     /// of an earlier post on its own communicator. Then one block is pulled
-    /// greedily from the arrival runs at the lane heads, in `CommId` order,
-    /// up to capacity.
+    /// greedily from the arrival runs at the lane heads, in rotated lane
+    /// order, up to capacity; the cursor advances one lane per block so no
+    /// lane persistently goes first under capacity pressure.
     fn next_step_cross_comm(&mut self) -> Option<PackingStep> {
-        for lane in self.lanes.values_mut() {
+        let keys = self.rotated_keys();
+        for comm in &keys {
+            let lane = self.lanes.get_mut(comm).expect("key came from the map");
             if let Some(&(idx, Command::Post { pattern, handle })) = lane.front() {
                 lane.pop_front();
                 self.staged -= 1;
+                // Prune here too: a lane fully drained by post-only steps
+                // must not linger empty to be rescanned by every later step.
+                if lane.is_empty() {
+                    self.lanes.remove(comm);
+                }
                 return Some(PackingStep::Post {
                     idx,
                     pattern,
@@ -239,7 +268,8 @@ impl PackingScheduler {
         }
         let quota = self.lane_quota.unwrap_or(self.capacity);
         let mut msgs = Vec::new();
-        for lane in self.lanes.values_mut() {
+        for comm in &keys {
+            let lane = self.lanes.get_mut(comm).expect("key came from the map");
             let mut taken = 0;
             while msgs.len() < self.capacity && taken < quota {
                 match lane.front() {
@@ -263,6 +293,7 @@ impl PackingScheduler {
         if msgs.is_empty() {
             None
         } else {
+            self.cursor = self.cursor.wrapping_add(1);
             Some(PackingStep::Block { msgs })
         }
     }
@@ -303,7 +334,12 @@ mod tests {
     }
 
     fn admit_all(s: &mut PackingScheduler, cmds: Vec<Command>) {
-        s.admit(cmds.into_iter().collect());
+        s.admit(
+            cmds.into_iter()
+                .enumerate()
+                .map(|(ticket, cmd)| (ticket as u64, cmd))
+                .collect(),
+        );
     }
 
     fn block_indices(step: PackingStep) -> Vec<u64> {
@@ -461,6 +497,77 @@ mod tests {
         assert!(pos(0) < pos(2));
         assert!(pos(1) < pos(3));
         assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn rotation_balances_service_on_a_symmetric_two_lane_flood() {
+        // Two identical lanes flooded past capacity: the ascending-CommId
+        // scan served lane 1 exclusively until it ran dry; the rotating
+        // cursor must hand the lanes first claim alternately, keeping the
+        // served counts within one block of each other at every boundary.
+        let capacity = 4;
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, capacity);
+        let mut cmds = Vec::new();
+        for i in 0..20u64 {
+            cmds.push(arrival(1, 2 * i));
+            cmds.push(arrival(2, 2 * i + 1));
+        }
+        admit_all(&mut s, cmds);
+        let (mut served1, mut served2) = (0i64, 0i64);
+        while let Some(step) = s.next_step() {
+            match step {
+                PackingStep::Block { msgs } => {
+                    for &(_, env, _) in &msgs {
+                        match env.comm {
+                            CommId(1) => served1 += 1,
+                            CommId(2) => served2 += 1,
+                            other => panic!("unexpected lane {other:?}"),
+                        }
+                    }
+                }
+                other => panic!("flood has no posts, got {other:?}"),
+            }
+            assert!(
+                (served1 - served2).unsigned_abs() as usize <= capacity,
+                "lane service skewed: {served1} vs {served2}"
+            );
+        }
+        assert_eq!(served1, 20);
+        assert_eq!(served2, 20);
+    }
+
+    #[test]
+    fn rotation_is_deterministic() {
+        let cmds: Vec<Command> = (0..12u64)
+            .map(|i| arrival((i % 3) as u16 + 1, i))
+            .collect();
+        let run = || {
+            let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 2);
+            admit_all(&mut s, cmds.clone());
+            let mut blocks = Vec::new();
+            while let Some(step) = s.next_step() {
+                blocks.push(block_indices(step));
+            }
+            blocks
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn post_only_steps_prune_emptied_lanes() {
+        let mut s = PackingScheduler::new(PackingPolicy::CrossComm, 4);
+        admit_all(&mut s, vec![post(2, 0), arrival(1, 1)]);
+        assert_eq!(s.lane_count(), 2);
+        // Lane 2 is drained by the post step alone — no block ever touches
+        // it — and must leave the map immediately, not linger empty.
+        assert!(matches!(
+            s.next_step(),
+            Some(PackingStep::Post { idx: 0, .. })
+        ));
+        assert_eq!(s.lane_count(), 1);
+        assert_eq!(s.lane_depths().count(), 1);
+        assert_eq!(block_indices(s.next_step().unwrap()), vec![1]);
+        assert_eq!(s.lane_count(), 0);
     }
 
     #[test]

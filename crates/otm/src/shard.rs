@@ -16,6 +16,7 @@
 
 use crate::block::CommShared;
 use crate::index::PrqIndexes;
+use crate::ring::CommandRing;
 use crate::table::ReceiveTable;
 use crate::umq::UnexpectedStore;
 use otm_base::{CommHints, CommId, MatchConfig, MatchError, PostLabel, ReceivePattern, SeqId};
@@ -46,6 +47,11 @@ pub struct CommShard {
     pub(crate) shared: Arc<CommShared>,
     /// Host-only state, guarded by the shard lock.
     pub(crate) host: Mutex<ShardHost>,
+    /// The communicator's bounded submission ring (§IV-E command queue):
+    /// host threads push commands here without contending on any global
+    /// lock; the drain coordinator pops from the consumer end. Unused (and
+    /// empty) when the engine runs the mutex submission path.
+    pub(crate) submission: CommandRing,
 }
 
 impl CommShard {
@@ -62,6 +68,7 @@ impl CommShard {
                 cur_seq: SeqId::ZERO,
                 last_pattern: None,
             }),
+            submission: CommandRing::new(config.ring_capacity),
         }
     }
 }

@@ -14,8 +14,8 @@ use otm_base::{CommId, Envelope, MatchConfig, PackingPolicy, Rank, ReceivePatter
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use support::{
-    assert_drain_failure_contract, assert_packing_equivalence, drain_under_policy,
-    fallback_oracle_config,
+    assert_drain_failure_contract, assert_packing_equivalence, assert_ring_equivalence,
+    drain_under_policy, fallback_oracle_config,
 };
 
 /// One random interleaved multi-communicator command stream, mirroring the
@@ -62,6 +62,24 @@ fn packed_drain_equals_consecutive_drain_seeded() {
         let len = 1 + (round * 7) % 160;
         let cmds = random_stream(&mut rng, len);
         assert_packing_equivalence(fallback_oracle_config(), &cmds);
+    }
+}
+
+/// Bounded-ring path, seeded: tiny per-communicator rings force inline
+/// drains mid-stream (the backpressure contract), rotation cursors and
+/// per-lane quotas chop the lanes into many small blocks — and the outcome
+/// vector must still equal the unbounded mutex-path oracle under either
+/// packing policy, with every forced drain consuming pending work.
+#[test]
+fn bounded_ring_drain_equals_unbounded_oracle_seeded() {
+    let mut rng = SmallRng::seed_from_u64(0x0DDC0DE ^ 0x51A6);
+    for round in 0usize..32 {
+        let len = 1 + (round * 9) % 160;
+        let cmds = random_stream(&mut rng, len);
+        let config = fallback_oracle_config()
+            .with_ring_capacity(2 + round % 7)
+            .with_lane_quota(Some(1 + round % 4));
+        assert_ring_equivalence(config, &cmds);
     }
 }
 

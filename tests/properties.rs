@@ -14,8 +14,8 @@ use otm_base::{CommId, Envelope, MatchConfig, PackingPolicy, Rank, ReceivePatter
 use otm_trace::emul::FourIndexMatcher;
 use proptest::prelude::*;
 use support::{
-    assert_drain_failure_contract, assert_packing_equivalence, drain_then_fallback,
-    fallback_oracle_config, fallback_with_queue, to_command,
+    assert_drain_failure_contract, assert_packing_equivalence, assert_ring_equivalence,
+    drain_then_fallback, fallback_oracle_config, fallback_with_queue, to_command,
 };
 
 /// Strategy: one matching event over a small (rank, tag) space — small so
@@ -333,6 +333,32 @@ proptest! {
             .map(|(_, ev)| to_command(ev, &mut next_recv, &mut next_msg))
             .collect();
         assert_packing_equivalence(fallback_oracle_config(), &cmds);
+    }
+
+    /// The bounded-ring property: lane rotation, per-lane quotas and
+    /// capacity-bounded submission rings composed together still satisfy
+    /// packed≡consecutive — the same stream pushed through tiny rings,
+    /// draining inline on every `SubmissionRingFull` bounce, equals the
+    /// unbounded mutex-path oracle under either packing policy. The helper
+    /// also asserts no-livelock: every forced inline drain consumes at
+    /// least one pending command, so the submit-retry loop always makes
+    /// progress. (`tests/packing_equivalence.rs` has the seeded
+    /// deterministic companion that runs in the nightly TSan job.)
+    #[test]
+    fn bounded_rings_with_rotation_and_quota_preserve_equivalence(
+        events in prop::collection::vec(comm_event_strategy(), 0..160),
+        quota in 1usize..5,
+        capacity in 2usize..17,
+    ) {
+        let (mut next_recv, mut next_msg) = (0u64, 0u64);
+        let cmds: Vec<mpi_matching::PendingCommand> = events
+            .iter()
+            .map(|(_, ev)| to_command(ev, &mut next_recv, &mut next_msg))
+            .collect();
+        let config = fallback_oracle_config()
+            .with_ring_capacity(capacity)
+            .with_lane_quota(Some(quota));
+        assert_ring_equivalence(config, &cmds);
     }
 
     /// Injected-failure companion: with tables sized to overflow

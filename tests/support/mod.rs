@@ -22,7 +22,7 @@ use mpi_matching::{
     PostResult, RecvHandle,
 };
 use otm::{CommandOutcome, OtmEngine};
-use otm_base::{CommId, MatchConfig, PackingPolicy};
+use otm_base::{CommId, MatchConfig, MatchError, PackingPolicy, SubmissionPath};
 use std::collections::{HashMap, HashSet};
 
 /// An engine configuration for the fallback oracle: parallel blocks, tables
@@ -287,6 +287,73 @@ pub fn assert_packing_equivalence(config: MatchConfig, cmds: &[PendingCommand]) 
         a.outcomes, b.outcomes,
         "drain outcomes must be packing-policy-independent"
     );
+}
+
+/// Ring-backpressure companion of [`assert_packing_equivalence`]: the same
+/// stream pushed through capacity-bounded per-communicator rings — draining
+/// inline whenever a push bounces with `SubmissionRingFull`, exactly as a
+/// caller honoring the backpressure contract would — must produce, under
+/// *either* packing policy, the outcome vector of the unbounded one-shot
+/// mutex-path drain. Along the way every forced inline drain must consume
+/// at least one pending command (a full ring implies pending work, so a
+/// drain that applies nothing would livelock the retry loop).
+pub fn assert_ring_equivalence(config: MatchConfig, cmds: &[PendingCommand]) {
+    let (_, oracle) = drain_under_policy(
+        config.clone().with_submission(SubmissionPath::Mutex),
+        PackingPolicy::Consecutive,
+        cmds,
+    );
+    assert!(oracle.error.is_none(), "oracle drain failed: {:?}", oracle.error);
+    assert_eq!(oracle.outcomes.len(), cmds.len(), "oracle must drain everything");
+
+    for packing in [PackingPolicy::Consecutive, PackingPolicy::CrossComm] {
+        let engine = OtmEngine::new(
+            config
+                .clone()
+                .with_submission(SubmissionPath::Ring)
+                .with_packing(packing),
+        )
+        .expect("valid test config");
+        let mut outcomes = Vec::new();
+        for &cmd in cmds {
+            loop {
+                match engine.submit(cmd) {
+                    Ok(()) => break,
+                    Err(MatchError::SubmissionRingFull { .. }) => {
+                        assert!(
+                            engine.pending_commands() > 0,
+                            "a full ring implies pending work"
+                        );
+                        let report = engine.drain();
+                        assert!(
+                            report.error.is_none(),
+                            "inline drain failed under {packing:?}: {:?}",
+                            report.error
+                        );
+                        assert!(
+                            !report.outcomes.is_empty(),
+                            "no-livelock: a drain with pending work must consume commands"
+                        );
+                        outcomes.extend(report.outcomes);
+                    }
+                    Err(e) => panic!("engine running: {e}"),
+                }
+            }
+        }
+        let report = engine.drain();
+        assert!(
+            report.error.is_none(),
+            "final drain failed under {packing:?}: {:?}",
+            report.error
+        );
+        assert!(report.unapplied.is_empty());
+        outcomes.extend(report.outcomes);
+        assert_eq!(outcomes.len(), cmds.len(), "every command must drain");
+        assert_eq!(
+            outcomes, oracle.outcomes,
+            "bounded-ring drain under {packing:?} must equal the unbounded oracle"
+        );
+    }
 }
 
 /// Identity of a command within one test stream: posts by receive handle,

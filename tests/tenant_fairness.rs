@@ -402,3 +402,59 @@ fn per_tenant_metrics_reach_prometheus_and_series() {
     assert!(series.contains("\"tenants\""));
     assert!(series.contains("\"0\"") && series.contains("\"1\""));
 }
+
+/// A submission ring much smaller than the DRR batch: the fair drain hits
+/// `SubmissionRingFull` mid-batch, requeues the bounced posts at the front
+/// of the tenant's ingress (credit refunded), and works the backlog off
+/// ring-capacity-at-a-time across ticks — no error, no loss, no reorder.
+#[test]
+fn tiny_engine_ring_requeues_the_drain_batch_instead_of_failing_the_tick() {
+    let mut server = server(roomy_config().with_ring_capacity(4), 4);
+    let session = server.open_tenant_with(TenantConfig {
+        capacity: 1024,
+        quantum: 64,
+        comm: Some(CommId(1)),
+    });
+    let n = 32u32;
+    let mut handles = Vec::new();
+    for i in 0..n {
+        handles.push(
+            session
+                .submit_post(ReceivePattern::new(Rank(0), Tag(i), CommId(1)))
+                .expect_admitted("roomy ingress"),
+        );
+    }
+
+    // First round: the 4-slot ring bounds what one tick can move into the
+    // engine; the rest is requeued, not dropped and not an error.
+    let report = server.tick().expect("ring-full must not fail the tick");
+    assert_eq!(
+        report.drained, 4,
+        "one tick drains exactly the ring capacity under a post flood"
+    );
+    assert_eq!(session.stats().drained, 4);
+    assert_eq!(
+        session.stats().ingress_depth,
+        n as usize - 4,
+        "bounced posts return to the ingress"
+    );
+
+    // The backlog drains ring-capacity-at-a-time; every post gets through.
+    server.run_ticks(12).expect("backlog ticks");
+    assert_eq!(session.stats().drained, u64::from(n));
+    assert_eq!(session.stats().ingress_depth, 0);
+
+    // Now the matching half: every post completes, in handle-mint order.
+    for i in 0..n {
+        session
+            .submit_send(Tag(i), vec![i as u8])
+            .expect_admitted("roomy ingress");
+    }
+    server.run_ticks(4).expect("send ticks");
+    let done = session.take_completions();
+    assert_eq!(done.len(), n as usize, "no post may be lost to backpressure");
+    for (i, d) in done.iter().enumerate() {
+        assert_eq!(d.recv, handles[i], "per-tenant FIFO across the requeue");
+        assert_eq!(d.data, vec![i as u8]);
+    }
+}
