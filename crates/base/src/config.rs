@@ -57,6 +57,37 @@ pub enum SubmissionPath {
     Ring,
 }
 
+/// How the sender-side reliability protocol repairs a lossy wire.
+///
+/// Both modes share the same receive-side contract — sequenced packets are
+/// delivered to the matching engine strictly in order, so the chaos
+/// oracle's matched-pairs-identical invariant holds under either — but they
+/// pay very different retransmit bills for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReliabilityMode {
+    /// Blanket go-back-N (the pre-selective-repeat behaviour, kept for A/B
+    /// comparison): on timeout the whole unacked window is resent and the
+    /// receiver discards every out-of-order packet. Simple, but a single
+    /// drop can cost a full window of retransmissions.
+    GoBackN,
+    /// Selective repeat: the receiver stages out-of-order packets in a
+    /// bounded buffer and advertises them as SACK blocks on its cumulative
+    /// acks; the sender retransmits only the holes, times out on a smoothed
+    /// virtual-time RTT estimate, and sizes its unacked window adaptively.
+    #[default]
+    SelectiveRepeat,
+}
+
+impl ReliabilityMode {
+    /// The mode label used across artifacts and bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReliabilityMode::GoBackN => "go-back-n",
+            ReliabilityMode::SelectiveRepeat => "selective-repeat",
+        }
+    }
+}
+
 /// Tunable parameters of the optimistic matching engine and of the bin-based
 /// baseline matcher.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -584,6 +615,16 @@ mod tests {
         assert_eq!(MatchConfig::small().submission, SubmissionPath::Ring);
         assert_eq!(MatchConfig::default().ring_capacity, 1024);
         assert_eq!(MatchConfig::small().ring_capacity, 1024);
+    }
+
+    #[test]
+    fn reliability_defaults_to_selective_repeat() {
+        // The sender constructs with `ReliabilityMode::default()`, so the
+        // enum default is the protocol every existing harness gets unless it
+        // explicitly opts back into the go-back-N baseline.
+        assert_eq!(ReliabilityMode::default(), ReliabilityMode::SelectiveRepeat);
+        assert_eq!(ReliabilityMode::SelectiveRepeat.label(), "selective-repeat");
+        assert_eq!(ReliabilityMode::GoBackN.label(), "go-back-n");
     }
 
     #[test]

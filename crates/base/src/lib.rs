@@ -33,7 +33,9 @@ pub mod hints;
 pub mod memory;
 pub mod types;
 
-pub use config::{FaultPlan, FaultRng, MatchConfig, PackingPolicy, SubmissionPath};
+pub use config::{
+    FaultPlan, FaultRng, MatchConfig, PackingPolicy, ReliabilityMode, SubmissionPath,
+};
 pub use envelope::{Envelope, ReceivePattern, SourceSel, TagSel, WildcardClass};
 pub use error::MatchError;
 pub use hash::InlineHashes;

@@ -84,14 +84,14 @@ use dpa_sim::bounce::BouncePool;
 use dpa_sim::nic::RecvNic;
 use dpa_sim::rdma::{connected_pair, eager_packet, QueuePair, RdmaDomain};
 use dpa_sim::{
-    Admission, MatchMode, MatchServer, MatchdConfig, MatchingService, PingPongConfig,
-    PingPongResult, ReliableSender, Scenario, TenantConfig, TenantSession,
+    Admission, FeedbackController, MatchMode, MatchServer, MatchdConfig, MatchingService,
+    PingPongConfig, PingPongResult, ReliableSender, Scenario, TenantConfig, TenantSession,
 };
 use mpi_matching::{MsgHandle, RecvHandle};
 use otm::{Command, OtmEngine};
 use otm_base::{
     CommId, Envelope, FaultPlan, MatchConfig, MatchError, PackingPolicy, Rank, ReceivePattern,
-    SubmissionPath, Tag,
+    ReliabilityMode, SubmissionPath, Tag,
 };
 #[cfg(feature = "trace-events")]
 use otm_bench::spans_sibling;
@@ -632,12 +632,17 @@ fn write_mixed_artifact(rows: &[(MixedRow, String)]) -> std::path::PathBuf {
 
 /// One run of the fault sweep: the same pre-posted stream, pushed through
 /// the [`ReliableSender`], over either a perfect wire (`fault-free`) or the
-/// seeded [`FaultPlan`] (`hostile-wire`). The reliability columns quantify
-/// what the go-back-N protocol paid to hide the wire's misbehavior.
+/// seeded [`FaultPlan`] (`hostile-wire`), in either reliability mode. The
+/// reliability columns quantify what the protocol paid to hide the wire's
+/// misbehavior — the headline is `retransmit_amplification`, retransmits
+/// per wire drop, where go-back-N's blanket window resends multiply every
+/// loss and selective repeat resends only the holes.
 #[derive(Debug, Clone, Serialize)]
 struct FaultRow {
     /// `fault-free` or `hostile-wire`.
     label: String,
+    /// `go-back-n` or `selective-repeat` ([`ReliabilityMode::label`]).
+    mode: String,
     /// Messages completed end to end (always the full budget).
     messages: u64,
     /// Wall-clock including the final ack settle.
@@ -652,9 +657,16 @@ struct FaultRow {
     wire_reorders: u64,
     /// Packets the fault layer held back before in-order release.
     wire_delays: u64,
-    /// Packets resent by go-back-N window resends.
+    /// Packets resent by the reliability protocol (timeout resends plus,
+    /// under selective repeat, SACK-driven fast retransmits).
     retransmits: u64,
-    /// Resend events (each may retransmit a whole window).
+    /// Retransmits per wire drop (`retransmits / wire_drops`; `0` on a
+    /// clean wire) — the Fig. 9-style amplification headline.
+    retransmit_amplification: f64,
+    /// SACK-hole fast retransmits (zero under go-back-N).
+    fast_retransmits: u64,
+    /// Resend events (each may retransmit a whole window under go-back-N,
+    /// only the unSACKed holes under selective repeat).
     resend_events: u64,
     /// Cumulative acks the sender consumed.
     acks_received: u64,
@@ -664,8 +676,15 @@ struct FaultRow {
     rx_duplicates_discarded: u64,
     /// Ahead-of-expected sequence numbers the receive NIC discarded.
     rx_gaps_discarded: u64,
+    /// Out-of-order packets parked in the receive NIC's staging buffer
+    /// (zero under go-back-N).
+    rx_staged_out_of_order: u64,
     /// Cumulative acks the receive NIC emitted.
     acks_sent: u64,
+    /// Knob movements the feedback controller applied during the run
+    /// (`dpa_knob_changes_total`), each also stamped as a `knob_changed`
+    /// span.
+    knob_changes: u64,
 }
 
 impl FaultRow {
@@ -674,14 +693,18 @@ impl FaultRow {
     fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"label\":\"{}\",\"messages\":{},\"elapsed_secs\":{:.6},",
+                "{{\"label\":\"{}\",\"mode\":\"{}\",\"messages\":{},",
+                "\"elapsed_secs\":{:.6},",
                 "\"msgs_per_sec\":{:.1},\"wire_drops\":{},\"wire_duplicates\":{},",
                 "\"wire_reorders\":{},\"wire_delays\":{},\"retransmits\":{},",
+                "\"retransmit_amplification\":{:.3},\"fast_retransmits\":{},",
                 "\"resend_events\":{},\"acks_received\":{},\"backoff_polls\":{},",
                 "\"rx_duplicates_discarded\":{},\"rx_gaps_discarded\":{},",
-                "\"acks_sent\":{}}}"
+                "\"rx_staged_out_of_order\":{},\"acks_sent\":{},",
+                "\"knob_changes\":{}}}"
             ),
             self.label,
+            self.mode,
             self.messages,
             self.elapsed_secs,
             self.msgs_per_sec,
@@ -690,12 +713,16 @@ impl FaultRow {
             self.wire_reorders,
             self.wire_delays,
             self.retransmits,
+            self.retransmit_amplification,
+            self.fast_retransmits,
             self.resend_events,
             self.acks_received,
             self.backoff_polls,
             self.rx_duplicates_discarded,
             self.rx_gaps_discarded,
+            self.rx_staged_out_of_order,
             self.acks_sent,
+            self.knob_changes,
         )
     }
 }
@@ -719,7 +746,8 @@ struct FaultSweep {
     /// sequence — the chaos oracle of `tests/fault_chaos.rs`, at bench
     /// scale.
     matched_equal: bool,
-    /// The fault-free row followed by the hostile-wire row.
+    /// Four rows: fault-free then hostile-wire, first under go-back-N and
+    /// then under selective repeat.
     rows: Vec<FaultRow>,
 }
 
@@ -741,18 +769,22 @@ struct FaultRun {
 
 /// Pushes `messages` eager packets through the full service path — queue
 /// pair, (optionally faulty) receive NIC, command queue, pipelined drain,
-/// eager copy — with the sender wrapped in the go-back-N protocol, and
-/// records the completed (receive, payload) sequence plus the reliability
-/// counters. The receives are pre-posted, so message `i` deterministically
-/// matches receive `i` (per-QP FIFO + FIFO matching), making the completed
-/// sequence directly comparable between the fault-free and hostile runs.
+/// eager copy — with the sender wrapped in the reliability protocol in the
+/// requested mode, and records the completed (receive, payload) sequence
+/// plus the reliability counters. The receives are pre-posted, so message
+/// `i` deterministically matches receive `i` (per-QP FIFO + FIFO
+/// matching), making the completed sequence directly comparable between
+/// the fault-free and hostile runs and across modes. The self-tuning
+/// feedback controller is attached; its reliability-window hint is applied
+/// to the sender after every poll, so the flow-control window the run
+/// settles into is the controller's, not a constant.
 fn fault_run(
     args: &CommonArgs,
     label: &str,
+    mode: ReliabilityMode,
     plan: Option<&FaultPlan>,
     messages: usize,
 ) -> FaultRun {
-    const WINDOW: usize = 64;
     let config = MatchConfig::default()
         .with_max_receives(messages.max(1))
         .with_bins((2 * messages.max(1)).next_power_of_two());
@@ -760,12 +792,14 @@ fn fault_run(
     let domain = RdmaDomain::new();
     let (tx, rx) = connected_pair();
     let mut nic = RecvNic::new(rx, BouncePool::new(messages.max(1), 64));
+    nic.set_reliability_mode(mode);
     if let Some(plan) = plan {
         nic.set_faults(plan.clone());
     }
     let mut svc = MatchingService::with_backend(nic, domain, Box::new(engine));
     svc.enable_command_queue()
         .expect("the offloaded engine has a command queue");
+    svc.attach_controller(FeedbackController::with_defaults());
     if args.series.is_some() {
         // The service samples itself on its poll clock; the cadence keeps
         // the series to a few hundred points on the fault-free run (which
@@ -779,7 +813,7 @@ fn fault_run(
             .expect("table sized for the full budget");
     }
 
-    let mut sender = ReliableSender::new(tx);
+    let mut sender = ReliableSender::new(tx).with_mode(mode);
     // One registry for the whole path: the sender's retransmit/backoff
     // counters land in the same snapshot as the NIC's wire/rx counters.
     sender.attach_metrics(svc.metrics().clone());
@@ -787,9 +821,10 @@ fn fault_run(
     let mut sent = 0usize;
     let start = Instant::now();
     while completed.len() < messages {
-        // Keep at most WINDOW packets unacknowledged: the reliability
-        // window is the flow control, exactly as on a real wire.
-        while sent < messages && sender.unacked() < WINDOW {
+        // The adaptive window is the flow control, exactly as on a real
+        // wire: AIMD under selective repeat, the controller's cap under
+        // go-back-N.
+        while sent < messages && sender.can_send() {
             let (src, tag) = (Rank(sent as u32 % 8), Tag(sent as u32 % 64));
             let payload = (sent as u32).to_le_bytes().to_vec();
             sender
@@ -798,6 +833,9 @@ fn fault_run(
             sent += 1;
         }
         svc.progress().expect("service alive");
+        if let Some(hint) = svc.reliability_window_hint() {
+            sender.set_window_limit(hint);
+        }
         let stray = sender
             .poll()
             .expect("retry budget covers the configured fault rates");
@@ -834,9 +872,17 @@ fn fault_run(
     let wire = svc.nic().wire_fault_stats().unwrap_or_default();
     let rx_stats = svc.nic().rx_stats();
     let rel = sender.stats();
+    let knob_changes = svc
+        .metrics()
+        .snapshot()
+        .counters
+        .get("dpa_knob_changes_total")
+        .copied()
+        .unwrap_or(0);
     FaultRun {
         row: FaultRow {
             label: label.to_string(),
+            mode: mode.label().to_string(),
             messages: messages as u64,
             elapsed_secs: elapsed,
             msgs_per_sec: messages as f64 / elapsed.max(f64::EPSILON),
@@ -845,12 +891,20 @@ fn fault_run(
             wire_reorders: wire.reorders,
             wire_delays: wire.delays,
             retransmits: rel.retransmits,
+            retransmit_amplification: if wire.drops > 0 {
+                rel.retransmits as f64 / wire.drops as f64
+            } else {
+                0.0
+            },
+            fast_retransmits: rel.fast_retransmits,
             resend_events: rel.resend_events,
             acks_received: rel.acks,
             backoff_polls: rel.backoff_polls,
             rx_duplicates_discarded: rx_stats.duplicates,
             rx_gaps_discarded: rx_stats.gaps,
+            rx_staged_out_of_order: rx_stats.staged_out_of_order,
             acks_sent: rx_stats.acks_sent,
+            knob_changes,
         },
         completed,
         observability_json: svc.observability_json(),
@@ -880,32 +934,40 @@ fn run_faults(
         .with_reorder_permille(100)
         .with_delay_permille(50);
     println!(
-        "\nFault sweep: {messages} msgs through go-back-N, plan seed {seed:#x} \
-         (10% drop, 10% dup, 10% reorder, 5% delay)"
+        "\nFault sweep: {messages} msgs per run, go-back-N vs selective repeat, \
+         plan seed {seed:#x} (10% drop, 10% dup, 10% reorder, 5% delay)"
     );
 
-    let mut clean = fault_run(args, "fault-free", None, messages);
-    let mut hostile = fault_run(args, "hostile-wire", Some(&plan), messages);
-    let matched_equal = clean.completed == hostile.completed;
-    for run in [&mut clean, &mut hostile] {
+    let mut runs: Vec<FaultRun> = Vec::with_capacity(4);
+    for mode in [ReliabilityMode::GoBackN, ReliabilityMode::SelectiveRepeat] {
+        runs.push(fault_run(args, "fault-free", mode, None, messages));
+        runs.push(fault_run(args, "hostile-wire", mode, Some(&plan), messages));
+    }
+    // The oracle across all four runs: every (mode, wire) combination must
+    // complete the identical (receive, payload) sequence — faults change
+    // nothing, and neither does the ARQ mode.
+    let matched_equal = runs.windows(2).all(|w| w[0].completed == w[1].completed);
+    for run in &mut runs {
+        let key = format!("faults {} {}", run.row.mode, run.row.label);
         if let Some(series) = run.series.take() {
-            recorder
-                .series
-                .push((format!("faults {}", run.row.label), series));
+            recorder.series.push((key.clone(), series));
         }
         #[cfg(feature = "trace-events")]
         if let Some((events, dropped)) = run.spans.take() {
-            recorder
-                .spans
-                .push((format!("faults-{}", run.row.label), events, dropped));
+            recorder.spans.push((
+                format!("faults-{}-{}", run.row.mode, run.row.label),
+                events,
+                dropped,
+            ));
         }
     }
 
-    for run in [&clean, &hostile] {
+    for run in &runs {
         let r = &run.row;
         println!(
-            "  {:<13} {:>12.0} msgs/s   [drops {} | dups {} | reorders {} | delays {}] \
-             retransmits {} (in {} resends), backoff {} polls",
+            "  {:<16} {:<13} {:>12.0} msgs/s   [drops {} | dups {} | reorders {} | delays {}] \
+             retransmits {} ({:.2}x amplification, {} fast), staged {}, knobs {}",
+            r.mode,
             r.label,
             r.msgs_per_sec,
             r.wire_drops,
@@ -913,17 +975,35 @@ fn run_faults(
             r.wire_reorders,
             r.wire_delays,
             r.retransmits,
-            r.resend_events,
-            r.backoff_polls,
+            r.retransmit_amplification,
+            r.fast_retransmits,
+            r.rx_staged_out_of_order,
+            r.knob_changes,
         );
         if let Some(v) = observability_value(run.observability_json.as_deref()) {
-            observability.insert(format!("faults {}", r.label), v);
+            observability.insert(format!("faults {} {}", r.mode, r.label), v);
         }
     }
-    println!("shape: hostile wire changed no matched pair: {matched_equal}");
+    let gbn_hostile = &runs[1].row;
+    let sr_hostile = &runs[3].row;
+    println!("shape: hostile wire changed no matched pair in either mode: {matched_equal}");
     println!(
         "shape: reliability protocol actually fired: {}",
-        hostile.row.retransmits > 0 && hostile.row.wire_drops > 0
+        gbn_hostile.retransmits > 0 && gbn_hostile.wire_drops > 0
+    );
+    println!(
+        "shape: selective-repeat amplification <= 2x ({:.2}x vs go-back-N {:.2}x): {}",
+        sr_hostile.retransmit_amplification,
+        gbn_hostile.retransmit_amplification,
+        sr_hostile.retransmit_amplification <= 2.0
+    );
+    println!(
+        "shape: selective repeat beats go-back-N on the hostile wire: {}",
+        sr_hostile.msgs_per_sec > gbn_hostile.msgs_per_sec
+    );
+    println!(
+        "shape: controller moved knobs and stamped spans: {}",
+        runs.iter().any(|r| r.row.knob_changes > 0)
     );
 
     let sweep = FaultSweep {
@@ -933,12 +1013,10 @@ fn run_faults(
         reorder_permille: plan.reorder_permille,
         delay_permille: plan.delay_permille,
         matched_equal,
-        rows: vec![clean.row, hostile.row],
+        rows: runs.iter().map(|r| r.row.clone()).collect(),
     };
-    let path = write_faults_artifact(
-        &sweep,
-        &[&clean.observability_json, &hostile.observability_json],
-    );
+    let snapshots: Vec<&Option<String>> = runs.iter().map(|r| &r.observability_json).collect();
+    let path = write_faults_artifact(&sweep, &snapshots);
     println!("fault-sweep artifact: {}", path.display());
     Some(sweep)
 }
@@ -953,7 +1031,10 @@ fn write_faults_artifact(sweep: &FaultSweep, snapshots: &[&Option<String>]) -> s
         .rows
         .iter()
         .zip(snapshots)
-        .filter_map(|(row, snap)| snap.as_ref().map(|s| format!("\"{}\":{}", row.label, s)))
+        .filter_map(|(row, snap)| {
+            snap.as_ref()
+                .map(|s| format!("\"{} {}\":{}", row.mode, row.label, s))
+        })
         .collect();
     let json = format!(
         concat!(
@@ -1158,6 +1239,7 @@ fn run_tenants(
         matchd: MatchdConfig {
             tenant: TenantConfig::default(),
             deficit_cap_quanta: 4,
+            ..MatchdConfig::default()
         },
     };
     println!(

@@ -14,13 +14,19 @@
 //!   fallback to software tag matching (§IV-E);
 //! * [`nic`] — the receive-side NIC engine: RDMA receive completions are
 //!   staged into bounce buffers and exposed through a completion queue,
-//!   with a go-back-N acceptance check for sequenced traffic;
+//!   with a mode-selected reliability acceptance check (selective repeat
+//!   with a bounded out-of-order staging buffer, or go-back-N discards)
+//!   for sequenced traffic;
 //! * [`fault`] — the deterministic fault-injection layer: a seeded
 //!   [`otm_base::FaultPlan`] drops, duplicates, reorders and delays wire
 //!   packets and injects transient backend failures and worker stalls;
 //! * [`reliable`] — the sender half of the reliability protocol: sequence
-//!   numbers, cumulative acks, go-back-N retransmission with exponential
-//!   backoff and a bounded retry budget;
+//!   numbers, cumulative acks with SACK blocks, selective-repeat or
+//!   go-back-N retransmission with an RTT-tracking timeout, adaptive
+//!   window, exponential backoff and a bounded retry budget;
+//! * [`control`] — the feedback controller: observes registry deltas each
+//!   service tick and actuates reliability/drain/packing knobs, every
+//!   change recorded as a `knob_changed` span;
 //! * [`obs`] — feature-gated observability: queue-depth gauges and
 //!   NIC-memory pressure counters for the matching service, plus the
 //!   fault/reliability counters and backoff histogram;
@@ -42,6 +48,8 @@
 pub mod bounce;
 pub mod cluster;
 pub mod collectives;
+#[cfg(feature = "metrics")]
+pub mod control;
 pub mod fault;
 pub mod matchd;
 pub mod memory;
@@ -53,12 +61,16 @@ pub mod reliable;
 pub mod service;
 
 pub use cluster::{Cluster, ClusterBackend, ClusterNode};
+#[cfg(feature = "metrics")]
+pub use control::{ControllerConfig, ControllerStats, FeedbackController};
 pub use fault::{BackendFaultStats, FaultInjectingBackend, WireFaultStats, WireFaults};
 pub use matchd::{
     Admission, MatchServer, MatchdConfig, TenantConfig, TenantId, TenantSession, TenantStats,
 };
 pub use memory::DeviceMemory;
+pub use nic::RxStats;
 pub use obs::ServiceMetrics;
 pub use pingpong::{MatchMode, PingPongConfig, PingPongResult, Scenario};
+pub use rdma::SackBlocks;
 pub use reliable::{ReliabilityError, ReliabilityStats, ReliableSender};
 pub use service::MatchingService;

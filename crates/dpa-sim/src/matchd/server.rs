@@ -76,6 +76,13 @@ pub struct MatchdConfig {
     /// tenant may bank. Bounds the burst one tenant can inject in a single
     /// round after saving up.
     pub deficit_cap_quanta: u64,
+    /// Attaches the self-tuning [`crate::FeedbackController`] (default
+    /// tuning) to the underlying service, so each tick's progress call can
+    /// adjust the drain-retry budget and the engine's packing knobs from
+    /// observed registry deltas. Opt-in (default `false`): a server under
+    /// an external fairness harness may prefer fixed knobs. No effect
+    /// without the `metrics` feature.
+    pub self_tuning: bool,
 }
 
 impl Default for MatchdConfig {
@@ -83,6 +90,7 @@ impl Default for MatchdConfig {
         MatchdConfig {
             tenant: TenantConfig::default(),
             deficit_cap_quanta: 4,
+            self_tuning: false,
         }
     }
 }
@@ -144,10 +152,14 @@ impl MatchServer {
     /// the NIC is already wired into a mesh. `wire`, when given, is a send
     /// endpoint into the service's NIC used for tenant self-sends.
     pub fn with_service(
-        service: MatchingService,
+        #[allow(unused_mut)] mut service: MatchingService,
         wire: Option<QueuePair>,
         config: MatchdConfig,
     ) -> Self {
+        #[cfg(feature = "metrics")]
+        if config.self_tuning {
+            service.attach_controller(crate::control::FeedbackController::with_defaults());
+        }
         MatchServer {
             service,
             wire,
@@ -252,9 +264,7 @@ impl MatchServer {
                     TenantRequest::Post { pattern, handle } => {
                         match self.service.post_recv_queued_reserved(pattern, handle) {
                             Ok(()) => {}
-                            Err(ServiceError::Match(MatchError::SubmissionRingFull {
-                                ..
-                            })) => {
+                            Err(ServiceError::Match(MatchError::SubmissionRingFull { .. })) => {
                                 // The engine's per-communicator submission
                                 // ring is full — retryable backpressure, not
                                 // a failure. The bounced post and the rest of
@@ -429,5 +439,39 @@ impl MatchServer {
             .map(|(label, s)| (label.clone(), s))
             .collect();
         Some(otm_metrics::tenant_sections_json(&global, &refs))
+    }
+}
+
+#[cfg(all(test, feature = "metrics"))]
+mod tests {
+    use super::*;
+    use otm_base::{MatchConfig, PackingPolicy};
+
+    #[test]
+    fn self_tuning_server_attaches_the_controller_and_moves_knobs() {
+        let mut server = MatchServer::new(
+            MatchConfig::small(),
+            MatchdConfig {
+                self_tuning: true,
+                ..MatchdConfig::default()
+            },
+        )
+        .unwrap();
+        let controller = server.service().controller().expect("controller attached");
+        let interval = controller.interval_polls();
+        // Two controller intervals of idle ticks: the first primes the
+        // delta baseline, the second sees zero active lanes and pins
+        // consecutive packing.
+        for _ in 0..(2 * interval) {
+            server.tick().unwrap();
+        }
+        let controller = server.service().controller().expect("still attached");
+        assert_eq!(controller.packing(), PackingPolicy::Consecutive);
+        assert!(controller.stats().knob_changes >= 1);
+        let snap = server.service().metrics().snapshot();
+        assert!(snap.counters["dpa_knob_changes_total"] >= 1);
+        // Opt-out stays knob-free.
+        let plain = MatchServer::new(MatchConfig::small(), MatchdConfig::default()).unwrap();
+        assert!(plain.service().controller().is_none());
     }
 }

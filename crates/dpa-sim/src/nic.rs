@@ -12,10 +12,15 @@
 use crate::bounce::{BounceId, BouncePool};
 use crate::fault::{WireFaultStats, WireFaults};
 use crate::obs::ServiceMetrics;
-use crate::rdma::{MessageHeader, QueuePair, RdmaError, WirePacket};
+use crate::rdma::{MessageHeader, QueuePair, RdmaError, SackBlocks, WirePacket};
 use mpi_matching::MsgHandle;
-use otm_base::{FaultPlan, MatchError};
-use std::collections::VecDeque;
+use otm_base::{FaultPlan, MatchError, ReliabilityMode};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default per-QP capacity of the out-of-order staging buffer (selective
+/// repeat). Sized to hold a full sender window so a single early drop never
+/// forces discards; overflow degrades that packet to the go-back-N discard.
+pub const DEFAULT_STAGING_CAPACITY: usize = 64;
 
 /// A completion-queue entry: one arrived message staged in NIC memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,15 +53,23 @@ impl std::fmt::Display for NicError {
 
 impl std::error::Error for NicError {}
 
-/// Counters of the go-back-N receive side.
+/// Counters of the reliability receive side.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RxStats {
     /// Sequenced packets discarded because their sequence number was
-    /// already accepted (retransmit overlap or wire duplication).
+    /// already accepted or already staged (retransmit overlap or wire
+    /// duplication).
     pub duplicates: u64,
     /// Sequenced packets discarded because they arrived ahead of the next
-    /// expected sequence number (a gap the sender's window resend fills).
+    /// expected sequence number (under go-back-N: every out-of-order
+    /// arrival; under selective repeat: only staging-buffer overflow).
     pub gaps: u64,
+    /// Out-of-order sequenced packets staged for later in-order delivery
+    /// (selective repeat only).
+    pub staged_out_of_order: u64,
+    /// Out-of-order packets discarded because the staging buffer was full
+    /// (a subset of `gaps`; selective repeat only).
+    pub stage_overflow: u64,
     /// Cumulative acknowledgements sent back to peers.
     pub acks_sent: u64,
 }
@@ -67,11 +80,15 @@ pub struct RxStats {
 /// multi-node job); their completions merge into the one CQ in poll order.
 ///
 /// Packets stamped with a reliability sequence number (sent through a
-/// [`crate::reliable::ReliableSender`]) pass a per-QP go-back-N acceptance
-/// check: only the next expected sequence number is staged; duplicates and
-/// gaps are discarded and a cumulative ack is returned on the arrival QP.
-/// Because acceptance is strictly in order, the completion queue — and the
-/// monotone [`MsgHandle`]s it assigns — are identical to a fault-free
+/// [`crate::reliable::ReliableSender`]) pass a per-QP acceptance check
+/// governed by the configured [`ReliabilityMode`]. Under go-back-N only the
+/// next expected sequence number is staged; duplicates and gaps are
+/// discarded. Under selective repeat (the default) out-of-order packets are
+/// held in a bounded per-QP staging buffer and delivered the moment the
+/// hole fills, and the cumulative acks advertise the staged ranges as SACK
+/// blocks so the sender retransmits only the holes. In both modes delivery
+/// to the completion queue is strictly in sequence order, so the CQ — and
+/// the monotone [`MsgHandle`]s it assigns — are identical to a fault-free
 /// run's, no matter what a [`WireFaults`] layer did to the wire.
 /// Unsequenced packets keep the legacy pass-through behavior.
 #[derive(Debug)]
@@ -93,13 +110,22 @@ pub struct RecvNic {
     expected: Vec<u64>,
     /// Per-QP flag: sequenced traffic arrived since the last ack.
     ack_due: Vec<bool>,
+    /// Per-QP out-of-order staging buffer (selective repeat). Keys are
+    /// sequence numbers strictly above `expected`; drained in order the
+    /// moment the hole fills. A staging failure while draining leaves the
+    /// packet keyed here and retries next poll, so nothing is dropped.
+    staging: Vec<BTreeMap<u64, WirePacket>>,
+    /// How the receive side repairs out-of-order arrivals.
+    mode: ReliabilityMode,
+    /// Per-QP staging-buffer bound.
+    staging_capacity: usize,
     rx_stats: RxStats,
     metrics: Option<ServiceMetrics>,
 }
 
 impl RecvNic {
     /// Creates a receive engine over one queue pair with the given staging
-    /// pool.
+    /// pool, in the default [`ReliabilityMode`].
     pub fn new(qp: QueuePair, pool: BouncePool) -> Self {
         RecvNic {
             qps: vec![qp],
@@ -110,9 +136,34 @@ impl RecvNic {
             faults: None,
             expected: vec![0],
             ack_due: vec![false],
+            staging: vec![BTreeMap::new()],
+            mode: ReliabilityMode::default(),
+            staging_capacity: DEFAULT_STAGING_CAPACITY,
             rx_stats: RxStats::default(),
             metrics: None,
         }
+    }
+
+    /// Selects how this receiver repairs out-of-order sequenced arrivals.
+    /// Switch modes before sequenced traffic starts — a mid-stream switch
+    /// to go-back-N strands any already-staged packets.
+    pub fn set_reliability_mode(&mut self, mode: ReliabilityMode) {
+        debug_assert!(
+            self.staging.iter().all(BTreeMap::is_empty),
+            "switch reliability modes before sequenced traffic starts"
+        );
+        self.mode = mode;
+    }
+
+    /// The configured reliability mode.
+    pub fn reliability_mode(&self) -> ReliabilityMode {
+        self.mode
+    }
+
+    /// Overrides the per-QP out-of-order staging bound (selective repeat).
+    /// A zero capacity disables staging, degrading to go-back-N discards.
+    pub fn set_staging_capacity(&mut self, capacity: usize) {
+        self.staging_capacity = capacity;
     }
 
     /// Installs a fault plan on the delivery path. Sequenced packets are
@@ -142,6 +193,7 @@ impl RecvNic {
         self.qps.push(qp);
         self.expected.push(0);
         self.ack_due.push(false);
+        self.staging.push(BTreeMap::new());
     }
 
     /// Number of queue pairs terminated here.
@@ -170,8 +222,7 @@ impl RecvNic {
         // Release held-back (reordered/delayed) packets that are now due.
         while let Some((qp, packet)) = self.faults.as_mut().and_then(WireFaults::pop_due) {
             match self.accept_packet(qp, packet) {
-                Ok(true) => n += 1,
-                Ok(false) => {}
+                Ok(k) => n += k,
                 Err(e) => {
                     self.send_due_acks();
                     return Err(e);
@@ -189,8 +240,7 @@ impl RecvNic {
                         };
                         for packet in deliveries {
                             match self.accept_packet(i, packet) {
-                                Ok(true) => n += 1,
-                                Ok(false) => {}
+                                Ok(k) => n += k,
                                 Err(e) => {
                                     // Any extra copy lost with this early
                                     // return could only be a duplicate of
@@ -205,21 +255,33 @@ impl RecvNic {
                 }
             }
         }
+        // Deliver staged out-of-order packets whose holes filled this poll.
+        match self.drain_staged() {
+            Ok(k) => n += k,
+            Err(e) => {
+                self.send_due_acks();
+                return Err(e);
+            }
+        }
         self.send_due_acks();
         Ok(n)
     }
 
-    /// Runs the go-back-N acceptance check on one delivered packet and
-    /// stages it if accepted. `Ok(true)` means a completion was generated;
-    /// `Ok(false)` means the packet was discarded (stray ack, duplicate,
-    /// or out-of-order gap).
-    fn accept_packet(&mut self, qp: usize, packet: WirePacket) -> Result<bool, NicError> {
+    /// Runs the reliability acceptance check on one delivered packet and
+    /// stages it if accepted. Returns how many completions were generated:
+    /// `0` when the packet was discarded (stray ack, duplicate,
+    /// out-of-order gap) or parked in the staging buffer, `1` for a direct
+    /// acceptance, more when an in-order arrival filled a hole and its
+    /// QP's staged run drained behind it — eager draining frees staging
+    /// capacity for later packets arriving in the same poll.
+    fn accept_packet(&mut self, qp: usize, packet: WirePacket) -> Result<usize, NicError> {
         if packet.is_ack() {
             // Acks are consumed by the sender half; one arriving here
             // (e.g. on a shared endpoint) is transport noise, not a
             // message.
-            return Ok(false);
+            return Ok(0);
         }
+        let sequenced = packet.seq.is_some();
         if let Some(seq) = packet.seq {
             // Any sequenced arrival — accepted or not — owes the peer a
             // fresh cumulative ack, so retransmits re-ack too.
@@ -230,19 +292,30 @@ impl RecvNic {
                 if let Some(m) = &self.metrics {
                     m.count_rx_duplicate();
                 }
-                return Ok(false);
+                return Ok(0);
             }
             if seq > expected {
-                self.rx_stats.gaps += 1;
-                if let Some(m) = &self.metrics {
-                    m.count_rx_gap();
-                }
-                return Ok(false);
+                self.accept_out_of_order(qp, seq, packet);
+                return Ok(0);
             }
             self.expected[qp] = expected + 1;
+            // A retransmit can race its own staged copy: the in-order copy
+            // wins and the staged one becomes a duplicate.
+            if self.staging[qp].remove(&seq).is_some() {
+                self.rx_stats.duplicates += 1;
+                if let Some(m) = &self.metrics {
+                    m.count_rx_duplicate();
+                }
+            }
         }
         match self.stage_packet(packet) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                if sequenced {
+                    Ok(1 + self.drain_staged_qp(qp)?)
+                } else {
+                    Ok(1)
+                }
+            }
             Err((packet, e)) => {
                 self.held = Some(packet);
                 Err(e)
@@ -250,17 +323,107 @@ impl RecvNic {
         }
     }
 
+    /// Handles a sequenced packet above the expected counter: discarded
+    /// under go-back-N, staged (bounded) under selective repeat. Never
+    /// generates a completion directly.
+    fn accept_out_of_order(&mut self, qp: usize, seq: u64, packet: WirePacket) {
+        if self.mode == ReliabilityMode::SelectiveRepeat {
+            if self.staging[qp].contains_key(&seq) {
+                self.rx_stats.duplicates += 1;
+                if let Some(m) = &self.metrics {
+                    m.count_rx_duplicate();
+                }
+                return;
+            }
+            if self.staging[qp].len() < self.staging_capacity {
+                self.staging[qp].insert(seq, packet);
+                self.rx_stats.staged_out_of_order += 1;
+                if let Some(m) = &self.metrics {
+                    m.count_rx_staged();
+                }
+                return;
+            }
+            self.rx_stats.stage_overflow += 1;
+            if let Some(m) = &self.metrics {
+                m.count_rx_stage_overflow();
+            }
+        }
+        self.rx_stats.gaps += 1;
+        if let Some(m) = &self.metrics {
+            m.count_rx_gap();
+        }
+    }
+
+    /// Delivers staged packets whose hole has filled, strictly in sequence
+    /// order per QP. A bounce-pool failure leaves the packet staged (keyed
+    /// by its unchanged sequence number) and surfaces the error; the next
+    /// poll resumes the drain, so nothing is dropped.
+    fn drain_staged(&mut self) -> Result<usize, NicError> {
+        let mut n = 0;
+        for qp in 0..self.qps.len() {
+            n += self.drain_staged_qp(qp)?;
+        }
+        Ok(n)
+    }
+
+    /// The per-QP half of [`RecvNic::drain_staged`].
+    fn drain_staged_qp(&mut self, qp: usize) -> Result<usize, NicError> {
+        let mut n = 0;
+        let mut next = self.expected[qp];
+        while let Some(packet) = self.staging[qp].remove(&next) {
+            match self.stage_packet(packet) {
+                Ok(()) => {
+                    next += 1;
+                    self.expected[qp] = next;
+                    self.ack_due[qp] = true;
+                    n += 1;
+                }
+                Err((packet, e)) => {
+                    self.staging[qp].insert(next, packet);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(n)
+    }
+
     /// Sends one cumulative ack on every QP that saw sequenced traffic
-    /// since the last ack. Best-effort: a disconnected peer cannot use
-    /// the ack anyway.
+    /// since the last ack, advertising any staged out-of-order runs as
+    /// SACK blocks. Best-effort: a disconnected peer cannot use the ack
+    /// anyway.
     fn send_due_acks(&mut self) {
         for i in 0..self.qps.len() {
             if self.ack_due[i] {
                 self.ack_due[i] = false;
-                crate::reliable::send_ack_best_effort(&self.qps[i], self.expected[i]);
+                let sack = Self::sack_of(&self.staging[i]);
+                crate::reliable::send_sack_best_effort(&self.qps[i], self.expected[i], sack);
                 self.rx_stats.acks_sent += 1;
             }
         }
+    }
+
+    /// Summarizes a staging buffer's contiguous runs as SACK blocks
+    /// (bounded by [`crate::rdma::MAX_SACK_BLOCKS`]; lower runs win since
+    /// they unblock the cumulative edge soonest).
+    fn sack_of(staging: &BTreeMap<u64, WirePacket>) -> SackBlocks {
+        let mut sack = SackBlocks::empty();
+        let mut run: Option<(u64, u64)> = None;
+        for &seq in staging.keys() {
+            run = match run {
+                Some((start, end)) if seq == end => Some((start, end + 1)),
+                Some((start, end)) => {
+                    if !sack.push(start, end) {
+                        return sack;
+                    }
+                    Some((seq, seq + 1))
+                }
+                None => Some((seq, seq + 1)),
+            };
+        }
+        if let Some((start, end)) = run {
+            sack.push(start, end);
+        }
+        sack
     }
 
     /// Stages one packet into a bounce buffer, or hands it back on failure.
@@ -313,9 +476,16 @@ impl RecvNic {
         &self.qps[0]
     }
 
-    /// Go-back-N receive counters (discarded duplicates/gaps, acks sent).
+    /// Reliability receive counters (discarded duplicates/gaps, staged
+    /// out-of-order packets, acks sent).
     pub fn rx_stats(&self) -> RxStats {
         self.rx_stats
+    }
+
+    /// Out-of-order packets currently staged on queue pair `qp`
+    /// (diagnostics).
+    pub fn staged_out_of_order_len(&self, qp: usize) -> usize {
+        self.staging[qp].len()
     }
 
     /// What the installed fault plan injected so far, if one is active.
@@ -424,7 +594,10 @@ mod tests {
         let ack = tx.try_recv().unwrap().expect("ack sent");
         assert!(ack.is_ack());
         match ack.header.kind {
-            crate::rdma::PayloadKind::Ack { cumulative } => assert_eq!(cumulative, 2),
+            crate::rdma::PayloadKind::Ack { cumulative, sack } => {
+                assert_eq!(cumulative, 2);
+                assert!(sack.is_empty(), "nothing staged, nothing advertised");
+            }
             _ => unreachable!(),
         }
         assert_eq!(nic.rx_stats().acks_sent, 1);
@@ -433,6 +606,7 @@ mod tests {
     #[test]
     fn duplicate_and_gap_sequences_are_discarded() {
         let (tx, mut nic) = nic_pair(8);
+        nic.set_reliability_mode(ReliabilityMode::GoBackN);
         tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
         tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap(); // dup
         tx.send(eager_packet(env(5), vec![5]).with_seq(5)).unwrap(); // gap
@@ -441,6 +615,7 @@ mod tests {
         let stats = nic.rx_stats();
         assert_eq!(stats.duplicates, 1);
         assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.staged_out_of_order, 0, "go-back-N never stages");
         let block = nic.take_block(8);
         assert_eq!(block.len(), 2);
         assert_eq!(nic.staged(block[0].bounce), &[0]);
@@ -450,6 +625,7 @@ mod tests {
     #[test]
     fn retransmitted_window_fills_the_gap_exactly_once() {
         let (tx, mut nic) = nic_pair(8);
+        nic.set_reliability_mode(ReliabilityMode::GoBackN);
         // First transmission: seq 1 lost on the (conceptual) wire.
         tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
         tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
@@ -463,6 +639,120 @@ mod tests {
         assert_eq!(staged, vec![&[0u8][..], &[1], &[2]], "in order, no dups");
         assert_eq!(nic.rx_stats().gaps, 1);
         assert_eq!(nic.rx_stats().duplicates, 0);
+    }
+
+    #[test]
+    fn selective_repeat_stages_and_delivers_on_hole_fill() {
+        let (tx, mut nic) = nic_pair(8);
+        assert_eq!(nic.reliability_mode(), ReliabilityMode::SelectiveRepeat);
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        tx.send(eager_packet(env(3), vec![3]).with_seq(3)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 1, "only seq 0 delivered; 2,3 staged");
+        assert_eq!(nic.staged_out_of_order_len(0), 2);
+        assert_eq!(nic.rx_stats().staged_out_of_order, 2);
+        assert_eq!(nic.rx_stats().gaps, 0, "staging is not a discard");
+        // The ack advertises the staged run [2, 4) above cumulative 1.
+        let ack = tx.try_recv().unwrap().expect("ack sent");
+        match ack.header.kind {
+            crate::rdma::PayloadKind::Ack { cumulative, sack } => {
+                assert_eq!(cumulative, 1);
+                assert_eq!(sack.iter().collect::<Vec<_>>(), vec![(2, 4)]);
+            }
+            _ => unreachable!(),
+        }
+        // Filling the hole releases the whole staged run, in order.
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 3);
+        assert_eq!(nic.staged_out_of_order_len(0), 0);
+        assert_eq!(nic.expected_seq(0), 4);
+        let block = nic.take_block(8);
+        let bytes: Vec<u8> = block.iter().map(|c| nic.staged(c.bounce)[0]).collect();
+        assert_eq!(bytes, vec![0, 1, 2, 3], "delivery is strictly in order");
+        assert_eq!(block[0].msg, MsgHandle(0), "handles match a clean run");
+    }
+
+    #[test]
+    fn selective_repeat_discards_duplicates_of_staged_packets() {
+        let (tx, mut nic) = nic_pair(8);
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap(); // dup
+        assert_eq!(nic.poll().unwrap(), 0);
+        assert_eq!(nic.rx_stats().staged_out_of_order, 1);
+        assert_eq!(nic.rx_stats().duplicates, 1, "second copy is a dup");
+        // An in-order retransmit sweep racing its own staged copy delivers
+        // exactly once.
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 3);
+        assert_eq!(nic.rx_stats().duplicates, 2, "staged copy superseded");
+        let block = nic.take_block(8);
+        let bytes: Vec<u8> = block.iter().map(|c| nic.staged(c.bounce)[0]).collect();
+        assert_eq!(bytes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn staging_overflow_degrades_to_goback_n_discard() {
+        let (tx, mut nic) = nic_pair(8);
+        nic.set_staging_capacity(2);
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        tx.send(eager_packet(env(3), vec![3]).with_seq(3)).unwrap(); // overflow
+        assert_eq!(nic.poll().unwrap(), 0);
+        let stats = nic.rx_stats();
+        assert_eq!(stats.staged_out_of_order, 2);
+        assert_eq!(stats.stage_overflow, 1);
+        assert_eq!(stats.gaps, 1, "the overflowed packet counts as a gap");
+        // The retransmit fills the hole and re-sends the overflowed seq.
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        tx.send(eager_packet(env(3), vec![3]).with_seq(3)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 4);
+        let block = nic.take_block(8);
+        let bytes: Vec<u8> = block.iter().map(|c| nic.staged(c.bounce)[0]).collect();
+        assert_eq!(bytes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sack_blocks_summarize_disjoint_staged_runs() {
+        let (tx, mut nic) = nic_pair(16);
+        for seq in [2u64, 3, 5, 8, 9] {
+            tx.send(eager_packet(env(seq as u32), vec![seq as u8]).with_seq(seq))
+                .unwrap();
+        }
+        assert_eq!(nic.poll().unwrap(), 0);
+        let ack = tx.try_recv().unwrap().expect("ack sent");
+        match ack.header.kind {
+            crate::rdma::PayloadKind::Ack { cumulative, sack } => {
+                assert_eq!(cumulative, 0);
+                assert_eq!(
+                    sack.iter().collect::<Vec<_>>(),
+                    vec![(2, 4), (5, 6), (8, 10)]
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn staged_drain_survives_bounce_exhaustion() {
+        // Pool of 2: the hole-filling packet and the first staged packet
+        // stage, the second staged packet must wait without being lost.
+        let (tx, mut nic) = nic_pair(2);
+        tx.send(eager_packet(env(1), vec![1]).with_seq(1)).unwrap();
+        tx.send(eager_packet(env(2), vec![2]).with_seq(2)).unwrap();
+        assert_eq!(nic.poll().unwrap(), 0, "both staged out of order");
+        tx.send(eager_packet(env(0), vec![0]).with_seq(0)).unwrap();
+        assert!(matches!(nic.poll(), Err(NicError::Staging(_))));
+        assert_eq!(nic.staged_out_of_order_len(0), 1, "seq 2 still staged");
+        // Releasing bounce buffers lets the drain resume in order.
+        for c in nic.take_block(8) {
+            nic.release(c.bounce);
+        }
+        assert_eq!(nic.poll().unwrap(), 1);
+        let block = nic.take_block(8);
+        assert_eq!(nic.staged(block[0].bounce), &[2]);
+        assert_eq!(block[0].msg, MsgHandle(2), "handle order preserved");
     }
 
     #[test]
@@ -486,12 +776,16 @@ mod tests {
         );
     }
 
-    #[test]
-    fn faulty_wire_with_goback_n_sender_delivers_exactly_once_in_order() {
+    /// Drives `n` messages through a faulty wire in the given mode and
+    /// asserts exactly-once in-order delivery.
+    fn faulty_wire_roundtrip(
+        mode: ReliabilityMode,
+    ) -> (RxStats, crate::reliable::ReliabilityStats) {
         use crate::reliable::ReliableSender;
         use otm_base::FaultPlan;
         let (a, b) = connected_pair();
         let mut nic = RecvNic::new(b, BouncePool::new(64, 64));
+        nic.set_reliability_mode(mode);
         nic.set_faults(
             FaultPlan::new(0x5eed)
                 .with_drop_permille(150)
@@ -499,7 +793,7 @@ mod tests {
                 .with_reorder_permille(150)
                 .with_reorder_window(4),
         );
-        let mut sender = ReliableSender::with_limits(a, 4, 32);
+        let mut sender = ReliableSender::with_limits(a, 4, 32).with_mode(mode);
         let n = 50u32;
         for i in 0..n {
             sender.send(eager_packet(env(i), vec![i as u8])).unwrap();
@@ -520,9 +814,31 @@ mod tests {
         assert_eq!(
             staged,
             (0..n as u8).collect::<Vec<_>>(),
-            "exactly-once, in-order delivery under drop+dup+reorder"
+            "exactly-once, in-order delivery under drop+dup+reorder ({mode:?})"
         );
         let wire = nic.wire_fault_stats().unwrap();
         assert!(wire.total() > 0, "the plan must actually have injected");
+        (nic.rx_stats(), sender.stats())
+    }
+
+    #[test]
+    fn faulty_wire_with_goback_n_sender_delivers_exactly_once_in_order() {
+        let (rx, _tx) = faulty_wire_roundtrip(ReliabilityMode::GoBackN);
+        assert_eq!(rx.staged_out_of_order, 0, "go-back-N never stages");
+    }
+
+    #[test]
+    fn faulty_wire_with_selective_repeat_delivers_exactly_once_in_order() {
+        let (rx, tx) = faulty_wire_roundtrip(ReliabilityMode::SelectiveRepeat);
+        assert!(rx.staged_out_of_order > 0, "reorders must have staged");
+        // The identical fault schedule costs strictly fewer retransmits
+        // under selective repeat than under go-back-N.
+        let (_, gbn) = faulty_wire_roundtrip(ReliabilityMode::GoBackN);
+        assert!(
+            tx.retransmits < gbn.retransmits,
+            "selective repeat ({}) must beat go-back-N ({}) on the same seed",
+            tx.retransmits,
+            gbn.retransmits
+        );
     }
 }

@@ -25,6 +25,12 @@ mod imp {
     #[cfg(feature = "trace-events")]
     const SPAN_CAPACITY: usize = 64 * 1024;
 
+    /// Synthetic span subject for feedback-controller knob changes. The
+    /// controller has no message identity; `u64::MAX` cannot collide with a
+    /// message handle or a `RECV_SUBJECT_BIT`-tagged receive handle.
+    #[cfg(feature = "trace-events")]
+    const CONTROLLER_SUBJECT: u64 = u64::MAX;
+
     /// Cheap-to-clone handle to the service's metric instruments.
     #[derive(Debug, Clone)]
     pub struct ServiceMetrics {
@@ -44,7 +50,10 @@ mod imp {
         wire_delays: Arc<Counter>,
         rx_duplicates: Arc<Counter>,
         rx_gaps: Arc<Counter>,
+        rx_staged: Arc<Counter>,
+        rx_stage_overflow: Arc<Counter>,
         acks: Arc<Counter>,
+        knob_changes: Arc<Counter>,
         retransmits: Arc<Counter>,
         drain_retries: Arc<Counter>,
         ring_backpressure: Arc<Counter>,
@@ -85,7 +94,10 @@ mod imp {
                 wire_delays: registry.counter("dpa_wire_delays_total"),
                 rx_duplicates: registry.counter("dpa_rx_duplicates_total"),
                 rx_gaps: registry.counter("dpa_rx_gaps_total"),
+                rx_staged: registry.counter("dpa_rx_staged_total"),
+                rx_stage_overflow: registry.counter("dpa_rx_stage_overflow_total"),
                 acks: registry.counter("dpa_acks_total"),
+                knob_changes: registry.counter("dpa_knob_changes_total"),
                 retransmits: registry.counter("dpa_retransmits_total"),
                 drain_retries: registry.counter("dpa_drain_retries_total"),
                 ring_backpressure: registry.counter("dpa_ring_backpressure_total"),
@@ -176,10 +188,44 @@ mod imp {
             self.rx_gaps.inc();
         }
 
+        /// Counts one out-of-order sequenced packet staged by the
+        /// selective-repeat receiver (held for in-order delivery instead of
+        /// discarded).
+        #[inline]
+        pub fn count_rx_staged(&self) {
+            self.rx_staged.inc();
+        }
+
+        /// Counts one out-of-order packet discarded because the staging
+        /// buffer was full (selective repeat degrades to the go-back-N
+        /// discard for that packet).
+        #[inline]
+        pub fn count_rx_stage_overflow(&self) {
+            self.rx_stage_overflow.inc();
+        }
+
         /// Counts one cumulative acknowledgement sent or consumed.
         #[inline]
         pub fn count_ack(&self) {
             self.acks.inc();
+        }
+
+        /// Records one feedback-controller knob actuation: counted in
+        /// `dpa_knob_changes_total` (always) and stamped as a
+        /// `knob_changed` lifecycle span (under `trace-events`) so runs
+        /// stay reproducible from the trace alone.
+        #[inline]
+        pub fn knob_changed(&self, knob: otm_metrics::KnobKind, from: u64, to: u64) {
+            self.knob_changes.inc();
+            #[cfg(feature = "trace-events")]
+            if self.spans.push(
+                CONTROLLER_SUBJECT,
+                otm_metrics::SpanKind::KnobChanged { knob, from, to },
+            ) {
+                self.span_dropped.inc();
+            }
+            #[cfg(not(feature = "trace-events"))]
+            let _ = (knob, from, to);
         }
 
         /// Counts packets retransmitted by a go-back-N window resend.
@@ -351,6 +397,14 @@ mod imp {
 
         /// No-op.
         #[inline]
+        pub fn count_rx_staged(&self) {}
+
+        /// No-op.
+        #[inline]
+        pub fn count_rx_stage_overflow(&self) {}
+
+        /// No-op.
+        #[inline]
         pub fn count_ack(&self) {}
 
         /// No-op.
@@ -462,6 +516,9 @@ mod tests {
         m.count_wire_delay();
         m.count_rx_duplicate();
         m.count_rx_gap();
+        m.count_rx_staged();
+        m.count_rx_staged();
+        m.count_rx_stage_overflow();
         m.count_ack();
         m.add_retransmits(3);
         m.count_drain_retry();
@@ -475,6 +532,8 @@ mod tests {
         assert_eq!(snap.counters["dpa_wire_delays_total"], 1);
         assert_eq!(snap.counters["dpa_rx_duplicates_total"], 1);
         assert_eq!(snap.counters["dpa_rx_gaps_total"], 1);
+        assert_eq!(snap.counters["dpa_rx_staged_total"], 2);
+        assert_eq!(snap.counters["dpa_rx_stage_overflow_total"], 1);
         assert_eq!(snap.counters["dpa_acks_total"], 1);
         assert_eq!(snap.counters["dpa_retransmits_total"], 3);
         assert_eq!(snap.counters["dpa_drain_retries_total"], 1);
@@ -482,6 +541,30 @@ mod tests {
         let hist = &snap.hists["dpa_backoff_polls"];
         assert_eq!(hist.count, 2);
         assert_eq!(hist.sum, 12);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn knob_changes_are_counted_and_stamped() {
+        let m = ServiceMetrics::new();
+        m.knob_changed(otm_metrics::KnobKind::ReliabilityWindow, 64, 32);
+        m.knob_changed(otm_metrics::KnobKind::PackingWindow, 0, 128);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["dpa_knob_changes_total"], 2);
+        #[cfg(feature = "trace-events")]
+        {
+            let spans = m.spans().dump();
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].subject, u64::MAX);
+            assert_eq!(
+                spans[0].kind,
+                otm_metrics::SpanKind::KnobChanged {
+                    knob: otm_metrics::KnobKind::ReliabilityWindow,
+                    from: 64,
+                    to: 32,
+                }
+            );
+        }
     }
 
     #[cfg(feature = "trace-events")]

@@ -140,7 +140,75 @@ pub enum PayloadKind {
     Ack {
         /// The receiver's next expected sequence number.
         cumulative: u64,
+        /// Selective-acknowledgement blocks describing sequenced packets
+        /// held above `cumulative` in the receiver's staging buffer. Empty
+        /// under go-back-N (the receiver discards out-of-order packets, so
+        /// there is nothing to advertise).
+        sack: SackBlocks,
     },
+}
+
+/// Maximum number of `[start, end)` ranges one ack can advertise. Four
+/// blocks cover four independent holes; a wire hostile enough to fragment
+/// the staging buffer further is repaired by the next ack's refreshed view.
+pub const MAX_SACK_BLOCKS: usize = 4;
+
+/// Fixed-size set of selective-acknowledgement ranges carried in an ack.
+///
+/// Each block is a half-open `[start, end)` run of sequence numbers the
+/// receiver holds in its out-of-order staging buffer. Fixed-size (rather
+/// than a `Vec`) so `PayloadKind` stays `Copy`, matching real NIC ack
+/// descriptors which budget a handful of SACK slots per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(u64, u64); MAX_SACK_BLOCKS],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// An empty SACK set (what plain cumulative acks carry).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `[start, end)` block. Returns `false` (dropping the block)
+    /// once all slots are used — later acks re-advertise the survivors.
+    pub fn push(&mut self, start: u64, end: u64) -> bool {
+        debug_assert!(start < end, "SACK blocks are non-empty half-open ranges");
+        if (self.len as usize) < MAX_SACK_BLOCKS {
+            self.blocks[self.len as usize] = (start, end);
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of blocks advertised.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no blocks are advertised.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the advertised `(start, end)` ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.blocks[..self.len as usize].iter().copied()
+    }
+
+    /// Whether `seq` falls inside any advertised block.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.iter().any(|(start, end)| seq >= start && seq < end)
+    }
+
+    /// Highest sequence number covered by any block, if one is advertised.
+    /// The sender fast-retransmits holes below this watermark.
+    pub fn highest(&self) -> Option<u64> {
+        self.iter().map(|(_, end)| end - 1).max()
+    }
 }
 
 /// The matching-relevant message header.
@@ -238,12 +306,18 @@ pub fn eager_packet(env: Envelope, payload: Vec<u8>) -> WirePacket {
 /// envelope is a placeholder — acks are consumed by the transport layer
 /// and never matched.
 pub fn ack_packet(cumulative: u64) -> WirePacket {
+    sack_packet(cumulative, SackBlocks::empty())
+}
+
+/// Convenience: builds a cumulative ack carrying selective-acknowledgement
+/// blocks for the receiver's staged out-of-order packets.
+pub fn sack_packet(cumulative: u64, sack: SackBlocks) -> WirePacket {
     let env = Envelope::world(otm_base::Rank(u32::MAX), otm_base::Tag(u32::MAX));
     WirePacket {
         header: MessageHeader {
             env,
             hashes: InlineHashes::of(&env),
-            kind: PayloadKind::Ack { cumulative },
+            kind: PayloadKind::Ack { cumulative, sack },
         },
         inline: Vec::new(),
         seq: None,
@@ -408,9 +482,43 @@ mod tests {
         assert!(ack.is_ack());
         assert_eq!(ack.seq, None, "acks are themselves unsequenced");
         match ack.header.kind {
-            PayloadKind::Ack { cumulative } => assert_eq!(cumulative, 41),
+            PayloadKind::Ack { cumulative, sack } => {
+                assert_eq!(cumulative, 41);
+                assert!(sack.is_empty(), "plain cumulative acks carry no SACK");
+            }
             _ => panic!("expected ack"),
         }
         assert!(!eager_packet(env(), vec![]).is_ack());
+    }
+
+    #[test]
+    fn sack_blocks_bound_and_query() {
+        let mut sack = SackBlocks::empty();
+        assert!(sack.is_empty());
+        assert_eq!(sack.highest(), None);
+        assert!(sack.push(5, 7));
+        assert!(sack.push(9, 10));
+        assert!(sack.push(12, 20));
+        assert!(sack.push(30, 31));
+        assert!(!sack.push(40, 41), "fifth block is dropped, not stored");
+        assert_eq!(sack.len(), MAX_SACK_BLOCKS);
+        assert!(sack.contains(5) && sack.contains(6) && !sack.contains(7));
+        assert!(sack.contains(19) && !sack.contains(20));
+        assert!(!sack.contains(40), "overflowed block is not advertised");
+        assert_eq!(sack.highest(), Some(30));
+        assert_eq!(
+            sack.iter().collect::<Vec<_>>(),
+            vec![(5, 7), (9, 10), (12, 20), (30, 31)]
+        );
+
+        let pkt = sack_packet(3, sack);
+        assert!(pkt.is_ack());
+        match pkt.header.kind {
+            PayloadKind::Ack { cumulative, sack } => {
+                assert_eq!(cumulative, 3);
+                assert_eq!(sack.len(), MAX_SACK_BLOCKS);
+            }
+            _ => panic!("expected ack"),
+        }
     }
 }

@@ -1,33 +1,56 @@
-//! Sender-side reliability: sequence numbers, cumulative acks, go-back-N
-//! retransmission with an exponential-backoff retry budget.
+//! Sender-side reliability: sequence numbers, cumulative acks with SACK
+//! blocks, and mode-selected retransmission — selective repeat (default)
+//! or go-back-N (the A/B baseline).
 //!
-//! The receive side ([`crate::nic::RecvNic`]) accepts sequenced packets
-//! only in order, discards duplicates and gaps, and returns cumulative
-//! acknowledgements. [`ReliableSender`] is the matching sender half: it
-//! stamps outgoing packets with consecutive sequence numbers, keeps the
-//! unacknowledged window, and — when an ack fails to arrive within a
-//! timeout — retransmits the whole window (go-back-N), doubling the
-//! timeout each attempt until a retry budget is exhausted.
+//! The receive side ([`crate::nic::RecvNic`]) delivers sequenced packets
+//! strictly in order, discards duplicates, and returns cumulative
+//! acknowledgements; under selective repeat it additionally stages
+//! out-of-order packets and advertises the staged runs as SACK blocks.
+//! [`ReliableSender`] is the matching sender half: it stamps outgoing
+//! packets with consecutive sequence numbers and keeps the
+//! unacknowledged window. In [`ReliabilityMode::GoBackN`] a timeout
+//! retransmits the whole window; in [`ReliabilityMode::SelectiveRepeat`]
+//! SACKed packets are never resent — holes below the highest SACKed
+//! sequence are fast-retransmitted (at most once per timeout epoch) and a
+//! timeout resends only the still-unSACKed packets.
+//!
+//! The retransmit timer follows the smoothed round-trip estimate: packets
+//! acknowledged without ever being retransmitted contribute RTT samples
+//! (Karn's rule), the timeout is `srtt + 4·rttvar` (floored at the
+//! configured base), doubles on each silent timeout, and — the decay half
+//! of the schedule — snaps back to the estimate the moment an ack makes
+//! progress, instead of staying pinned at the grown value. The unacked
+//! window is sized adaptively (AIMD): it halves on timeout and reopens by
+//! one on each ack that advances the cumulative edge, up to the
+//! configured cap ([`ReliableSender::set_window_limit`]).
 //!
 //! Together the two halves guarantee the property the chaos oracle
 //! checks: the receiver stages sequenced packets in exactly the order
 //! they were sent, no matter what the faulty wire dropped, duplicated,
 //! reordered or delayed. Message handles — and therefore every matching
-//! outcome — are identical to a fault-free run.
+//! outcome — are identical to a fault-free run in both modes.
 //!
 //! Time is virtual: the "clock" is the number of [`ReliableSender::poll`]
 //! calls, mirroring the NIC's poll-driven delivery clock, so tests are
 //! deterministic and never sleep.
 
 use crate::obs::ServiceMetrics;
-use crate::rdma::{ack_packet, PayloadKind, QueuePair, RdmaError, WirePacket};
+use crate::rdma::{sack_packet, PayloadKind, QueuePair, RdmaError, SackBlocks, WirePacket};
+use otm_base::ReliabilityMode;
 use std::collections::VecDeque;
 
-/// Default number of polls without progress before the first retransmit.
+/// Default number of polls without progress before the first retransmit
+/// (also the floor of the RTT-driven timeout).
 pub const DEFAULT_TIMEOUT_POLLS: u64 = 8;
 
 /// Default cap on consecutive retransmit attempts for one window.
 pub const DEFAULT_MAX_RETRIES: u32 = 16;
+
+/// Default ceiling on packets in flight (the adaptive window's cap).
+pub const DEFAULT_WINDOW_LIMIT: usize = 64;
+
+/// The adaptive window never shrinks below this many packets.
+pub const MIN_WINDOW_LIMIT: usize = 4;
 
 /// Ceiling on the exponentially growing timeout, in polls.
 const MAX_TIMEOUT_POLLS: u64 = 1 << 20;
@@ -66,64 +89,124 @@ impl std::error::Error for ReliabilityError {}
 pub struct ReliabilityStats {
     /// Data packets sent for the first time.
     pub sent: u64,
-    /// Packets retransmitted by go-back-N window resends.
+    /// Packets retransmitted (timeout resends and fast retransmits).
     pub retransmits: u64,
-    /// Window resend events (each may retransmit several packets).
+    /// Resend events — timeouts or fast-retransmit bursts, each of which
+    /// may retransmit several packets.
     pub resend_events: u64,
+    /// Packets fast-retransmitted because a SACK exposed them as holes
+    /// (a subset of `retransmits`; selective repeat only).
+    pub fast_retransmits: u64,
     /// Cumulative acknowledgements consumed.
     pub acks: u64,
     /// Total polls spent backing off (the virtual-time analogue of
     /// exponential-backoff delay).
     pub backoff_polls: u64,
+    /// RTT samples folded into the smoothed estimate (Karn-filtered:
+    /// only packets acknowledged without ever being retransmitted).
+    pub rtt_samples: u64,
 }
 
-/// The sender half of the go-back-N reliability protocol.
+/// One unacknowledged packet in flight.
+#[derive(Debug)]
+struct Inflight {
+    seq: u64,
+    packet: WirePacket,
+    /// Covered by a SACK block: the receiver holds it, never resend.
+    sacked: bool,
+    /// Already fast-retransmitted in the current timeout epoch.
+    fast_retx: bool,
+    /// Times this packet was retransmitted (0 = only the original send).
+    retx: u32,
+    /// Virtual-time clock value of the last transmission.
+    sent_at: u64,
+}
+
+/// The sender half of the reliability protocol.
 ///
 /// Wraps one [`QueuePair`] endpoint. Application packets go out through
 /// [`ReliableSender::send`], which stamps them with the next sequence
-/// number and keeps a copy in the unacked window. [`ReliableSender::poll`]
-/// consumes incoming acks, returns any non-ack packets to the caller (the
-/// reverse direction may carry application traffic, as the ping-pong
-/// harness does), and drives the retransmit timer.
+/// number and keeps a copy in the unacked window ([`ReliableSender::can_send`]
+/// tells the caller when the adaptive window has room).
+/// [`ReliableSender::poll`] consumes incoming acks, returns any non-ack
+/// packets to the caller (the reverse direction may carry application
+/// traffic, as the ping-pong harness does), and drives the retransmit
+/// timer.
 #[derive(Debug)]
 pub struct ReliableSender {
     qp: QueuePair,
+    mode: ReliabilityMode,
     next_seq: u64,
-    /// Every sequenced packet `<= cumulative` ack received so far.
+    /// Every sequenced packet `< cumulative` ack received so far.
     acked: u64,
-    window: VecDeque<(u64, WirePacket)>,
+    window: VecDeque<Inflight>,
+    /// Virtual time: the number of `poll` calls so far.
+    clock: u64,
     timeout_polls: u64,
     base_timeout: u64,
+    /// Smoothed RTT estimate in polls (None until the first sample).
+    srtt: Option<u64>,
+    /// Smoothed RTT variance in polls.
+    rttvar: u64,
     polls_since_progress: u64,
     retries: u32,
     max_retries: u32,
+    /// Configured ceiling on packets in flight.
+    window_cap: usize,
+    /// Adaptive in-flight limit (AIMD under selective repeat; pinned to
+    /// `window_cap` under go-back-N).
+    cwnd: usize,
     stats: ReliabilityStats,
     metrics: Option<ServiceMetrics>,
 }
 
 impl ReliableSender {
-    /// Wraps `qp` with the default timeout and retry budget.
+    /// Wraps `qp` with the default timeout and retry budget, in the
+    /// default [`ReliabilityMode`].
     pub fn new(qp: QueuePair) -> Self {
         Self::with_limits(qp, DEFAULT_TIMEOUT_POLLS, DEFAULT_MAX_RETRIES)
     }
 
     /// Wraps `qp` with an explicit base timeout (polls before the first
-    /// retransmit) and retry budget.
+    /// retransmit; also the RTT-driven timeout's floor) and retry budget.
     pub fn with_limits(qp: QueuePair, timeout_polls: u64, max_retries: u32) -> Self {
         let timeout_polls = timeout_polls.max(1);
         ReliableSender {
             qp,
+            mode: ReliabilityMode::default(),
             next_seq: 0,
             acked: 0,
             window: VecDeque::new(),
+            clock: 0,
             timeout_polls,
             base_timeout: timeout_polls,
+            srtt: None,
+            rttvar: 0,
             polls_since_progress: 0,
             retries: 0,
             max_retries,
+            window_cap: DEFAULT_WINDOW_LIMIT,
+            cwnd: DEFAULT_WINDOW_LIMIT,
             stats: ReliabilityStats::default(),
             metrics: None,
         }
+    }
+
+    /// Selects the retransmission strategy. Switch before sending — a
+    /// mid-stream switch leaves SACK state half-applied.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReliabilityMode) -> Self {
+        debug_assert!(
+            self.window.is_empty(),
+            "switch reliability modes before traffic starts"
+        );
+        self.mode = mode;
+        self
+    }
+
+    /// The configured retransmission strategy.
+    pub fn mode(&self) -> ReliabilityMode {
+        self.mode
     }
 
     /// Attaches a metrics handle so retransmits, acks and backoff show up
@@ -133,52 +216,198 @@ impl ReliableSender {
     }
 
     /// Sends one packet reliably: stamps it with the next sequence number,
-    /// stores it in the unacked window, transmits.
+    /// stores it in the unacked window, transmits. The caller is expected
+    /// to gate on [`ReliableSender::can_send`]; sending past the adaptive
+    /// window is allowed but forfeits its loss-avoidance.
     pub fn send(&mut self, packet: WirePacket) -> Result<(), ReliabilityError> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let packet = packet.with_seq(seq);
-        self.window.push_back((seq, packet.clone()));
+        self.window.push_back(Inflight {
+            seq,
+            packet: packet.clone(),
+            sacked: false,
+            fast_retx: false,
+            retx: 0,
+            sent_at: self.clock,
+        });
         self.stats.sent += 1;
         self.qp.send(packet).map_err(ReliabilityError::Rdma)
     }
 
-    /// Drives the protocol one step: consumes acks, advances the window,
-    /// and retransmits on timeout. Returns any non-ack packets that
-    /// arrived on the reverse direction — they belong to the application.
+    /// Whether the adaptive window has room for another `send`.
+    pub fn can_send(&self) -> bool {
+        self.window.len() < self.cwnd
+    }
+
+    /// The current adaptive in-flight limit.
+    pub fn window_limit(&self) -> usize {
+        self.cwnd
+    }
+
+    /// Sets the ceiling on packets in flight (e.g. from the feedback
+    /// controller's hint). The adaptive limit is clamped into the new cap
+    /// and can reopen up to it; under go-back-N the limit is pinned to
+    /// the cap directly.
+    pub fn set_window_limit(&mut self, cap: usize) {
+        let cap = cap.max(MIN_WINDOW_LIMIT);
+        self.window_cap = cap;
+        self.cwnd = match self.mode {
+            ReliabilityMode::GoBackN => cap,
+            ReliabilityMode::SelectiveRepeat => self.cwnd.min(cap),
+        };
+    }
+
+    /// The smoothed RTT estimate in polls, once a sample exists.
+    pub fn srtt_polls(&self) -> Option<u64> {
+        self.srtt
+    }
+
+    /// The configured base timeout (the RTT-driven timeout's floor).
+    pub fn base_timeout(&self) -> u64 {
+        self.base_timeout
+    }
+
+    /// The current retransmit timeout in polls (diagnostics; regression
+    /// tests assert the post-recovery decay).
+    pub fn current_timeout_polls(&self) -> u64 {
+        self.timeout_polls
+    }
+
+    /// Folds one Karn-eligible RTT sample into the smoothed estimate.
+    fn observe_rtt(&mut self, sample: u64) {
+        let sample = sample.max(1);
+        self.stats.rtt_samples += 1;
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = (sample / 2).max(1);
+            }
+            Some(srtt) => {
+                self.rttvar = (3 * self.rttvar + srtt.abs_diff(sample)) / 4;
+                self.srtt = Some((7 * srtt + sample) / 8);
+            }
+        }
+    }
+
+    /// The RTT-driven retransmit timeout: `srtt + 4·rttvar`, floored at
+    /// the configured base and capped at the backoff ceiling. Before any
+    /// sample exists this is just the base timeout.
+    fn rto(&self) -> u64 {
+        match self.srtt {
+            None => self.base_timeout,
+            Some(srtt) => {
+                (srtt + (4 * self.rttvar).max(1)).clamp(self.base_timeout, MAX_TIMEOUT_POLLS)
+            }
+        }
+    }
+
+    /// Drives the protocol one step: consumes acks (cumulative edge +
+    /// SACK blocks), fast-retransmits exposed holes, and retransmits on
+    /// timeout. Returns any non-ack packets that arrived on the reverse
+    /// direction — they belong to the application.
     pub fn poll(&mut self) -> Result<Vec<WirePacket>, ReliabilityError> {
+        self.clock += 1;
         let mut app_packets = Vec::new();
+        let mut progressed = false;
         loop {
             match self.qp.try_recv().map_err(ReliabilityError::Rdma)? {
                 None => break,
                 Some(packet) => match packet.header.kind {
-                    PayloadKind::Ack { cumulative } => {
+                    PayloadKind::Ack { cumulative, sack } => {
                         self.stats.acks += 1;
                         if let Some(m) = &self.metrics {
                             m.count_ack();
                         }
                         if cumulative > self.acked {
                             self.acked = cumulative;
-                            while self
-                                .window
-                                .front()
-                                .is_some_and(|&(seq, _)| seq < cumulative)
-                            {
-                                self.window.pop_front();
+                            while self.window.front().is_some_and(|e| e.seq < cumulative) {
+                                let e = self.window.pop_front().expect("front checked");
+                                // Karn's rule: only never-retransmitted
+                                // packets yield unambiguous RTT samples.
+                                if e.retx == 0 {
+                                    let sample = self.clock.saturating_sub(e.sent_at);
+                                    self.observe_rtt(sample);
+                                }
                             }
-                            // Progress: the backoff schedule resets.
-                            self.polls_since_progress = 0;
-                            self.retries = 0;
-                            self.timeout_polls = self.base_timeout;
+                            progressed = true;
+                        }
+                        if self.mode == ReliabilityMode::SelectiveRepeat && !sack.is_empty() {
+                            let clock = self.clock;
+                            let mut samples = Vec::new();
+                            for e in &mut self.window {
+                                if !e.sacked && sack.contains(e.seq) {
+                                    e.sacked = true;
+                                    // Freshly-SACKed never-retransmitted
+                                    // packets are Karn-eligible too.
+                                    if e.retx == 0 {
+                                        samples.push(clock.saturating_sub(e.sent_at));
+                                    }
+                                }
+                            }
+                            for sample in samples {
+                                self.observe_rtt(sample);
+                            }
                         }
                     }
                     _ => app_packets.push(packet),
                 },
             }
         }
+        if progressed {
+            // Progress: the backoff schedule decays back to the smoothed
+            // estimate instead of staying pinned at the grown timeout,
+            // and the adaptive window reopens by one.
+            self.polls_since_progress = 0;
+            self.retries = 0;
+            self.timeout_polls = self.rto();
+            if self.mode == ReliabilityMode::SelectiveRepeat {
+                self.cwnd = (self.cwnd + 1).min(self.window_cap);
+            }
+        }
         if self.window.is_empty() {
             self.polls_since_progress = 0;
             return Ok(app_packets);
+        }
+        // Fast retransmit (selective repeat): a SACKed packet above an
+        // unSACKed one is evidence the hole was lost, not delayed —
+        // resend it now, at most once per timeout epoch.
+        if self.mode == ReliabilityMode::SelectiveRepeat {
+            let highest_sacked = self.window.iter().filter(|e| e.sacked).map(|e| e.seq).max();
+            if let Some(h) = highest_sacked {
+                let mut resent = 0u64;
+                let clock = self.clock;
+                for e in &mut self.window {
+                    if e.seq >= h {
+                        break;
+                    }
+                    if e.sacked || e.fast_retx {
+                        continue;
+                    }
+                    self.qp
+                        .send(e.packet.clone())
+                        .map_err(ReliabilityError::Rdma)?;
+                    e.fast_retx = true;
+                    e.retx += 1;
+                    e.sent_at = clock;
+                    resent += 1;
+                    if let Some(m) = &self.metrics {
+                        m.span_retransmitted(e.seq, e.retx);
+                    }
+                }
+                if resent > 0 {
+                    self.stats.retransmits += resent;
+                    self.stats.fast_retransmits += resent;
+                    self.stats.resend_events += 1;
+                    if let Some(m) = &self.metrics {
+                        m.add_retransmits(resent);
+                    }
+                    // Give the retransmit a full timeout to land before
+                    // escalating to a blanket resend.
+                    self.polls_since_progress = 0;
+                    return Ok(app_packets);
+                }
+            }
         }
         self.polls_since_progress += 1;
         self.stats.backoff_polls += 1;
@@ -189,17 +418,27 @@ impl ReliableSender {
                     unacked: self.window.len(),
                 });
             }
-            // Go-back-N: resend the whole unacked window in order and
-            // double the timeout for the next attempt.
-            let resent = self.window.len() as u64;
-            for &(seq, ref packet) in &self.window {
+            // Timeout resend: the whole window under go-back-N, only the
+            // unSACKed holes under selective repeat. The timeout doubles
+            // for the next attempt and the adaptive window halves.
+            let mut resent = 0u64;
+            let clock = self.clock;
+            for e in &mut self.window {
+                if self.mode == ReliabilityMode::SelectiveRepeat && e.sacked {
+                    continue;
+                }
                 self.qp
-                    .send(packet.clone())
+                    .send(e.packet.clone())
                     .map_err(ReliabilityError::Rdma)?;
+                e.retx += 1;
+                e.sent_at = clock;
+                // The timeout resend supersedes fast retransmit: the
+                // standing SACK evidence has already been acted on twice,
+                // so further recovery is the backoff schedule's job.
+                e.fast_retx = true;
+                resent += 1;
                 if let Some(m) = &self.metrics {
-                    // Span subject = wire sequence number; the attempt index
-                    // is 1-based (attempt 1 is the first resend).
-                    m.span_retransmitted(seq, self.retries + 1);
+                    m.span_retransmitted(e.seq, e.retx);
                 }
             }
             self.stats.retransmits += resent;
@@ -211,6 +450,9 @@ impl ReliableSender {
             self.retries += 1;
             self.polls_since_progress = 0;
             self.timeout_polls = (self.timeout_polls * 2).min(MAX_TIMEOUT_POLLS);
+            if self.mode == ReliabilityMode::SelectiveRepeat {
+                self.cwnd = (self.cwnd / 2).max(MIN_WINDOW_LIMIT);
+            }
         }
         Ok(app_packets)
     }
@@ -234,7 +476,8 @@ impl ReliableSender {
         }
     }
 
-    /// Packets sent but not yet cumulatively acknowledged.
+    /// Packets sent but not yet cumulatively acknowledged (SACKed packets
+    /// still count until the cumulative edge passes them).
     pub fn unacked(&self) -> usize {
         self.window.len()
     }
@@ -256,20 +499,38 @@ impl ReliableSender {
     }
 }
 
-/// Builds the ack the receive side owes its peer and sends it on `qp`,
-/// ignoring disconnection (an unreachable peer cannot use the ack anyway).
-pub(crate) fn send_ack_best_effort(qp: &QueuePair, cumulative: u64) {
-    let _ = qp.send(ack_packet(cumulative));
+/// Builds the ack the receive side owes its peer — cumulative edge plus
+/// SACK blocks for staged runs — and sends it on `qp`, ignoring
+/// disconnection (an unreachable peer cannot use the ack anyway).
+pub(crate) fn send_sack_best_effort(qp: &QueuePair, cumulative: u64, sack: SackBlocks) {
+    let _ = qp.send(sack_packet(cumulative, sack));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rdma::{connected_pair, eager_packet};
+    use crate::rdma::{ack_packet, connected_pair, eager_packet};
     use otm_base::{Envelope, Rank, Tag};
 
     fn env(tag: u32) -> Envelope {
         Envelope::world(Rank(0), Tag(tag))
+    }
+
+    fn sack(blocks: &[(u64, u64)]) -> SackBlocks {
+        let mut s = SackBlocks::empty();
+        for &(start, end) in blocks {
+            assert!(s.push(start, end));
+        }
+        s
+    }
+
+    /// Drains and returns the sequence numbers currently on the wire.
+    fn drain_seqs(qp: &QueuePair) -> Vec<u64> {
+        let mut seqs = Vec::new();
+        while let Some(p) = qp.try_recv().unwrap() {
+            seqs.push(p.seq.expect("sequenced"));
+        }
+        seqs
     }
 
     #[test]
@@ -311,7 +572,7 @@ mod tests {
         s.poll().unwrap();
         s.poll().unwrap(); // second silent poll hits the timeout
         assert_eq!(s.stats().resend_events, 1);
-        assert_eq!(s.stats().retransmits, 2, "go-back-N resends the window");
+        assert_eq!(s.stats().retransmits, 2, "nothing SACKed: full resend");
         assert_eq!(b.try_recv().unwrap().unwrap().seq, Some(0));
         assert_eq!(b.try_recv().unwrap().unwrap().seq, Some(1));
     }
@@ -333,6 +594,152 @@ mod tests {
         s.send(eager_packet(env(1), vec![])).unwrap();
         s.poll().unwrap();
         assert_eq!(s.stats().resend_events, 3, "base timeout again after reset");
+    }
+
+    #[test]
+    fn sacked_packets_are_never_resent_and_holes_go_fast() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 4, 8);
+        for i in 0..3 {
+            s.send(eager_packet(env(i), vec![])).unwrap();
+        }
+        assert_eq!(drain_seqs(&b), vec![0, 1, 2]);
+        // The receiver holds 1 and 2, the hole is 0.
+        b.send(crate::rdma::sack_packet(0, sack(&[(1, 3)])))
+            .unwrap();
+        s.poll().unwrap();
+        assert_eq!(drain_seqs(&b), vec![0], "only the hole is retransmitted");
+        let st = s.stats();
+        assert_eq!(st.fast_retransmits, 1);
+        assert_eq!(st.retransmits, 1);
+        assert_eq!(st.resend_events, 1);
+        // The retransmit lands; the cumulative edge releases everything.
+        b.send(ack_packet(3)).unwrap();
+        s.poll().unwrap();
+        assert_eq!(s.unacked(), 0);
+    }
+
+    #[test]
+    fn fast_retransmit_fires_once_per_timeout_epoch() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 3, 8);
+        for i in 0..2 {
+            s.send(eager_packet(env(i), vec![])).unwrap();
+        }
+        drain_seqs(&b);
+        b.send(crate::rdma::sack_packet(0, sack(&[(1, 2)])))
+            .unwrap();
+        s.poll().unwrap();
+        assert_eq!(drain_seqs(&b), vec![0], "hole fast-retransmitted");
+        // Duplicate SACKs must not trigger another fast retransmit.
+        b.send(crate::rdma::sack_packet(0, sack(&[(1, 2)])))
+            .unwrap();
+        s.poll().unwrap();
+        assert_eq!(drain_seqs(&b), vec![], "same epoch: no second fast retx");
+        // The timeout epoch rolls over: the still-missing hole is resent
+        // (selectively — the SACKed packet stays out of it), and the
+        // standing SACK evidence does not re-trigger a fast retransmit
+        // behind the timeout resend.
+        s.poll().unwrap();
+        s.poll().unwrap();
+        s.poll().unwrap();
+        assert_eq!(drain_seqs(&b), vec![0], "timeout resends only the hole");
+        s.poll().unwrap();
+        assert_eq!(drain_seqs(&b), vec![], "no fast retx echo after timeout");
+        assert_eq!(s.stats().retransmits, 2);
+        assert_eq!(s.stats().fast_retransmits, 1);
+    }
+
+    #[test]
+    fn goback_n_mode_ignores_sack_and_resends_the_window() {
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 2, 8).with_mode(ReliabilityMode::GoBackN);
+        for i in 0..3 {
+            s.send(eager_packet(env(i), vec![])).unwrap();
+        }
+        drain_seqs(&b);
+        b.send(crate::rdma::sack_packet(0, sack(&[(1, 3)])))
+            .unwrap();
+        s.poll().unwrap();
+        assert_eq!(drain_seqs(&b), vec![], "go-back-N has no fast retransmit");
+        s.poll().unwrap(); // timeout
+        assert_eq!(
+            drain_seqs(&b),
+            vec![0, 1, 2],
+            "blanket resend despite the SACK"
+        );
+        assert_eq!(s.stats().fast_retransmits, 0);
+    }
+
+    #[test]
+    fn timeout_decays_to_the_rtt_estimate_after_recovery() {
+        // Satellite regression: burst-drop grows the timeout; once the
+        // wire turns clean, the next ack snaps it back to the smoothed
+        // estimate instead of leaving it pinned at the doubled value.
+        let (a, b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 2, 30);
+        // Clean exchange: establish a ~1-poll RTT sample.
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        b.send(ack_packet(1)).unwrap();
+        s.poll().unwrap();
+        assert_eq!(s.unacked(), 0);
+        assert!(s.srtt_polls().is_some(), "clean ack produced a sample");
+        // Burst loss: silence doubles the timeout repeatedly.
+        s.send(eager_packet(env(1), vec![])).unwrap();
+        for _ in 0..14 {
+            s.poll().unwrap();
+        }
+        let grown = s.current_timeout_polls();
+        assert!(grown >= 8, "backoff must have grown (got {grown})");
+        // The wire recovers: one ack and the timeout decays.
+        b.send(ack_packet(2)).unwrap();
+        s.poll().unwrap();
+        let decayed = s.current_timeout_polls();
+        assert!(
+            decayed < grown,
+            "timeout must decay after progress ({decayed} !< {grown})"
+        );
+        assert!(
+            decayed <= s.srtt_polls().unwrap() * 4 + s.base_timeout(),
+            "decayed timeout tracks the RTT estimate, not the backoff"
+        );
+    }
+
+    #[test]
+    fn adaptive_window_halves_on_timeout_and_reopens_on_progress() {
+        let (a, b) = connected_pair();
+        // Base timeout of 4 so a progress poll is never also a timeout
+        // poll (with a 1-poll timeout the two races obscure the window
+        // dynamics under test).
+        let mut s = ReliableSender::with_limits(a, 4, 30);
+        s.set_window_limit(8);
+        assert_eq!(s.window_limit(), 8);
+        for i in 0..8 {
+            s.send(eager_packet(env(i), vec![])).unwrap();
+        }
+        assert!(!s.can_send(), "window full");
+        for _ in 0..4 {
+            s.poll().unwrap(); // silence → timeout → multiplicative decrease
+        }
+        assert_eq!(s.window_limit(), 4);
+        // Each cumulative advance reopens the window additively.
+        for k in 1..=4u64 {
+            b.send(ack_packet(2 * k)).unwrap();
+            s.poll().unwrap();
+        }
+        assert_eq!(s.unacked(), 0);
+        assert_eq!(s.window_limit(), 8, "reopened up to the cap");
+        assert!(s.can_send());
+    }
+
+    #[test]
+    fn goback_n_window_is_static() {
+        let (a, _b) = connected_pair();
+        let mut s = ReliableSender::with_limits(a, 1, 30).with_mode(ReliabilityMode::GoBackN);
+        s.set_window_limit(8);
+        s.send(eager_packet(env(0), vec![])).unwrap();
+        s.poll().unwrap(); // timeout resend
+        assert_eq!(s.window_limit(), 8, "go-back-N keeps the configured cap");
     }
 
     #[cfg(feature = "trace-events")]

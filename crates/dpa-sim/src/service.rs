@@ -202,6 +202,12 @@ pub struct MatchingService {
     /// the combined registry at a fixed poll cadence.
     #[cfg(feature = "metrics")]
     series: Option<otm_metrics::SeriesRecorder>,
+    /// Self-tuning feedback controller, when a caller attached one: ticks
+    /// at its own poll cadence, observing registry deltas and actuating
+    /// the drain-retry budget, the engine's packing knobs, and the
+    /// published reliability-window hint.
+    #[cfg(feature = "metrics")]
+    controller: Option<crate::control::FeedbackController>,
 }
 
 /// Default number of in-call retries for a retryable drain error before the
@@ -234,6 +240,8 @@ impl MatchingService {
             polls: 0,
             #[cfg(feature = "metrics")]
             series: None,
+            #[cfg(feature = "metrics")]
+            controller: None,
         }
     }
 
@@ -359,6 +367,43 @@ impl MatchingService {
     #[cfg(feature = "metrics")]
     pub fn take_series(&mut self) -> Option<otm_metrics::SeriesRecorder> {
         self.series.take()
+    }
+
+    /// Attaches the self-tuning feedback controller. Every
+    /// `interval_polls` calls of [`MatchingService::progress`], the
+    /// controller differences the combined registry snapshot against the
+    /// previous interval and actuates its knobs: the drain-retry budget
+    /// and the engine's packing policy/window are applied directly, and
+    /// the reliability-window hint is published through
+    /// [`MatchingService::reliability_window_hint`] for the harness that
+    /// owns the [`crate::ReliableSender`]. Every applied movement is
+    /// counted in `dpa_knob_changes_total` and stamped as a
+    /// `knob_changed` span.
+    #[cfg(feature = "metrics")]
+    pub fn attach_controller(&mut self, controller: crate::control::FeedbackController) {
+        self.controller = Some(controller);
+    }
+
+    /// The attached controller, if any.
+    #[cfg(feature = "metrics")]
+    pub fn controller(&self) -> Option<&crate::control::FeedbackController> {
+        self.controller.as_ref()
+    }
+
+    /// Detaches and returns the feedback controller, if one was attached.
+    #[cfg(feature = "metrics")]
+    pub fn take_controller(&mut self) -> Option<crate::control::FeedbackController> {
+        self.controller.take()
+    }
+
+    /// The controller's current reliability-window hint, when a controller
+    /// is attached. The service does not own the sender side of the
+    /// reliability protocol, so the harness driving both applies this to
+    /// its [`crate::ReliableSender`] with `set_window_limit` after each
+    /// poll.
+    #[cfg(feature = "metrics")]
+    pub fn reliability_window_hint(&self) -> Option<usize> {
+        self.controller.as_ref().map(|c| c.window_hint())
     }
 
     /// Forces one terminal series sample at the current virtual time, so
@@ -684,7 +729,88 @@ impl MatchingService {
                 series.sample(self.polls, depth, &snap);
             }
         }
+        #[cfg(feature = "metrics")]
+        self.run_controller();
         Ok(done)
+    }
+
+    /// One controller interval: observe the combined registry, tick the
+    /// controller, apply what it decided. Runs at the controller's own
+    /// poll cadence; a no-op when no controller is attached.
+    #[cfg(feature = "metrics")]
+    fn run_controller(&mut self) {
+        let due = self
+            .controller
+            .as_ref()
+            .is_some_and(|c| self.polls % c.interval_polls().max(1) == 0);
+        if !due {
+            return;
+        }
+        let snap = self.observability_snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let occupancy = snap.hists.get("otm_block_occupancy");
+        // A lane is active when its current-depth gauge is nonzero; the
+        // peak gauges are excluded so a historically busy lane does not
+        // keep cross-communicator packing pinned on.
+        let active_lanes = snap
+            .gauges
+            .iter()
+            .filter(|(name, depth)| name.starts_with("otm_drain_lane_depth{") && **depth > 0)
+            .count() as u64;
+        let obs = crate::control::Observation {
+            polls: self.polls,
+            retransmits: counter("dpa_retransmits_total"),
+            acks: counter("dpa_acks_total"),
+            ring_backpressure: counter("dpa_ring_backpressure_total"),
+            drain_retries: counter("dpa_drain_retries_total"),
+            backlog: (self.nic.cq_len() + self.unexpected.len()) as u64,
+            occupancy_sum: occupancy.map_or(0, |h| h.sum),
+            occupancy_count: occupancy.map_or(0, |h| h.count),
+            active_lanes,
+            block_capacity: self.backend.block_size() as u64,
+        };
+        let configured_window = self
+            .backend
+            .as_any()
+            .downcast_ref::<OtmEngine>()
+            .map(|e| e.configured_packing_window() as u64);
+        let controller = self.controller.as_mut().expect("checked due above");
+        if let Some(w) = configured_window {
+            controller.set_default_packing_window(w);
+        }
+        let actions = controller.tick(obs);
+        for action in actions {
+            match action {
+                crate::control::Action::ReliabilityWindow { from, to } => {
+                    // The hint is published (the harness owns the sender);
+                    // the span still marks the decision point.
+                    self.metrics
+                        .knob_changed(otm_metrics::KnobKind::ReliabilityWindow, from, to);
+                }
+                crate::control::Action::DrainRetryBudget { from, to } => {
+                    self.retry_budget = to as u32;
+                    self.metrics
+                        .knob_changed(otm_metrics::KnobKind::DrainRetryBudget, from, to);
+                }
+                crate::control::Action::PackingPolicy { from, to } => {
+                    if let Some(engine) = self.backend.as_any().downcast_ref::<OtmEngine>() {
+                        engine.set_packing_override(Some(to));
+                    }
+                    self.metrics.knob_changed(
+                        otm_metrics::KnobKind::PackingPolicy,
+                        crate::control::encode_packing(from),
+                        crate::control::encode_packing(to),
+                    );
+                }
+                crate::control::Action::PackingWindow { from, to } => {
+                    if let Some(engine) = self.backend.as_any().downcast_ref::<OtmEngine>() {
+                        engine.set_packing_window_override(to as usize);
+                    }
+                    self.metrics
+                        .knob_changed(otm_metrics::KnobKind::PackingWindow, from, to);
+                }
+            }
+        }
     }
 
     /// The command-queue arrival path: stage every completion's payload
@@ -730,7 +856,10 @@ impl MatchingService {
     fn submit_arrival(&mut self, env: Envelope, msg: MsgHandle) -> Result<(), ServiceError> {
         let mut attempt: u32 = 0;
         loop {
-            match self.backend.submit_command(PendingCommand::Arrival { env, msg }) {
+            match self
+                .backend
+                .submit_command(PendingCommand::Arrival { env, msg })
+            {
                 Ok(()) => return Ok(()),
                 Err(MatchError::SubmissionRingFull { .. }) if attempt <= self.retry_budget => {
                     attempt += 1;
@@ -1855,5 +1984,43 @@ mod tests {
             );
             assert_eq!(snap.counters["dpa_fallback_escalations_total"], 1);
         }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn attached_controller_actuates_packing_and_counts_knob_changes() {
+        use crate::control::{ControllerConfig, FeedbackController};
+        use otm_base::PackingPolicy;
+
+        let (tx, _domain, mut svc) = setup("otm");
+        let config = ControllerConfig {
+            interval_polls: 1,
+            ..ControllerConfig::default()
+        };
+        svc.attach_controller(FeedbackController::new(
+            config,
+            crate::reliable::DEFAULT_WINDOW_LIMIT,
+            PackingPolicy::CrossComm,
+        ));
+        assert_eq!(
+            svc.reliability_window_hint(),
+            Some(crate::reliable::DEFAULT_WINDOW_LIMIT)
+        );
+        tx.send(eager_packet(env(0, 1), vec![1])).unwrap();
+        svc.progress().unwrap(); // priming interval: observe only
+        svc.progress().unwrap(); // second interval: zero active lanes pins Consecutive
+        assert_eq!(
+            svc.controller().unwrap().packing(),
+            PackingPolicy::Consecutive,
+            "an idle single-lane service should drop cross-comm packing"
+        );
+        let snap = svc.metrics().snapshot();
+        assert!(
+            snap.counters["dpa_knob_changes_total"] >= 1,
+            "the applied movement must be counted"
+        );
+        let controller = svc.take_controller().expect("controller attached");
+        assert!(controller.stats().knob_changes >= 1);
+        svc.progress().unwrap(); // detached: no further controller activity
     }
 }

@@ -47,8 +47,8 @@ pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Labels, Registry, RegistrySnapshot};
 pub use series::{tenant_sections_json, SeriesPoint, SeriesRecorder};
 pub use span::{
-    latency_by_path, spans_to_chrome_trace, spans_to_jsonl, MatchPath, SpanEvent, SpanKind,
-    SpanRecorder, MATCH_PATHS, RECV_SUBJECT_BIT,
+    latency_by_path, spans_to_chrome_trace, spans_to_jsonl, KnobKind, MatchPath, SpanEvent,
+    SpanKind, SpanRecorder, MATCH_PATHS, RECV_SUBJECT_BIT,
 };
 pub use trace::{EventKind, TraceEvent, TraceRing};
 

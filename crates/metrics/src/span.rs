@@ -114,6 +114,42 @@ pub enum SpanKind {
     },
     /// The message was migrated to software matching by a fallback.
     FellBack,
+    /// The feedback controller changed a runtime knob. Stamped on a
+    /// synthetic subject (the controller has no message identity) so every
+    /// actuation is reproducible from the trace alone.
+    KnobChanged {
+        /// Which knob moved.
+        knob: KnobKind,
+        /// Value before the change.
+        from: u64,
+        /// Value after the change.
+        to: u64,
+    },
+}
+
+/// The runtime knobs the feedback controller may actuate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobKind {
+    /// The reliability layer's unacked-window size hint.
+    ReliabilityWindow,
+    /// The service's inline drain-retry budget for ring backpressure.
+    DrainRetryBudget,
+    /// The drain packing policy (encoded 0 = consecutive, 1 = cross-comm).
+    PackingPolicy,
+    /// The drain packing-window override (0 = engine default).
+    PackingWindow,
+}
+
+impl KnobKind {
+    /// The `knob` label value used across artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            KnobKind::ReliabilityWindow => "reliability_window",
+            KnobKind::DrainRetryBudget => "drain_retry_budget",
+            KnobKind::PackingPolicy => "packing_policy",
+            KnobKind::PackingWindow => "packing_window",
+        }
+    }
 }
 
 impl SpanKind {
@@ -126,6 +162,7 @@ impl SpanKind {
             SpanKind::Matched { .. } => "matched",
             SpanKind::Retransmitted { .. } => "retransmitted",
             SpanKind::FellBack => "fell_back",
+            SpanKind::KnobChanged { .. } => "knob_changed",
         }
     }
 }
@@ -292,6 +329,11 @@ fn write_event_json(w: &mut JsonWriter, e: &SpanEvent) {
         }
         SpanKind::Matched { path } => w.field_str("path", path.label()),
         SpanKind::Retransmitted { attempt } => w.field_u64("attempt", attempt as u64),
+        SpanKind::KnobChanged { knob, from, to } => {
+            w.field_str("knob", knob.label());
+            w.field_u64("from", from);
+            w.field_u64("to", to);
+        }
         SpanKind::Posted | SpanKind::Enqueued | SpanKind::FellBack => {}
     }
     w.end_object();
@@ -343,6 +385,11 @@ pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
             }
             SpanKind::Matched { path } => w.field_str("path", path.label()),
             SpanKind::Retransmitted { attempt } => w.field_u64("attempt", attempt as u64),
+            SpanKind::KnobChanged { knob, from, to } => {
+                w.field_str("knob", knob.label());
+                w.field_u64("from", from);
+                w.field_u64("to", to);
+            }
             SpanKind::Posted | SpanKind::Enqueued | SpanKind::FellBack => {}
         }
         w.end_object();

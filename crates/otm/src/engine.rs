@@ -43,11 +43,12 @@ use mpi_matching::{
     ArriveResult, MatchStats, Matcher, MatchingBackend, MsgHandle, PostResult, RecvHandle,
 };
 use otm_base::{
-    ArrivalSeq, CommHints, CommId, Envelope, InlineHashes, MatchConfig, MatchError, ReceivePattern,
+    ArrivalSeq, CommHints, CommId, Envelope, InlineHashes, MatchConfig, MatchError, PackingPolicy,
+    ReceivePattern,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -76,6 +77,13 @@ pub struct OtmEngine {
     /// `process_block` calls against queue pops — while concurrent drains
     /// still cannot interleave their pops and break FIFO order.
     drain_gate: Mutex<()>,
+    /// Runtime packing-policy override (e.g. from a feedback controller):
+    /// 0 = none (use the configured policy), 1 = `Consecutive`,
+    /// 2 = `CrossComm`. Read at the top of every drain.
+    packing_override: AtomicU8,
+    /// Runtime packing-window override in commands (0 = the configured
+    /// default of `block_threads × 8`). Read at the top of every drain.
+    packing_window_override: AtomicUsize,
     workers: Vec<JoinHandle<()>>,
     stopped: AtomicBool,
 }
@@ -133,9 +141,61 @@ impl OtmEngine {
                 next_arrival: ArrivalSeq::ZERO,
             }),
             drain_gate: Mutex::new(()),
+            packing_override: AtomicU8::new(0),
+            packing_window_override: AtomicUsize::new(0),
             workers,
             stopped: AtomicBool::new(false),
         })
+    }
+
+    /// Overrides the packing policy for subsequent drains (`None` restores
+    /// the configured policy). Safe to call at any time: the override is
+    /// read once at the top of each drain, and both policies preserve
+    /// per-communicator FIFO order, so a mid-stream switch cannot violate
+    /// MPI matching order.
+    pub fn set_packing_override(&self, policy: Option<PackingPolicy>) {
+        let encoded = match policy {
+            None => 0,
+            Some(PackingPolicy::Consecutive) => 1,
+            Some(PackingPolicy::CrossComm) => 2,
+        };
+        self.packing_override.store(encoded, Ordering::Relaxed);
+    }
+
+    /// The active packing-policy override, if one is set.
+    pub fn packing_override(&self) -> Option<PackingPolicy> {
+        match self.packing_override.load(Ordering::Relaxed) {
+            1 => Some(PackingPolicy::Consecutive),
+            2 => Some(PackingPolicy::CrossComm),
+            _ => None,
+        }
+    }
+
+    /// The packing policy the next drain will use (override, else config).
+    pub fn effective_packing(&self) -> PackingPolicy {
+        self.packing_override().unwrap_or(self.config.packing)
+    }
+
+    /// Overrides the drain's staging-window depth in commands (0 restores
+    /// the configured default of `block_threads × 8`). Values below one
+    /// block are rounded up so blocks can still fill.
+    pub fn set_packing_window_override(&self, window: usize) {
+        self.packing_window_override
+            .store(window, Ordering::Relaxed);
+    }
+
+    /// The staging-window depth the next drain will use.
+    pub fn effective_packing_window(&self) -> usize {
+        match self.packing_window_override.load(Ordering::Relaxed) {
+            0 => self.configured_packing_window(),
+            w => w.max(self.config.block_threads),
+        }
+    }
+
+    /// The non-overridden staging-window depth (`block_threads × 8`,
+    /// floored at 32) — the baseline a controller widens from.
+    pub fn configured_packing_window(&self) -> usize {
+        self.config.block_threads.saturating_mul(8).max(32)
     }
 
     /// The engine's configuration.
@@ -360,11 +420,11 @@ impl OtmEngine {
         // lookahead to fuse arrival runs across lanes without hoarding
         // commands that a racing fallback drain would have to wait for.
         let chunk = self.config.block_threads.saturating_mul(4).max(16);
-        let window = self.config.block_threads.saturating_mul(8).max(32);
+        let window = self.effective_packing_window();
         // Bound the drain to what was queued at entry (racing submissions
         // land behind this count and belong to the next drain).
         let mut remaining = self.queue.len(&self.shards);
-        let mut sched = PackingScheduler::new(self.config.packing, self.config.block_threads)
+        let mut sched = PackingScheduler::new(self.effective_packing(), self.config.block_threads)
             .with_lane_quota(self.config.lane_quota);
         let mut outcomes: Vec<(u64, CommandOutcome)> = Vec::with_capacity(remaining);
         // Lanes whose depth gauge was set by the previous iteration: a lane
@@ -483,8 +543,7 @@ impl OtmEngine {
                 unapplied: Vec::new(),
             }
         } else {
-            let mut unapplied: Vec<Command> =
-                unprocessed.into_iter().map(|(_, cmd)| cmd).collect();
+            let mut unapplied: Vec<Command> = unprocessed.into_iter().map(|(_, cmd)| cmd).collect();
             unapplied.extend(
                 self.queue
                     .take_all(&self.shards)

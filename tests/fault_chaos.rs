@@ -11,8 +11,8 @@
 
 mod support;
 
-use otm_base::FaultPlan;
-use support::chaos::assert_chaos_equivalence;
+use otm_base::{FaultPlan, ReliabilityMode};
+use support::chaos::{assert_chaos_equivalence, assert_chaos_equivalence_mode};
 
 /// 15% drop + 15% duplicate + 15% reorder + 10% delay.
 fn hostile_plan(seed: u64) -> FaultPlan {
@@ -32,7 +32,7 @@ fn chaos_direct_path_matches_fault_free_run() {
     );
     assert!(
         evidence.retransmits > 0,
-        "drops must have forced go-back-N retransmissions"
+        "drops must have forced retransmissions"
     );
 }
 
@@ -71,4 +71,75 @@ fn chaos_with_bounded_fault_budget_quiesces() {
     let evidence = assert_chaos_equivalence(7, plan, 4, 16, true);
     assert!(evidence.injected_faults > 0);
     assert!(evidence.injected_faults <= 200, "the budget is a hard cap");
+}
+
+#[test]
+fn chaos_holds_in_both_reliability_modes_and_sr_retransmits_less() {
+    // The same pinned seeds under both ARQ modes: matched pairs must be
+    // identical to the fault-free run either way, and selective repeat —
+    // which resends only holes instead of the whole window — must recover
+    // from the identical fault schedule with strictly fewer retransmits.
+    let gbn = assert_chaos_equivalence_mode(
+        0x0dd5_eed,
+        hostile_plan(0xfa01),
+        6,
+        24,
+        true,
+        ReliabilityMode::GoBackN,
+        None,
+    );
+    let sr = assert_chaos_equivalence_mode(
+        0x0dd5_eed,
+        hostile_plan(0xfa01),
+        6,
+        24,
+        true,
+        ReliabilityMode::SelectiveRepeat,
+        None,
+    );
+    assert!(gbn.injected_faults > 0 && sr.injected_faults > 0);
+    assert_eq!(
+        gbn.staged_out_of_order, 0,
+        "go-back-N never stages out-of-order packets"
+    );
+    assert!(
+        sr.staged_out_of_order > 0,
+        "selective repeat must have exercised the staging buffer"
+    );
+    assert!(
+        sr.retransmits < gbn.retransmits,
+        "selective repeat must retransmit less than go-back-N on the same \
+         fault schedule ({} !< {})",
+        sr.retransmits,
+        gbn.retransmits
+    );
+}
+
+#[test]
+fn chaos_staging_buffer_survives_reorder_heavy_wire_across_windows() {
+    // Reorder-dominated faults (35% reorder, drops comparatively rare) are
+    // the staging buffer's worst case: long out-of-order runs park in the
+    // BTreeMap and drain in bursts when a hole fills. Sweep sender window
+    // caps so the buffer sees shallow and deep in-flight ranges; the
+    // matched pairs must stay identical in every configuration.
+    let plan = FaultPlan::new(0x5eed_0d3)
+        .with_drop_permille(60)
+        .with_duplicate_permille(100)
+        .with_reorder_permille(350)
+        .with_delay_permille(150);
+    for window in [4usize, 8, 16, 48] {
+        let evidence = assert_chaos_equivalence_mode(
+            0xc0ffee,
+            plan.clone(),
+            5,
+            20,
+            true,
+            ReliabilityMode::SelectiveRepeat,
+            Some(window),
+        );
+        assert!(
+            evidence.staged_out_of_order > 0,
+            "window {window}: the reorder-heavy wire must stage packets"
+        );
+    }
 }

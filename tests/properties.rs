@@ -405,23 +405,37 @@ proptest! {
 
     /// The chaos oracle over random seeds: a hostile wire (drops,
     /// duplicates, reorders and delays at 10%+ each, recovered by the
-    /// go-back-N reliability protocol) never changes a matched
-    /// (receive, message) pair relative to the fault-free run — on the
-    /// synchronous path and through the command-queue drain alike. A fault
-    /// budget keeps every case live; past it the wire is perfect.
+    /// reliability protocol) never changes a matched (receive, message)
+    /// pair relative to the fault-free run — on the synchronous path and
+    /// through the command-queue drain alike, under go-back-N and under
+    /// selective repeat, across sender window sizes, and with the reorder
+    /// rate cranked far above the drop rate (the regime where the staging
+    /// buffer does the most work). A fault budget keeps every case live;
+    /// past it the wire is perfect.
     #[test]
     fn chaos_faulty_wire_preserves_matched_pairs(
         workload_seed in any::<u64>(),
         fault_seed in any::<u64>(),
         queued in any::<bool>(),
+        selective in any::<bool>(),
+        reorder_heavy in any::<bool>(),
+        window in prop::option::of(4usize..48),
     ) {
+        let reorder = if reorder_heavy { 350 } else { 120 };
         let plan = otm_base::FaultPlan::new(fault_seed)
             .with_drop_permille(120)
             .with_duplicate_permille(120)
-            .with_reorder_permille(120)
+            .with_reorder_permille(reorder)
             .with_delay_permille(100)
             .with_max_faults(300);
-        support::chaos::assert_chaos_equivalence(workload_seed, plan, 3, 16, queued);
+        let mode = if selective {
+            otm_base::ReliabilityMode::SelectiveRepeat
+        } else {
+            otm_base::ReliabilityMode::GoBackN
+        };
+        support::chaos::assert_chaos_equivalence_mode(
+            workload_seed, plan, 3, 16, queued, mode, window,
+        );
     }
 
     /// `StatsSnapshot::merge` followed by `delta` recovers the merged-in
@@ -479,6 +493,7 @@ proptest! {
             MatchdConfig {
                 tenant: TenantConfig::default(),
                 deficit_cap_quanta: CAP_QUANTA,
+                ..MatchdConfig::default()
             },
         )
         .unwrap();

@@ -4,9 +4,13 @@
 //!
 //! The oracle: running a random multi-communicator post/send stream over a
 //! hostile wire (drops, duplicates, reorders, delays — recovered by the
-//! go-back-N reliability protocol) must produce *exactly* the matched
-//! (receive, message) pairs of the same stream over a perfect wire, plus
-//! the same residual unexpected-store population.
+//! reliability protocol in either mode, go-back-N or selective repeat)
+//! must produce *exactly* the matched (receive, message) pairs of the same
+//! stream over a perfect wire, plus the same residual unexpected-store
+//! population. Under selective repeat the receive NIC's staging buffer
+//! holds out-of-order packets but delivery to the engine stays strictly
+//! in-sequence, so the invariant holds by construction — these tests are
+//! the proof.
 //!
 //! The stream is phased: each phase posts a batch of receives, then sends a
 //! batch of messages, then drains the wire to quiescence. Posts of a phase
@@ -21,7 +25,9 @@ use dpa_sim::nic::RecvNic;
 use dpa_sim::rdma::{connected_pair, eager_packet, RdmaDomain};
 use dpa_sim::{DeviceMemory, MatchingService, ReliableSender};
 use otm_base::envelope::SourceSel;
-use otm_base::{CommId, Envelope, FaultPlan, FaultRng, MatchConfig, Rank, ReceivePattern, Tag};
+use otm_base::{
+    CommId, Envelope, FaultPlan, FaultRng, MatchConfig, Rank, ReceivePattern, ReliabilityMode, Tag,
+};
 
 /// One phase of the chaos workload: receives posted first, messages sent
 /// after.
@@ -46,6 +52,10 @@ pub struct RunOutcome {
 pub struct ChaosEvidence {
     pub injected_faults: u64,
     pub retransmits: u64,
+    /// Out-of-order packets parked in the receive NIC's staging buffer
+    /// over the run — nonzero proves selective repeat actually staged
+    /// (always zero under go-back-N, which discards gaps).
+    pub staged_out_of_order: u64,
     /// Flight-recorder loss counters summed across the run:
     /// `otm_trace_dropped_total` + `dpa_trace_dropped_total` plus the span
     /// equivalents. The chaos workloads are sized well inside the ring
@@ -108,9 +118,24 @@ pub fn run_chaos(
     faults: Option<FaultPlan>,
     queued: bool,
 ) -> (RunOutcome, ChaosEvidence) {
+    run_chaos_mode(phases, faults, queued, ReliabilityMode::default(), None)
+}
+
+/// [`run_chaos`] with an explicit reliability mode and (optionally) a
+/// sender window cap — the knobs the PR 9 oracle sweeps. Both ends are
+/// switched together; mode-mismatched deployments are exercised by the
+/// unit tests in `dpa-sim`, not by the oracle.
+pub fn run_chaos_mode(
+    phases: &[Phase],
+    faults: Option<FaultPlan>,
+    queued: bool,
+    mode: ReliabilityMode,
+    window: Option<usize>,
+) -> (RunOutcome, ChaosEvidence) {
     let (tx, rx) = connected_pair();
     let domain = RdmaDomain::new();
     let mut nic = RecvNic::new(rx, BouncePool::new(64, 256));
+    nic.set_reliability_mode(mode);
     if let Some(plan) = &faults {
         nic.set_faults(plan.clone());
     }
@@ -124,7 +149,10 @@ pub fn run_chaos(
     if queued {
         svc.enable_command_queue().expect("engine has a queue");
     }
-    let mut sender = ReliableSender::new(tx);
+    let mut sender = ReliableSender::new(tx).with_mode(mode);
+    if let Some(cap) = window {
+        sender.set_window_limit(cap);
+    }
 
     for phase in phases {
         for pattern in &phase.posts {
@@ -172,6 +200,7 @@ pub fn run_chaos(
     let evidence = ChaosEvidence {
         injected_faults: injected,
         retransmits: sender.stats().retransmits,
+        staged_out_of_order: svc.nic().rx_stats().staged_out_of_order,
         trace_dropped,
     };
     (outcome, evidence)
@@ -187,9 +216,32 @@ pub fn assert_chaos_equivalence(
     per_phase: usize,
     queued: bool,
 ) -> ChaosEvidence {
+    assert_chaos_equivalence_mode(
+        seed,
+        plan,
+        phases,
+        per_phase,
+        queued,
+        ReliabilityMode::default(),
+        None,
+    )
+}
+
+/// [`assert_chaos_equivalence`] with an explicit reliability mode and
+/// sender window cap, applied identically to the faulty and the clean run.
+#[allow(clippy::too_many_arguments)]
+pub fn assert_chaos_equivalence_mode(
+    seed: u64,
+    plan: FaultPlan,
+    phases: usize,
+    per_phase: usize,
+    queued: bool,
+    mode: ReliabilityMode,
+    window: Option<usize>,
+) -> ChaosEvidence {
     let workload = workload(seed, phases, per_phase);
-    let (clean, _) = run_chaos(&workload, None, queued);
-    let (faulty, evidence) = run_chaos(&workload, Some(plan), queued);
+    let (clean, _) = run_chaos_mode(&workload, None, queued, mode, window);
+    let (faulty, evidence) = run_chaos_mode(&workload, Some(plan), queued, mode, window);
     assert!(
         !clean.completed.is_empty(),
         "the workload must complete something for the oracle to bite"

@@ -43,6 +43,7 @@ fn server(match_config: MatchConfig, deficit_cap_quanta: u64) -> MatchServer {
         MatchdConfig {
             tenant: TenantConfig::default(),
             deficit_cap_quanta,
+            ..MatchdConfig::default()
         },
     )
     .expect("standalone matchd server")
@@ -452,7 +453,11 @@ fn tiny_engine_ring_requeues_the_drain_batch_instead_of_failing_the_tick() {
     }
     server.run_ticks(4).expect("send ticks");
     let done = session.take_completions();
-    assert_eq!(done.len(), n as usize, "no post may be lost to backpressure");
+    assert_eq!(
+        done.len(),
+        n as usize,
+        "no post may be lost to backpressure"
+    );
     for (i, d) in done.iter().enumerate() {
         assert_eq!(d.recv, handles[i], "per-tenant FIFO across the requeue");
         assert_eq!(d.data, vec![i as u8]);
