@@ -92,6 +92,8 @@ impl CommonArgs {
     }
 
     /// Parses an explicit token stream (testable form of [`Self::parse`]).
+    /// Not `FromIterator`: this is fallible-flag parsing, not collection.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(tokens: I) -> Self {
         let mut args = CommonArgs::default();
         let mut it = tokens.into_iter();

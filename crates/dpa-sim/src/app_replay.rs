@@ -1,0 +1,810 @@
+//! End-to-end application replay: a Table II trace driven through the full
+//! production path.
+//!
+//! The trace analyzer's [`otm_trace::replay::replay_engine`] feeds matchers
+//! *directly* — posts and arrivals go straight into the engine with no wire
+//! in between. This module closes the gap the paper's Fig. 6/7 evaluation
+//! actually measures: every send of the application trace becomes a wire
+//! packet that crosses a per-source-rank queue pair under the
+//! [`crate::ReliableSender`] reliability protocol (either
+//! [`ReliabilityMode`]), lands in the destination's [`RecvNic`] (optionally
+//! behind a seeded [`FaultPlan`]), is staged into bounce buffers, submitted
+//! through the service's command queue into the sharded engine's
+//! per-communicator rings, cross-communicator packed, matched, and carried
+//! to completion by the eager or rendezvous/RDMA-READ protocol of §IV-B.
+//!
+//! Like the engine-direct replay, destinations are replayed one at a time —
+//! rank-major, each with a fresh NIC + engine + service — because matching
+//! state is private to a rank. Memory stays flat for thousand-rank traces
+//! while every arrival still crosses the complete stack.
+//!
+//! ## The ordering contract
+//!
+//! Matched-pairs equivalence against the engine-direct replay is only
+//! provable if the engine observes posts and arrivals in trace order even
+//! when the wire reorders, drops and duplicates packets. Two mechanisms
+//! provide it:
+//!
+//! * every arrival is stamped with a global per-destination sequence number
+//!   ([`crate::rdma::WirePacket::with_gseq`]) — its position in the
+//!   destination's arrival stream — and the NIC's cross-QP **total-order
+//!   gate** ([`RecvNic::enable_total_order`]) releases accepted packets to
+//!   the completion queue strictly in that order;
+//! * a post that follows in-flight arrivals waits for them to settle
+//!   (senders fully acked, gate empty) before it is submitted, so the
+//!   single submission stream interleaves posts and arrivals exactly as the
+//!   trace does. Consecutive arrivals never wait on each other — bursts
+//!   stay concurrent and keep the packing scheduler busy.
+//!
+//! The correctness oracle is [`engine_direct_pairs`]: the same trace pushed
+//! straight into a fresh [`otm::SequentialOtm`] per destination. The pair
+//! sets must be identical — clean wire or hostile, go-back-N or selective
+//! repeat.
+
+use crate::bounce::BouncePool;
+use crate::nic::RecvNic;
+use crate::rdma::{connected_pair, eager_packet, rendezvous_packet, RdmaDomain};
+use crate::reliable::ReliableSender;
+use crate::service::{CompletedReceive, MatchingService, ServiceError};
+use mpi_matching::{BlockDelivery, MatchingBackend, MsgHandle, PostResult, RecvHandle};
+use otm::OtmEngine;
+use otm_base::{Envelope, FaultPlan, MatchConfig, ReceivePattern, ReliabilityMode};
+use otm_trace::model::{AppTrace, MpiOp, TimedOp};
+use std::collections::BTreeMap;
+
+/// Ceiling on the simulated payload size a trace `count` maps to.
+pub const MAX_PAYLOAD_BYTES: usize = 4096;
+
+/// Payload bytes reserved for the message identity (a little-endian arrival
+/// index), used by the matched-pairs oracle.
+const ID_BYTES: usize = 8;
+
+/// Parameters of an end-to-end application replay.
+#[derive(Debug, Clone)]
+pub struct AppReplayConfig {
+    /// Reliability protocol the per-source senders and the NIC run.
+    pub mode: ReliabilityMode,
+    /// Seeded wire-fault plan installed on every destination NIC. Faults
+    /// hit only sequenced packets, i.e. every replayed arrival.
+    pub faults: Option<FaultPlan>,
+    /// Bins per hash-table index of the engine (and the oracle).
+    pub bins: usize,
+    /// Largest payload (bytes) sent eagerly; larger messages take the
+    /// rendezvous RTS + RDMA-READ path.
+    pub eager_max: usize,
+    /// Bytes of a rendezvous payload piggybacked on the RTS.
+    pub piggyback: usize,
+    /// When set (and the `metrics` feature is on), the destination with the
+    /// most arrivals gets a queue-depth series sampler at this cadence (in
+    /// service polls); the result lands in
+    /// [`AppReplayReport::series_json`].
+    pub series_cadence: Option<u64>,
+}
+
+impl Default for AppReplayConfig {
+    fn default() -> Self {
+        AppReplayConfig {
+            mode: ReliabilityMode::SelectiveRepeat,
+            faults: None,
+            bins: 128,
+            eager_max: 192,
+            piggyback: 64,
+            series_cadence: None,
+        }
+    }
+}
+
+impl AppReplayConfig {
+    /// Selects the reliability mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReliabilityMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Installs a wire-fault plan on every destination NIC.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the engine (and oracle) bin count.
+    #[must_use]
+    pub fn with_bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Samples the busiest destination's queue depths at this cadence.
+    #[must_use]
+    pub fn with_series_cadence(mut self, cadence: u64) -> Self {
+        self.series_cadence = Some(cadence);
+        self
+    }
+}
+
+/// A matched (receive, message) pair, locally numbered per destination:
+/// `recv` is the receive's position in the destination's post stream and
+/// `msg` the message's position in its arrival stream.
+pub type MatchedPair = (u32, u64, u64);
+
+/// Aggregated counters of one end-to-end replay (all destinations merged).
+#[derive(Debug, Clone, Default)]
+pub struct AppReplayReport {
+    /// Application name (Table II).
+    pub name: String,
+    /// Number of processes in the trace.
+    pub processes: usize,
+    /// Reliability-mode label (`go-back-n` / `selective-repeat`).
+    pub mode: String,
+    /// Whether a wire-fault plan was installed.
+    pub faulty: bool,
+    /// Receives posted across all destinations.
+    pub posts: u64,
+    /// Messages driven end to end (posts' counterpart: trace sends).
+    pub messages: u64,
+    /// Messages that took the eager path.
+    pub eager_messages: u64,
+    /// Messages that took the rendezvous RTS + RDMA-READ path.
+    pub rendezvous_messages: u64,
+    /// Matched pairs completed by the service.
+    pub completed: u64,
+    /// Packets the fault layer dropped.
+    pub wire_drops: u64,
+    /// Packets the fault layer duplicated.
+    pub wire_duplicates: u64,
+    /// Packets the fault layer reordered.
+    pub wire_reorders: u64,
+    /// Packets the fault layer delayed.
+    pub wire_delays: u64,
+    /// Packets the senders retransmitted.
+    pub retransmits: u64,
+    /// SACK-triggered fast retransmits (subset of `retransmits`).
+    pub fast_retransmits: u64,
+    /// Timeout or fast-retransmit bursts.
+    pub resend_events: u64,
+    /// Cumulative acks the senders consumed.
+    pub acks_received: u64,
+    /// Polls the senders spent in exponential backoff.
+    pub backoff_polls: u64,
+    /// Retransmitted packets per dropped packet (0 when nothing dropped).
+    pub retransmit_amplification: f64,
+    /// Duplicates the NICs discarded.
+    pub rx_duplicates: u64,
+    /// Out-of-order packets go-back-N NICs discarded.
+    pub rx_gaps: u64,
+    /// Out-of-order packets selective-repeat NICs staged.
+    pub rx_staged_out_of_order: u64,
+    /// Acks the NICs sent.
+    pub acks_sent: u64,
+    /// Packets parked in the cross-QP total-order gate.
+    pub gate_parked: u64,
+    /// Packets the gate released to completion queues.
+    pub gate_released: u64,
+    /// No-conflict resolutions (0 without the `metrics` feature).
+    pub path_nc: u64,
+    /// Wildcard fast-path resolutions (0 without the `metrics` feature).
+    pub path_wc_fp: u64,
+    /// Wildcard slow-path resolutions (0 without the `metrics` feature).
+    pub path_wc_sp: u64,
+    /// Destinations that migrated to the software-fallback matcher.
+    pub fallbacks: u64,
+    /// Wall-clock seconds for the whole replay.
+    pub elapsed_secs: f64,
+    /// End-to-end message rate (`messages / elapsed_secs`).
+    pub msgs_per_sec: f64,
+    /// Queue-depth time series of the busiest destination, as JSON, when
+    /// [`AppReplayConfig::series_cadence`] asked for one (always `None`
+    /// without the `metrics` feature).
+    pub series_json: Option<String>,
+}
+
+impl AppReplayReport {
+    /// Renders the report as one JSON object (hand-rolled, like the other
+    /// artifact rows in this workspace — dpa-sim does not link serde_json).
+    pub fn to_json(&self) -> String {
+        let series = match &self.series_json {
+            Some(s) => s.clone(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"app\":\"{}\",\"processes\":{},\"mode\":\"{}\",\"faulty\":{},",
+                "\"posts\":{},\"messages\":{},\"eager_messages\":{},",
+                "\"rendezvous_messages\":{},\"completed\":{},",
+                "\"wire_drops\":{},\"wire_duplicates\":{},\"wire_reorders\":{},",
+                "\"wire_delays\":{},\"retransmits\":{},\"fast_retransmits\":{},",
+                "\"resend_events\":{},\"acks_received\":{},\"backoff_polls\":{},",
+                "\"retransmit_amplification\":{:.3},\"rx_duplicates\":{},",
+                "\"rx_gaps\":{},\"rx_staged_out_of_order\":{},\"acks_sent\":{},",
+                "\"gate_parked\":{},\"gate_released\":{},",
+                "\"path_nc\":{},\"path_wc_fp\":{},\"path_wc_sp\":{},",
+                "\"fallbacks\":{},\"elapsed_secs\":{:.6},\"msgs_per_sec\":{:.1},",
+                "\"series\":{}}}"
+            ),
+            self.name,
+            self.processes,
+            self.mode,
+            self.faulty,
+            self.posts,
+            self.messages,
+            self.eager_messages,
+            self.rendezvous_messages,
+            self.completed,
+            self.wire_drops,
+            self.wire_duplicates,
+            self.wire_reorders,
+            self.wire_delays,
+            self.retransmits,
+            self.fast_retransmits,
+            self.resend_events,
+            self.acks_received,
+            self.backoff_polls,
+            self.retransmit_amplification,
+            self.rx_duplicates,
+            self.rx_gaps,
+            self.rx_staged_out_of_order,
+            self.acks_sent,
+            self.gate_parked,
+            self.gate_released,
+            self.path_nc,
+            self.path_wc_fp,
+            self.path_wc_sp,
+            self.fallbacks,
+            self.elapsed_secs,
+            self.msgs_per_sec,
+            series,
+        )
+    }
+}
+
+/// Everything one end-to-end replay produced.
+#[derive(Debug, Clone)]
+pub struct AppReplayOutcome {
+    /// Aggregated counters.
+    pub report: AppReplayReport,
+    /// Every matched pair, sorted — directly comparable against
+    /// [`engine_direct_pairs`].
+    pub matched_pairs: Vec<MatchedPair>,
+}
+
+/// One destination's event stream, in global trace order.
+enum Ev {
+    Post(ReceivePattern),
+    Arrive {
+        src: otm_base::Rank,
+        env: Envelope,
+        bytes: usize,
+    },
+}
+
+/// Maps a trace `count` (elements) to a simulated payload size in bytes —
+/// at least [`ID_BYTES`] so the payload can carry the arrival index, capped
+/// at [`MAX_PAYLOAD_BYTES`].
+fn payload_len(count: u64) -> usize {
+    usize::try_from(count)
+        .unwrap_or(MAX_PAYLOAD_BYTES)
+        .clamp(ID_BYTES, MAX_PAYLOAD_BYTES)
+}
+
+/// Builds the payload for the arrival at position `idx`: the index in the
+/// first eight bytes (the oracle identity), an index-derived fill after.
+fn payload_for(idx: u64, len: usize) -> Vec<u8> {
+    let mut p = vec![idx as u8; len];
+    p[..ID_BYTES].copy_from_slice(&idx.to_le_bytes());
+    p
+}
+
+/// Recovers the arrival index from a completed payload.
+fn payload_id(data: &[u8]) -> u64 {
+    let mut id = [0u8; ID_BYTES];
+    id.copy_from_slice(&data[..ID_BYTES]);
+    u64::from_le_bytes(id)
+}
+
+/// Splits the trace into per-destination event streams: each destination's
+/// own receive posts plus the sends targeting it, in global time order
+/// (collectives and one-sided ops are ignored, as in the analyzer replays).
+fn per_destination_events(trace: &AppTrace) -> Vec<Vec<Ev>> {
+    let n = trace
+        .ranks
+        .iter()
+        .map(|r| r.rank.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut per_rank: Vec<Vec<Ev>> = (0..n).map(|_| Vec::new()).collect();
+    for (rank, TimedOp { op, .. }) in trace.merged_ops() {
+        match op {
+            MpiOp::Irecv { src, tag, comm, .. } | MpiOp::Recv { src, tag, comm, .. } => {
+                per_rank[rank.0 as usize].push(Ev::Post(ReceivePattern { src, tag, comm }));
+            }
+            MpiOp::Isend {
+                dest,
+                tag,
+                comm,
+                count,
+                ..
+            }
+            | MpiOp::Send {
+                dest,
+                tag,
+                comm,
+                count,
+            } if (dest.0 as usize) < n => {
+                per_rank[dest.0 as usize].push(Ev::Arrive {
+                    src: rank,
+                    env: Envelope {
+                        src: rank,
+                        tag,
+                        comm,
+                    },
+                    bytes: payload_len(count),
+                });
+            }
+            _ => {}
+        }
+    }
+    per_rank
+}
+
+/// The matched-pairs oracle: the same per-destination event streams pushed
+/// straight into a fresh [`otm::SequentialOtm`] each, no wire, no service.
+/// Receive and message handles are numbered per destination exactly as the
+/// end-to-end replay numbers them, so the sorted pair vectors of the two
+/// paths are directly comparable.
+///
+/// ```
+/// use dpa_sim::app_replay::{engine_direct_pairs, replay_app, AppReplayConfig};
+/// use otm_trace::model::{AppTrace, MpiOp, RankTrace, TimedOp};
+/// use otm_base::envelope::{SourceSel, TagSel};
+/// use otm_base::{CommId, Rank, Tag};
+///
+/// // Rank 1 posts a wildcard receive; rank 0 sends the matching message.
+/// let trace = AppTrace {
+///     name: "doc".into(),
+///     ranks: vec![
+///         RankTrace {
+///             rank: Rank(0),
+///             ops: vec![TimedOp {
+///                 time: 2.0,
+///                 op: MpiOp::Send { dest: Rank(1), tag: Tag(7), comm: CommId::WORLD, count: 64 },
+///             }],
+///         },
+///         RankTrace {
+///             rank: Rank(1),
+///             ops: vec![TimedOp {
+///                 time: 1.0,
+///                 op: MpiOp::Recv { src: SourceSel::Any, tag: TagSel::Tag(Tag(7)), comm: CommId::WORLD, count: 64 },
+///             }],
+///         },
+///     ],
+/// };
+/// let end_to_end = replay_app(&trace, &AppReplayConfig::default()).unwrap();
+/// assert_eq!(end_to_end.matched_pairs, engine_direct_pairs(&trace, 128));
+/// ```
+pub fn engine_direct_pairs(trace: &AppTrace, bins: usize) -> Vec<MatchedPair> {
+    let mut pairs = Vec::new();
+    for (dest, events) in per_destination_events(trace).iter().enumerate() {
+        if events.is_empty() {
+            continue;
+        }
+        let config = MatchConfig::default()
+            .with_bins(bins)
+            .with_block_threads(1)
+            .with_max_receives(1 << 14)
+            .with_max_unexpected(1 << 14);
+        let mut engine: Box<dyn MatchingBackend> =
+            Box::new(otm::SequentialOtm::new(config).expect("oracle replay configuration"));
+        let (mut next_recv, mut next_msg) = (0u64, 0u64);
+        for ev in events {
+            match ev {
+                Ev::Post(pattern) => {
+                    let handle = RecvHandle(next_recv);
+                    next_recv += 1;
+                    if let PostResult::Matched(msg) = engine
+                        .post(*pattern, handle)
+                        .expect("oracle within engine capacity")
+                    {
+                        pairs.push((dest as u32, handle.0, msg.0));
+                    }
+                }
+                Ev::Arrive { env, .. } => {
+                    let msg = MsgHandle(next_msg);
+                    next_msg += 1;
+                    for d in engine
+                        .arrive_block(&[(*env, msg)])
+                        .expect("oracle within engine capacity")
+                    {
+                        if let BlockDelivery::Matched { msg, recv } = d {
+                            pairs.push((dest as u32, recv.0, msg.0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// One destination's live transport endpoints: a reliable sender per source
+/// rank that sends to it.
+struct Senders {
+    by_src: BTreeMap<u32, ReliableSender>,
+}
+
+impl Senders {
+    /// Polls every sender once (ack intake + retransmit timers) and applies
+    /// the service's controller window hint, if any.
+    fn poll_all(&mut self, svc: &MatchingService) -> Result<(), ServiceError> {
+        #[cfg(feature = "metrics")]
+        let hint = svc.reliability_window_hint();
+        #[cfg(not(feature = "metrics"))]
+        let hint: Option<usize> = None;
+        let _ = svc;
+        for s in self.by_src.values_mut() {
+            if let Some(h) = hint {
+                s.set_window_limit(h);
+            }
+            let stray = s.poll().map_err(ServiceError::Reliability)?;
+            debug_assert!(stray.is_empty(), "nothing sends app data back");
+        }
+        Ok(())
+    }
+
+    fn all_acked(&self) -> bool {
+        self.by_src.values().all(|s| s.unacked() == 0)
+    }
+}
+
+/// Collects the service's completions into the pair vector.
+fn collect(dest: u32, done: Vec<CompletedReceive>, pairs: &mut Vec<MatchedPair>) {
+    for c in done {
+        pairs.push((dest, c.recv.0, payload_id(&c.data)));
+    }
+}
+
+/// Runs the service and all senders until every arrival sent so far has
+/// been accepted (senders fully acked) *and* released by the total-order
+/// gate — the point at which the engine's submission stream provably
+/// contains every prior arrival, so a post may follow.
+fn settle(
+    dest: u32,
+    svc: &mut MatchingService,
+    senders: &mut Senders,
+    pairs: &mut Vec<MatchedPair>,
+) -> Result<(), ServiceError> {
+    loop {
+        svc.progress()?;
+        collect(dest, svc.take_completed(), pairs);
+        senders.poll_all(svc)?;
+        if senders.all_acked() && svc.nic().gate_parked_len() == 0 {
+            // One more pass drains anything the final acks released.
+            svc.progress()?;
+            collect(dest, svc.take_completed(), pairs);
+            return Ok(());
+        }
+    }
+}
+
+/// Replays one application trace end to end through the full production
+/// path — per-source-rank queue pairs under the reliability protocol, the
+/// receive NIC's staging and total-order gate, the service's command queue,
+/// the sharded engine behind per-communicator submission rings, and the
+/// eager/rendezvous payload protocol — one destination rank at a time.
+///
+/// The returned [`AppReplayOutcome::matched_pairs`] must equal
+/// [`engine_direct_pairs`] on the same trace for any [`AppReplayConfig`]:
+/// the wire, the faults and the reliability mode may change *how often*
+/// packets cross, never *what matches*.
+pub fn replay_app(
+    trace: &AppTrace,
+    cfg: &AppReplayConfig,
+) -> Result<AppReplayOutcome, ServiceError> {
+    let per_rank = per_destination_events(trace);
+    let mut report = AppReplayReport {
+        name: trace.name.clone(),
+        processes: trace.processes(),
+        mode: cfg.mode.label().to_string(),
+        faulty: cfg.faults.is_some(),
+        ..AppReplayReport::default()
+    };
+    let mut pairs: Vec<MatchedPair> = Vec::new();
+    #[cfg(feature = "metrics")]
+    let busiest = per_rank
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, evs)| {
+            evs.iter()
+                .filter(|e| matches!(e, Ev::Arrive { .. }))
+                .count()
+        })
+        .map(|(d, _)| d);
+    let start = std::time::Instant::now();
+
+    for (dest, events) in per_rank.iter().enumerate() {
+        if events.is_empty() {
+            continue;
+        }
+        let posts = events.iter().filter(|e| matches!(e, Ev::Post(_))).count();
+        let arrivals = events.len() - posts;
+        report.posts += posts as u64;
+        report.messages += arrivals as u64;
+
+        // One queue pair (and one reliable sender) per source rank that
+        // sends to this destination, in deterministic rank order.
+        let mut sources: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                Ev::Arrive { src, .. } => Some(src.0),
+                Ev::Post(_) => None,
+            })
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+
+        let buf = cfg.eager_max.max(cfg.piggyback).max(ID_BYTES);
+        let pool = BouncePool::new(arrivals.clamp(64, 8192), buf);
+        let mut senders = Senders {
+            by_src: BTreeMap::new(),
+        };
+        let mut nic = match sources.split_first() {
+            Some((first, rest)) => {
+                let (tx, rx) = connected_pair();
+                let mut nic = RecvNic::new(rx, pool);
+                senders
+                    .by_src
+                    .insert(*first, ReliableSender::new(tx).with_mode(cfg.mode));
+                for s in rest {
+                    let (tx, rx) = connected_pair();
+                    nic.add_qp(rx);
+                    senders
+                        .by_src
+                        .insert(*s, ReliableSender::new(tx).with_mode(cfg.mode));
+                }
+                nic
+            }
+            // Post-only destination: the NIC still needs an endpoint.
+            None => RecvNic::new(connected_pair().1, pool),
+        };
+        nic.set_reliability_mode(cfg.mode);
+        nic.enable_total_order();
+        if let Some(plan) = &cfg.faults {
+            nic.set_faults(plan.clone());
+        }
+
+        let config = MatchConfig::default()
+            .with_bins(cfg.bins)
+            .with_max_receives(posts.max(1))
+            .with_max_unexpected(arrivals.max(1));
+        let engine = OtmEngine::new(config).map_err(ServiceError::Match)?;
+        let domain = RdmaDomain::new();
+        let mut svc = MatchingService::with_backend(nic, domain.clone(), Box::new(engine));
+        svc.enable_command_queue()
+            .expect("the offloaded engine has a command queue");
+        #[cfg(feature = "metrics")]
+        {
+            svc.attach_controller(crate::control::FeedbackController::with_defaults());
+            if let (Some(cadence), Some(b)) = (cfg.series_cadence, busiest) {
+                if b == dest {
+                    svc.attach_series(otm_metrics::SeriesRecorder::new(cadence.max(1)));
+                }
+            }
+        }
+        for s in senders.by_src.values_mut() {
+            s.attach_metrics(svc.metrics().clone());
+        }
+
+        // ---- the event loop: posts and arrivals in trace order ----------
+        let mut gseq = 0u64;
+        let mut dirty = false;
+        for ev in events {
+            match ev {
+                Ev::Post(pattern) => {
+                    if dirty {
+                        settle(dest as u32, &mut svc, &mut senders, &mut pairs)?;
+                        dirty = false;
+                    }
+                    svc.post_recv_queued(*pattern)?;
+                }
+                Ev::Arrive { src, env, bytes } => {
+                    // Window backpressure: progress the whole path (all
+                    // senders — a parked packet may wait on another QP's
+                    // retransmission) until this sender has room.
+                    while !senders.by_src[&src.0].can_send() {
+                        svc.progress()?;
+                        collect(dest as u32, svc.take_completed(), &mut pairs);
+                        senders.poll_all(&svc)?;
+                    }
+                    let payload = payload_for(gseq, *bytes);
+                    let pkt = if *bytes <= cfg.eager_max {
+                        report.eager_messages += 1;
+                        eager_packet(*env, payload)
+                    } else {
+                        report.rendezvous_messages += 1;
+                        // The service RDMA-READs the tail and deregisters
+                        // the region once the payload is delivered.
+                        rendezvous_packet(&domain, *env, payload, cfg.piggyback).0
+                    };
+                    senders
+                        .by_src
+                        .get_mut(&src.0)
+                        .expect("sender exists for every arrival source")
+                        .send(pkt.with_gseq(gseq))
+                        .map_err(ServiceError::Reliability)?;
+                    gseq += 1;
+                    dirty = true;
+                }
+            }
+        }
+        settle(dest as u32, &mut svc, &mut senders, &mut pairs)?;
+
+        // ---- per-destination accounting ---------------------------------
+        #[cfg(feature = "metrics")]
+        {
+            svc.force_series_sample();
+            if let Some(series) = svc.take_series() {
+                report.series_json = Some(series.to_json());
+            }
+            let snap = svc.observability_snapshot();
+            let path = |p: &str| {
+                snap.counters
+                    .get(&format!("otm_resolutions_total{{path=\"{p}\"}}"))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            report.path_nc += path("nc");
+            report.path_wc_fp += path("wc_fp");
+            report.path_wc_sp += path("wc_sp");
+        }
+        let wire = svc.nic().wire_fault_stats().unwrap_or_default();
+        report.wire_drops += wire.drops;
+        report.wire_duplicates += wire.duplicates;
+        report.wire_reorders += wire.reorders;
+        report.wire_delays += wire.delays;
+        let rx = svc.nic().rx_stats();
+        report.rx_duplicates += rx.duplicates;
+        report.rx_gaps += rx.gaps;
+        report.rx_staged_out_of_order += rx.staged_out_of_order;
+        report.acks_sent += rx.acks_sent;
+        report.gate_parked += rx.gate_parked;
+        report.gate_released += rx.gate_released;
+        for s in senders.by_src.values() {
+            let rel = s.stats();
+            report.retransmits += rel.retransmits;
+            report.fast_retransmits += rel.fast_retransmits;
+            report.resend_events += rel.resend_events;
+            report.acks_received += rel.acks;
+            report.backoff_polls += rel.backoff_polls;
+        }
+        report.fallbacks += u64::from(svc.fell_back());
+    }
+
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report.msgs_per_sec = report.messages as f64 / report.elapsed_secs.max(f64::EPSILON);
+    report.retransmit_amplification = if report.wire_drops > 0 {
+        report.retransmits as f64 / report.wire_drops as f64
+    } else {
+        0.0
+    };
+    pairs.sort_unstable();
+    report.completed = pairs.len() as u64;
+    Ok(AppReplayOutcome {
+        report,
+        matched_pairs: pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otm_base::envelope::{SourceSel, TagSel};
+    use otm_base::{CommId, Rank, Tag};
+    use otm_trace::model::{RankTrace, ReqId};
+
+    /// Three ranks into one: wildcard receives, an unexpected arrival, a
+    /// rendezvous-sized payload, and a post-only tail receive.
+    fn cross_traffic_trace() -> AppTrace {
+        let send = |t: f64, dest: u32, tag: u32, count: u64| TimedOp {
+            time: t,
+            op: MpiOp::Send {
+                dest: Rank(dest),
+                tag: Tag(tag),
+                comm: CommId::WORLD,
+                count,
+            },
+        };
+        let recv = |t: f64, src: SourceSel, tag: TagSel, count: u64| TimedOp {
+            time: t,
+            op: MpiOp::Irecv {
+                src,
+                tag,
+                comm: CommId::WORLD,
+                count,
+                request: ReqId(0),
+            },
+        };
+        AppTrace {
+            name: "cross-traffic".into(),
+            ranks: vec![
+                RankTrace {
+                    rank: Rank(0),
+                    ops: vec![
+                        send(1.0, 2, 5, 16),
+                        send(3.0, 2, 6, 1024), // rendezvous-sized
+                        send(5.0, 2, 7, 16),   // stays unexpected
+                    ],
+                },
+                RankTrace {
+                    rank: Rank(1),
+                    ops: vec![send(2.0, 2, 5, 16), send(4.0, 2, 9, 16)],
+                },
+                RankTrace {
+                    rank: Rank(2),
+                    ops: vec![
+                        recv(0.5, SourceSel::Any, TagSel::Tag(Tag(5)), 16),
+                        recv(0.6, SourceSel::Any, TagSel::Tag(Tag(5)), 16),
+                        recv(2.5, SourceSel::Rank(Rank(0)), TagSel::Tag(Tag(6)), 1024),
+                        recv(3.5, SourceSel::Any, TagSel::Tag(Tag(9)), 16),
+                        recv(9.0, SourceSel::Any, TagSel::Tag(Tag(99)), 16), // never matches
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_wire_replay_matches_the_engine_direct_oracle() {
+        let trace = cross_traffic_trace();
+        let out = replay_app(&trace, &AppReplayConfig::default()).unwrap();
+        assert_eq!(out.matched_pairs, engine_direct_pairs(&trace, 128));
+        assert_eq!(out.report.messages, 5);
+        assert_eq!(out.report.posts, 5);
+        assert_eq!(out.report.completed, 4, "tag 7 stays unexpected");
+        assert_eq!(out.report.rendezvous_messages, 1);
+        assert_eq!(out.report.eager_messages, 4);
+        assert_eq!(out.report.gate_released, 5, "every arrival crossed the gate");
+    }
+
+    #[test]
+    fn hostile_wire_replay_matches_the_oracle_in_both_modes() {
+        let trace = cross_traffic_trace();
+        let oracle = engine_direct_pairs(&trace, 128);
+        for mode in [ReliabilityMode::GoBackN, ReliabilityMode::SelectiveRepeat] {
+            let cfg = AppReplayConfig::default().with_mode(mode).with_faults(
+                FaultPlan::new(0xa99)
+                    .with_drop_permille(150)
+                    .with_duplicate_permille(120)
+                    .with_reorder_permille(120)
+                    .with_reorder_window(4),
+            );
+            let out = replay_app(&trace, &cfg).unwrap();
+            assert_eq!(out.matched_pairs, oracle, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_one_object_with_the_schema_fields() {
+        let trace = cross_traffic_trace();
+        let out = replay_app(&trace, &AppReplayConfig::default()).unwrap();
+        let json = out.report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"app\":", "\"mode\":", "\"messages\":", "\"completed\":",
+            "\"rendezvous_messages\":", "\"retransmit_amplification\":",
+            "\"gate_released\":", "\"path_nc\":", "\"series\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn payload_identity_survives_the_clamp() {
+        assert_eq!(payload_len(0), ID_BYTES);
+        assert_eq!(payload_len(1 << 40), MAX_PAYLOAD_BYTES);
+        let p = payload_for(7, 16);
+        assert_eq!(p.len(), 16);
+        assert_eq!(payload_id(&p), 7);
+    }
+}

@@ -40,11 +40,17 @@
 //! * [`matchd`] — the long-lived multi-tenant matching server: tenant
 //!   sessions with bounded ingress and explicit admission control, a
 //!   deficit-round-robin fair drain over one shared engine, and a
-//!   deterministic tick loop with live Prometheus exposition.
+//!   deterministic tick loop with live Prometheus exposition;
+//! * [`app_replay`] — the end-to-end application replay driver: a Table II
+//!   trace becomes sequenced wire packets over per-source-rank queue pairs,
+//!   cross-QP ordered by the NIC's total-order gate, and is matched by the
+//!   full service path, with the engine-direct replay as the matched-pairs
+//!   oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app_replay;
 pub mod bounce;
 pub mod cluster;
 pub mod collectives;
@@ -60,6 +66,9 @@ pub mod rdma;
 pub mod reliable;
 pub mod service;
 
+pub use app_replay::{
+    engine_direct_pairs, replay_app, AppReplayConfig, AppReplayOutcome, AppReplayReport,
+};
 pub use cluster::{Cluster, ClusterBackend, ClusterNode};
 #[cfg(feature = "metrics")]
 pub use control::{ControllerConfig, ControllerStats, FeedbackController};

@@ -25,7 +25,7 @@
 //! own once inside. A well-behaved tenant's ingress therefore keeps
 //! draining at its own quantum no matter how hard a neighbour floods — the
 //! flooder's excess lands on its *own* bounded ingress and is answered with
-//! [`Admission::Backpressured`].
+//! [`Admission::Backpressured`](super::tenant::Admission::Backpressured).
 //!
 //! Virtual time is the tick counter (which advances the service's poll
 //! clock in lockstep), so a given submission schedule replays identically —

@@ -72,6 +72,13 @@ pub struct RxStats {
     pub stage_overflow: u64,
     /// Cumulative acknowledgements sent back to peers.
     pub acks_sent: u64,
+    /// Accepted packets parked in the cross-QP total-order gate because an
+    /// earlier global sequence number had not been released yet.
+    pub gate_parked: u64,
+    /// Packets the total-order gate released to the completion queue (every
+    /// gated packet is parked then released, so `gate_released` counts all
+    /// gated deliveries; `gate_parked` counts how many had to wait).
+    pub gate_released: u64,
 }
 
 /// The receive-side NIC: wire → bounce buffers → completion queue.
@@ -119,6 +126,19 @@ pub struct RecvNic {
     mode: ReliabilityMode,
     /// Per-QP staging-buffer bound.
     staging_capacity: usize,
+    /// Whether the cross-QP total-order gate is enabled (see
+    /// [`RecvNic::enable_total_order`]).
+    total_order: bool,
+    /// The total-order gate: accepted packets carrying a global sequence
+    /// number park here until every earlier `gseq` has been released to the
+    /// completion queue. Naturally bounded by the sum of the peers' send
+    /// windows plus the per-QP staging buffers — a sender whose packets are
+    /// parked stops receiving ack progress on *other* packets only when its
+    /// own window fills, so the gate never grows past what the per-QP
+    /// reliability layer already admits.
+    gate: BTreeMap<u64, WirePacket>,
+    /// The next global sequence number the gate releases.
+    next_gseq: u64,
     rx_stats: RxStats,
     metrics: Option<ServiceMetrics>,
 }
@@ -139,9 +159,40 @@ impl RecvNic {
             staging: vec![BTreeMap::new()],
             mode: ReliabilityMode::default(),
             staging_capacity: DEFAULT_STAGING_CAPACITY,
+            total_order: false,
+            gate: BTreeMap::new(),
+            next_gseq: 0,
             rx_stats: RxStats::default(),
             metrics: None,
         }
+    }
+
+    /// Enables cross-QP total-order delivery: accepted packets stamped with
+    /// a global sequence number ([`WirePacket::with_gseq`]) are released to
+    /// the completion queue strictly in that order, no matter which QP they
+    /// arrived on or how the wire interleaved them. Packets without a
+    /// `gseq` bypass the gate. The per-QP reliability acceptance still runs
+    /// first (and its acks cover parked packets), so enabling the gate
+    /// changes delivery *order* across QPs, never delivery *reliability*.
+    /// Enable before sequenced traffic starts.
+    pub fn enable_total_order(&mut self) {
+        self.total_order = true;
+    }
+
+    /// Whether the cross-QP total-order gate is enabled.
+    pub fn total_order(&self) -> bool {
+        self.total_order
+    }
+
+    /// Packets currently parked in the total-order gate (diagnostics).
+    pub fn gate_parked_len(&self) -> usize {
+        self.gate.len()
+    }
+
+    /// The next global sequence number the total-order gate will release
+    /// (diagnostics; equals the number of gated packets delivered so far).
+    pub fn next_gseq(&self) -> u64 {
+        self.next_gseq
     }
 
     /// Selects how this receiver repairs out-of-order sequenced arrivals.
@@ -214,6 +265,17 @@ impl RecvNic {
                 Ok(()) => n += 1,
                 Err((packet, e)) => {
                     self.held = Some(packet);
+                    self.send_due_acks();
+                    return Err(e);
+                }
+            }
+        }
+        // Resume a total-order gate drain a previous poll's bounce-pool
+        // exhaustion cut short (the failing packet stayed parked).
+        if self.total_order {
+            match self.drain_gate() {
+                Ok(k) => n += k,
+                Err(e) => {
                     self.send_due_acks();
                     return Err(e);
                 }
@@ -308,19 +370,82 @@ impl RecvNic {
                 }
             }
         }
-        match self.stage_packet(packet) {
-            Ok(()) => {
+        match self.deliver_packet(packet) {
+            Ok(k) => {
                 if sequenced {
-                    Ok(1 + self.drain_staged_qp(qp)?)
+                    Ok(k + self.drain_staged_qp(qp)?)
                 } else {
-                    Ok(1)
+                    Ok(k)
                 }
             }
-            Err((packet, e)) => {
+            Err((Some(packet), e)) => {
                 self.held = Some(packet);
                 Err(e)
             }
+            Err((None, e)) => Err(e),
         }
+    }
+
+    /// Routes one packet that passed its QP's reliability acceptance to the
+    /// completion queue: directly when the total-order gate is off or the
+    /// packet carries no global sequence number, through the gate
+    /// otherwise. Returns how many completions were generated (a parked
+    /// packet generates none now; releasing it — possibly along with a run
+    /// of successors — generates them later). On a bounce-pool failure the
+    /// packet travels back (`Some`) for the caller to re-hold or re-stage,
+    /// unless it is safely parked in the gate (`None`: the failure is the
+    /// gate head's, which stays parked and is retried next poll).
+    #[allow(clippy::result_large_err)] // internal: the packet must travel back
+    fn deliver_packet(
+        &mut self,
+        packet: WirePacket,
+    ) -> Result<usize, (Option<WirePacket>, NicError)> {
+        if self.total_order {
+            if let Some(gseq) = packet.gseq {
+                if gseq < self.next_gseq || self.gate.contains_key(&gseq) {
+                    // Per-QP acceptance is exactly-once, so a gate-level
+                    // duplicate means two packets shared a global sequence
+                    // number (a sender-side numbering bug); discarding the
+                    // later copy keeps delivery exactly-once per gseq.
+                    self.rx_stats.duplicates += 1;
+                    if let Some(m) = &self.metrics {
+                        m.count_rx_duplicate();
+                    }
+                    return Ok(0);
+                }
+                self.gate.insert(gseq, packet);
+                if gseq != self.next_gseq {
+                    self.rx_stats.gate_parked += 1;
+                }
+                return self.drain_gate().map_err(|e| (None, e));
+            }
+        }
+        match self.stage_packet(packet) {
+            Ok(()) => Ok(1),
+            Err((packet, e)) => Err((Some(packet), e)),
+        }
+    }
+
+    /// Releases gated packets whose global-order predecessors have all been
+    /// delivered, strictly in `gseq` order. A bounce-pool failure leaves
+    /// the head parked (keyed by its unchanged global sequence number) and
+    /// surfaces the error; the next poll resumes the drain.
+    fn drain_gate(&mut self) -> Result<usize, NicError> {
+        let mut n = 0;
+        while let Some(packet) = self.gate.remove(&self.next_gseq) {
+            match self.stage_packet(packet) {
+                Ok(()) => {
+                    self.next_gseq += 1;
+                    self.rx_stats.gate_released += 1;
+                    n += 1;
+                }
+                Err((packet, e)) => {
+                    self.gate.insert(self.next_gseq, packet);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(n)
     }
 
     /// Handles a sequenced packet above the expected counter: discarded
@@ -371,15 +496,24 @@ impl RecvNic {
         let mut n = 0;
         let mut next = self.expected[qp];
         while let Some(packet) = self.staging[qp].remove(&next) {
-            match self.stage_packet(packet) {
-                Ok(()) => {
+            match self.deliver_packet(packet) {
+                Ok(k) => {
                     next += 1;
                     self.expected[qp] = next;
                     self.ack_due[qp] = true;
-                    n += 1;
+                    n += k;
                 }
-                Err((packet, e)) => {
+                Err((Some(packet), e)) => {
                     self.staging[qp].insert(next, packet);
+                    return Err(e);
+                }
+                Err((None, e)) => {
+                    // The packet itself is parked in the gate (accepted at
+                    // the per-QP layer, so the ack must cover it); the
+                    // error is the gate head's bounce failure, retried on
+                    // the next poll.
+                    self.expected[qp] = next + 1;
+                    self.ack_due[qp] = true;
                     return Err(e);
                 }
             }
@@ -819,6 +953,166 @@ mod tests {
         let wire = nic.wire_fault_stats().unwrap();
         assert!(wire.total() > 0, "the plan must actually have injected");
         (nic.rx_stats(), sender.stats())
+    }
+
+    #[test]
+    fn total_order_gate_releases_cross_qp_packets_in_global_order() {
+        let (tx_a, rx_a) = connected_pair();
+        let (tx_b, rx_b) = connected_pair();
+        let mut nic = RecvNic::new(rx_a, BouncePool::new(8, 64));
+        nic.add_qp(rx_b);
+        nic.enable_total_order();
+        // QP 0 carries gseqs {1, 2}, QP 1 carries {0, 3}; per-QP seqs are
+        // independent. Global order must come out 0, 1, 2, 3.
+        tx_a.send(eager_packet(env(1), vec![1]).with_seq(0).with_gseq(1))
+            .unwrap();
+        tx_a.send(eager_packet(env(2), vec![2]).with_seq(1).with_gseq(2))
+            .unwrap();
+        tx_b.send(eager_packet(env(0), vec![0]).with_seq(0).with_gseq(0))
+            .unwrap();
+        tx_b.send(eager_packet(env(3), vec![3]).with_seq(1).with_gseq(3))
+            .unwrap();
+        assert_eq!(nic.poll().unwrap(), 4);
+        let block = nic.take_block(8);
+        let bytes: Vec<u8> = block.iter().map(|c| nic.staged(c.bounce)[0]).collect();
+        assert_eq!(bytes, vec![0, 1, 2, 3], "global order across QPs");
+        assert_eq!(block[0].msg, MsgHandle(0), "handles follow global order");
+        assert_eq!(nic.next_gseq(), 4);
+        assert_eq!(nic.gate_parked_len(), 0);
+        let stats = nic.rx_stats();
+        assert_eq!(stats.gate_released, 4);
+        assert!(
+            stats.gate_parked >= 2,
+            "QP 0's packets arrived before gseq 0 and had to wait: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn total_order_gate_holds_packets_until_the_global_hole_fills() {
+        let (tx_a, rx_a) = connected_pair();
+        let (tx_b, rx_b) = connected_pair();
+        let mut nic = RecvNic::new(rx_a, BouncePool::new(8, 64));
+        nic.add_qp(rx_b);
+        nic.enable_total_order();
+        tx_a.send(eager_packet(env(1), vec![1]).with_seq(0).with_gseq(1))
+            .unwrap();
+        assert_eq!(nic.poll().unwrap(), 0, "gseq 1 parked behind missing 0");
+        assert_eq!(nic.gate_parked_len(), 1);
+        assert_eq!(nic.expected_seq(0), 1, "per-QP acceptance already ran");
+        // The parked packet is acked at the per-QP layer: a retransmitted
+        // copy is discarded as a duplicate, not double-delivered.
+        tx_a.send(eager_packet(env(1), vec![1]).with_seq(0).with_gseq(1))
+            .unwrap();
+        assert_eq!(nic.poll().unwrap(), 0);
+        assert_eq!(nic.rx_stats().duplicates, 1);
+        tx_b.send(eager_packet(env(0), vec![0]).with_seq(0).with_gseq(0))
+            .unwrap();
+        assert_eq!(nic.poll().unwrap(), 2, "hole filled, run released");
+        let block = nic.take_block(8);
+        let bytes: Vec<u8> = block.iter().map(|c| nic.staged(c.bounce)[0]).collect();
+        assert_eq!(bytes, vec![0, 1]);
+    }
+
+    #[test]
+    fn total_order_gate_drain_survives_bounce_exhaustion() {
+        let (tx_a, rx_a) = connected_pair();
+        let (tx_b, rx_b) = connected_pair();
+        let mut nic = RecvNic::new(rx_a, BouncePool::new(1, 64));
+        nic.add_qp(rx_b);
+        nic.enable_total_order();
+        tx_a.send(eager_packet(env(0), vec![0]).with_seq(0).with_gseq(0))
+            .unwrap();
+        tx_b.send(eager_packet(env(1), vec![1]).with_seq(0).with_gseq(1))
+            .unwrap();
+        // gseq 0 stages into the single bounce buffer; gseq 1's release
+        // fails and must stay parked, not dropped.
+        assert!(matches!(nic.poll(), Err(NicError::Staging(_))));
+        assert_eq!(nic.gate_parked_len(), 1);
+        let first = nic.take_block(1)[0];
+        assert_eq!(nic.staged(first.bounce), &[0]);
+        nic.release(first.bounce);
+        assert_eq!(nic.poll().unwrap(), 1, "gate drain resumes next poll");
+        let second = nic.take_block(1)[0];
+        assert_eq!(nic.staged(second.bounce), &[1]);
+        assert_eq!(second.msg, MsgHandle(1), "handle order preserved");
+    }
+
+    #[test]
+    fn ungated_packets_bypass_an_enabled_gate() {
+        let (tx, mut nic) = nic_pair(4);
+        nic.enable_total_order();
+        tx.send(eager_packet(env(0), vec![9])).unwrap();
+        assert_eq!(nic.poll().unwrap(), 1, "no gseq, no gating");
+        assert_eq!(nic.next_gseq(), 0);
+        assert_eq!(nic.rx_stats().gate_released, 0);
+    }
+
+    /// Two senders over a hostile wire into one total-order NIC: delivery
+    /// must come out exactly once in global order, whatever the faults did.
+    fn faulty_two_qp_total_order(mode: ReliabilityMode) -> RxStats {
+        use crate::reliable::ReliableSender;
+        use otm_base::FaultPlan;
+        let (tx_a, rx_a) = connected_pair();
+        let (tx_b, rx_b) = connected_pair();
+        let mut nic = RecvNic::new(rx_a, BouncePool::new(64, 64));
+        nic.add_qp(rx_b);
+        nic.set_reliability_mode(mode);
+        nic.enable_total_order();
+        nic.set_faults(
+            FaultPlan::new(0x707a1)
+                .with_drop_permille(120)
+                .with_duplicate_permille(120)
+                .with_reorder_permille(120)
+                .with_reorder_window(4),
+        );
+        let mut senders = [
+            ReliableSender::with_limits(tx_a, 4, 32).with_mode(mode),
+            ReliableSender::with_limits(tx_b, 4, 32).with_mode(mode),
+        ];
+        // Global stream 0..40 alternates between the two QPs; the
+        // ReliableSender stamps each QP's per-QP seq itself.
+        let n = 40u64;
+        for g in 0..n {
+            let qp = (g % 2) as usize;
+            let pkt = eager_packet(env(g as u32), vec![g as u8]).with_gseq(g);
+            while !senders[qp].can_send() {
+                senders[qp].poll().unwrap();
+                nic.poll().unwrap();
+            }
+            senders[qp].send(pkt).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..4096 {
+            for s in &mut senders {
+                s.poll().unwrap();
+            }
+            nic.poll().unwrap();
+            for c in nic.take_block(64) {
+                got.push(nic.staged(c.bounce)[0]);
+                let b = c.bounce;
+                nic.release(b);
+            }
+            if got.len() == n as usize && senders.iter().all(|s| s.unacked() == 0) {
+                break;
+            }
+        }
+        assert_eq!(
+            got,
+            (0..n as u8).collect::<Vec<_>>(),
+            "exactly-once global-order delivery across QPs ({mode:?})"
+        );
+        nic.rx_stats()
+    }
+
+    #[test]
+    fn faulty_two_qp_total_order_holds_under_goback_n() {
+        faulty_two_qp_total_order(ReliabilityMode::GoBackN);
+    }
+
+    #[test]
+    fn faulty_two_qp_total_order_holds_under_selective_repeat() {
+        let stats = faulty_two_qp_total_order(ReliabilityMode::SelectiveRepeat);
+        assert!(stats.gate_parked > 0, "cross-QP skew must have parked");
     }
 
     #[test]

@@ -235,6 +235,13 @@ pub struct WirePacket {
     /// (and is never touched by fault injection, which only targets
     /// sequenced data packets).
     pub seq: Option<u64>,
+    /// Global delivery sequence number across all of the *receiver's* queue
+    /// pairs, stamped by a sender that participates in total-order delivery
+    /// (the application-replay driver stamps the trace position here).
+    /// Orthogonal to `seq`, which orders packets within one QP: `gseq`
+    /// orders accepted packets across QPs when the receive NIC's
+    /// total-order gate is enabled, and is ignored otherwise.
+    pub gseq: Option<u64>,
 }
 
 impl WirePacket {
@@ -242,6 +249,14 @@ impl WirePacket {
     #[must_use]
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = Some(seq);
+        self
+    }
+
+    /// Stamps a global (cross-QP) delivery sequence number on the packet,
+    /// consumed by [`crate::nic::RecvNic`]'s total-order gate.
+    #[must_use]
+    pub fn with_gseq(mut self, gseq: u64) -> Self {
+        self.gseq = Some(gseq);
         self
     }
 
@@ -299,6 +314,7 @@ pub fn eager_packet(env: Envelope, payload: Vec<u8>) -> WirePacket {
         },
         inline: payload,
         seq: None,
+        gseq: None,
     }
 }
 
@@ -321,6 +337,7 @@ pub fn sack_packet(cumulative: u64, sack: SackBlocks) -> WirePacket {
         },
         inline: Vec::new(),
         seq: None,
+        gseq: None,
     }
 }
 
@@ -350,6 +367,7 @@ pub fn rendezvous_packet(
             },
             inline: head,
             seq: None,
+            gseq: None,
         },
         rkey,
     )
@@ -474,6 +492,15 @@ mod tests {
         let pkt = eager_packet(env(), vec![1, 2]);
         assert_eq!(pkt.seq, None);
         assert_eq!(pkt.with_seq(7).seq, Some(7));
+    }
+
+    #[test]
+    fn global_sequence_is_orthogonal_to_the_per_qp_sequence() {
+        let pkt = eager_packet(env(), vec![1]);
+        assert_eq!(pkt.gseq, None, "unstamped until a sender opts in");
+        let stamped = pkt.with_seq(3).with_gseq(41);
+        assert_eq!(stamped.seq, Some(3));
+        assert_eq!(stamped.gseq, Some(41));
     }
 
     #[test]

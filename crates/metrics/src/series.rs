@@ -47,7 +47,7 @@ pub struct SeriesPoint {
     /// 0 before the first block executes.
     pub block_occupancy: f64,
     /// Cumulative matches per resolution path, indexed by
-    /// [`MatchPath::index`] (`nc`, `wc_fp`, `wc_sp`, `post`).
+    /// [`crate::span::MatchPath::index`] (`nc`, `wc_fp`, `wc_sp`, `post`).
     pub path_counts: [u64; 4],
     /// Cumulative matched pairs across all paths (`otm_matched_total`).
     pub matched: u64,

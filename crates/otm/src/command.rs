@@ -4,7 +4,7 @@
 //! enqueues *post* and *arrival* commands from any thread, and the device
 //! coordinator drains them in submission order. [`CommandQueue`] is that
 //! queue on the host side, behind one of two submission paths selected by
-//! [`SubmissionPath`](otm_base::SubmissionPath):
+//! [`otm_base::SubmissionPath`]:
 //!
 //! * **`Ring`** (the default): every command is stamped with a global
 //!   submission *ticket* and pushed onto its communicator's bounded
@@ -19,7 +19,7 @@
 //!   comparison. Submission never reports backpressure.
 //!
 //! Commands that a failed drain hands back via
-//! [`CommandQueue::requeue_front`] go into a small *stash* that every take
+//! `CommandQueue::requeue_front` (crate-internal) go into a small *stash* that every take
 //! consumes before touching the rings — a stashed command is always older
 //! than anything still in its communicator's ring, so per-communicator FIFO
 //! order survives requeueing on both paths.
